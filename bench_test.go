@@ -1,0 +1,259 @@
+package neograph_test
+
+// One benchmark per experiment in DESIGN.md's index (E1..E8, F1), plus
+// engine micro-benchmarks. The experiment benchmarks wrap the drivers in
+// internal/bench with quick configurations and surface their headline
+// numbers through b.ReportMetric; `go test -bench .` therefore regenerates
+// every table, and `cmd/neograph-bench` prints the full-size versions.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"neograph"
+	"neograph/internal/bench"
+	"neograph/internal/workload"
+)
+
+func BenchmarkE1Anomalies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunE1(io.Discard, bench.E1Config{
+			People: 300, Writers: 4, Checkers: 2, Duration: 400 * time.Millisecond, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res[0].UnrepeatableReads+res[0].PhantomReads), "si-anomalies")
+		b.ReportMetric(float64(res[1].UnrepeatableReads+res[1].PhantomReads), "rc-anomalies")
+	}
+}
+
+func BenchmarkE2Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunE2(io.Discard, bench.E2Config{
+			People: 500, Clients: []int{4}, Duration: 200 * time.Millisecond, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Mix == "write-heavy 10/90" {
+				b.ReportMetric(r.Result.Throughput(), r.Isolation+"-txn/s")
+			}
+		}
+	}
+}
+
+func BenchmarkE3Conflicts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunE3(io.Discard, bench.E3Config{
+			People: 300, Clients: 8, Thetas: []float64{0.9}, Duration: 200 * time.Millisecond, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Result.AbortRate(), r.Policy+"-abort-rate")
+		}
+	}
+}
+
+func BenchmarkE4GC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunE4(io.Discard, bench.E4Config{
+			LiveEntities: []int{10_000}, GarbageVersions: 2_000, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(float64(r.Pause.Microseconds()), r.Mode+"-pause-us")
+		}
+	}
+}
+
+func BenchmarkE5LongReaders(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunE5(io.Discard, bench.E5Config{
+			HotNodes: 100, UpdatesPerStep: 500, Steps: 3, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[len(rows)-2].Versions), "versions-pinned")
+		b.ReportMetric(float64(rows[len(rows)-1].Versions), "versions-released")
+	}
+}
+
+func BenchmarkE6Indexes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunE6(io.Discard, bench.E6Config{
+			Nodes: 10_000, Selectivities: []float64{0.01}, Lookups: 10, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		b.ReportMetric(float64(r.IndexTime.Microseconds()), "index-us")
+		b.ReportMetric(float64(r.ScanTime.Microseconds()), "scan-us")
+	}
+}
+
+func BenchmarkE7RYOW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunE7(io.Discard, bench.E7Config{
+			BaseNodes: 2_000, WriteSetSizes: []int{0, 1000}, Lookups: 10, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].PerLookup.Microseconds()), "empty-ws-us")
+		b.ReportMetric(float64(rows[len(rows)-1].PerLookup.Microseconds()), "1k-ws-us")
+	}
+}
+
+func BenchmarkE8Persistence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunE8(io.Discard, bench.E8Config{
+			Entities: 500, UpdatesPerNode: 5, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.LatestOnlyBytes), "latest-only-B")
+		b.ReportMetric(float64(res.AllVersionsBytes), "all-versions-B")
+		b.ReportMetric(float64(res.RecoveryTime.Microseconds()), "recovery-us")
+	}
+}
+
+func BenchmarkF1Architecture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunF1(io.Discard, 300, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- engine micro-benchmarks ----
+
+func buildBenchGraph(b *testing.B, people int) (*neograph.DB, *workload.SocialGraph) {
+	b.Helper()
+	db, err := neograph.Open(neograph.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := workload.BuildSocial(db, workload.SocialConfig{People: people, AvgFriends: 4, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	return db, g
+}
+
+func BenchmarkPointRead(b *testing.B) {
+	db, g := buildBenchGraph(b, 2_000)
+	tx := db.Begin()
+	defer tx.Abort()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.GetNode(g.People[i%len(g.People)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommitSingleUpdate(b *testing.B) {
+	db, g := buildBenchGraph(b, 2_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		err := db.Update(10, func(tx *neograph.Tx) error {
+			return tx.SetNodeProp(g.People[i%len(g.People)], "balance", neograph.Int(int64(i)))
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraverse1Hop(b *testing.B) {
+	db, g := buildBenchGraph(b, 2_000)
+	tx := db.Begin()
+	defer tx.Abort()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.Relationships(g.People[i%len(g.People)], neograph.Both); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLabelLookup(b *testing.B) {
+	db, _ := buildBenchGraph(b, 2_000)
+	tx := db.Begin()
+	defer tx.Abort()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.NodesByLabel(workload.LabelPerson); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConcurrentMixedOps(b *testing.B) {
+	db, g := buildBenchGraph(b, 2_000)
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(time.Now().UnixNano()))
+		for pb.Next() {
+			if r.Intn(10) < 8 {
+				db.View(func(tx *neograph.Tx) error {
+					_, err := tx.Relationships(g.People[r.Intn(len(g.People))], neograph.Both)
+					return err
+				})
+			} else {
+				_ = db.Update(10, func(tx *neograph.Tx) error {
+					return tx.SetNodeProp(g.People[r.Intn(len(g.People))], "balance", neograph.Int(r.Int63n(1<<20)))
+				})
+			}
+		}
+	})
+}
+
+func BenchmarkGCPerVersion(b *testing.B) {
+	db, g := buildBenchGraph(b, 1_000)
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		_ = db.Update(10, func(tx *neograph.Tx) error {
+			return tx.SetNodeProp(g.People[i%len(g.People)], "balance", neograph.Int(int64(i)))
+		})
+	}
+	b.StartTimer()
+	rep := db.RunGC()
+	if rep.Collected == 0 && b.N > 1 {
+		b.Fatalf("nothing collected: %+v", rep)
+	}
+}
+
+var sinkErr error
+
+func BenchmarkConflictDetection(b *testing.B) {
+	db, g := buildBenchGraph(b, 100)
+	hot := g.People[0]
+	holder := db.Begin()
+	if err := holder.SetNodeProp(hot, "balance", neograph.Int(1)); err != nil {
+		b.Fatal(err)
+	}
+	defer holder.Abort()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		sinkErr = tx.SetNodeProp(hot, "balance", neograph.Int(2)) // always conflicts
+		tx.Abort()
+	}
+	if sinkErr == nil {
+		b.Fatal("expected conflicts")
+	}
+	_ = fmt.Sprint()
+}

@@ -1,0 +1,288 @@
+// Command neograph-cli is an interactive shell for a neograph server.
+//
+// Usage:
+//
+//	neograph-cli -addr 127.0.0.1:7475
+//
+// Commands (ids are decimal numbers; values are int, float, true/false or
+// "quoted strings"):
+//
+//	begin [si|rc]              open a transaction
+//	commit | abort             finish it
+//	create [Label ...]         create a node
+//	get <id>                   show a node
+//	set <id> <key> <value>     set a node property
+//	label <id> +Name | -Name   add/remove a label
+//	del <id> | detach <id>     delete a node
+//	rel <type> <from> <to>     create a relationship
+//	rels <id> [out|in|both]    list relationships
+//	nbrs <id> [out|in|both]    list neighbors
+//	find <Label>               nodes by label
+//	where <key> <value>        nodes by property
+//	all                        all node ids
+//	stats | gc | checkpoint    admin
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"neograph"
+	"neograph/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7475", "server address")
+	flag.Parse()
+
+	cl, err := server.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		fmt.Fprintf(os.Stderr, "ping: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("connected to %s; type 'help' for commands\n", *addr)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("neograph> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := run(cl, line); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+func run(cl *server.Client, line string) error {
+	args := tokenize(line)
+	switch args[0] {
+	case "help":
+		fmt.Println("begin [si|rc] | commit | abort | create [Label..] | get <id> | set <id> <k> <v>")
+		fmt.Println("label <id> +L|-L | del <id> | detach <id> | rel <type> <from> <to> | rels <id> [dir]")
+		fmt.Println("nbrs <id> [dir] | find <Label> | where <k> <v> | all | stats | gc | checkpoint | quit")
+		return nil
+	case "begin":
+		iso := "si"
+		if len(args) > 1 {
+			iso = args[1]
+		}
+		return cl.Begin(iso)
+	case "commit":
+		return cl.Commit()
+	case "abort":
+		return cl.Abort()
+	case "create":
+		id, err := cl.CreateNode(args[1:], nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d\n", id)
+		return nil
+	case "get":
+		id, err := parseID(args, 1)
+		if err != nil {
+			return err
+		}
+		n, err := cl.GetNode(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d labels=%v props=%s\n", n.ID, n.Labels, n.Props)
+		return nil
+	case "set":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: set <id> <key> <value>")
+		}
+		id, err := parseID(args, 1)
+		if err != nil {
+			return err
+		}
+		return cl.SetNodeProp(id, args[2], parseValue(args[3]))
+	case "label":
+		if len(args) < 3 || (args[2][0] != '+' && args[2][0] != '-') {
+			return fmt.Errorf("usage: label <id> +Name|-Name")
+		}
+		id, err := parseID(args, 1)
+		if err != nil {
+			return err
+		}
+		if args[2][0] == '+' {
+			return cl.AddLabel(id, args[2][1:])
+		}
+		return cl.RemoveLabel(id, args[2][1:])
+	case "del":
+		id, err := parseID(args, 1)
+		if err != nil {
+			return err
+		}
+		return cl.DeleteNode(id)
+	case "detach":
+		id, err := parseID(args, 1)
+		if err != nil {
+			return err
+		}
+		return cl.DetachDeleteNode(id)
+	case "rel":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: rel <type> <from> <to>")
+		}
+		from, err := strconv.ParseUint(args[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		to, err := strconv.ParseUint(args[3], 10, 64)
+		if err != nil {
+			return err
+		}
+		id, err := cl.CreateRel(args[1], from, to, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rel %d\n", id)
+		return nil
+	case "rels":
+		id, err := parseID(args, 1)
+		if err != nil {
+			return err
+		}
+		dir := "both"
+		if len(args) > 2 {
+			dir = args[2]
+		}
+		rels, err := cl.Relationships(id, dir)
+		if err != nil {
+			return err
+		}
+		for _, r := range rels {
+			fmt.Printf("rel %d: (%d)-[:%s]->(%d) %s\n", r.ID, r.Start, r.Type, r.End, r.Props)
+		}
+		fmt.Printf("%d relationship(s)\n", len(rels))
+		return nil
+	case "nbrs":
+		id, err := parseID(args, 1)
+		if err != nil {
+			return err
+		}
+		dir := "both"
+		if len(args) > 2 {
+			dir = args[2]
+		}
+		ids, err := cl.Neighbors(id, dir)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ids)
+		return nil
+	case "find":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: find <Label>")
+		}
+		ids, err := cl.NodesByLabel(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(ids)
+		return nil
+	case "where":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: where <key> <value>")
+		}
+		ids, err := cl.NodesByProperty(args[1], parseValue(args[2]))
+		if err != nil {
+			return err
+		}
+		fmt.Println(ids)
+		return nil
+	case "all":
+		ids, err := cl.AllNodes()
+		if err != nil {
+			return err
+		}
+		fmt.Println(ids)
+		return nil
+	case "stats":
+		info, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(info))
+		return nil
+	case "gc":
+		info, err := cl.GC()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(info))
+		return nil
+	case "checkpoint":
+		return cl.Checkpoint()
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", args[0])
+	}
+}
+
+func parseID(args []string, i int) (uint64, error) {
+	if len(args) <= i {
+		return 0, fmt.Errorf("missing id")
+	}
+	return strconv.ParseUint(args[i], 10, 64)
+}
+
+// parseValue guesses the value type: int, float, bool, else string
+// (quotes stripped).
+func parseValue(s string) neograph.Value {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return neograph.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return neograph.Float(f)
+	}
+	if s == "true" || s == "false" {
+		return neograph.Bool(s == "true")
+	}
+	return neograph.String(strings.Trim(s, `"`))
+}
+
+// tokenize splits on spaces but keeps "quoted strings" whole.
+func tokenize(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for _, r := range line {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ' ' && !inQuote:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

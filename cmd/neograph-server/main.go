@@ -1,0 +1,74 @@
+// Command neograph-server serves a neograph database over TCP.
+//
+// Usage:
+//
+//	neograph-server -addr 127.0.0.1:7475 -dir /var/lib/neograph
+//
+// An empty -dir runs fully in memory. The server checkpoints and runs
+// the version garbage collector in the background, and shuts down
+// cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"neograph"
+	"neograph/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7475", "listen address")
+		dir      = flag.String("dir", "", "database directory (empty = in-memory)")
+		rc       = flag.Bool("read-committed", false, "default to read committed instead of snapshot isolation")
+		fcw      = flag.Bool("first-committer-wins", false, "use first-committer-wins conflict policy")
+		noSync   = flag.Bool("no-sync", false, "disable per-commit WAL fsync")
+		gcEvery  = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
+		ckpEvery = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
+	)
+	flag.Parse()
+
+	opts := neograph.Options{
+		Dir:                *dir,
+		DisableSyncCommits: *noSync,
+		GCInterval:         *gcEvery,
+		CheckpointInterval: *ckpEvery,
+	}
+	if *rc {
+		opts.Isolation = neograph.ReadCommitted
+	}
+	if *fcw {
+		opts.Conflict = neograph.FirstCommitterWins
+	}
+	db, err := neograph.Open(opts)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	srv, err := server.New(db, *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	mode := "in-memory"
+	if *dir != "" {
+		mode = *dir
+	}
+	fmt.Printf("neograph-server listening on %s (store: %s, isolation: %v, conflict: %v)\n",
+		srv.Addr(), mode, opts.Isolation, opts.Conflict)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down...")
+	if err := srv.Close(); err != nil {
+		log.Printf("server close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		log.Printf("db close: %v", err)
+	}
+}

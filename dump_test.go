@@ -1,0 +1,170 @@
+package neograph
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := memDB(t)
+	var a, b, c NodeID
+	err := src.Update(0, func(tx *Tx) error {
+		var err error
+		a, err = tx.CreateNode([]string{"Person"}, Props{
+			"name":  String("ada"),
+			"big":   Int(math.MaxInt64),
+			"score": Float(2.5),
+			"raw":   Bytes([]byte{0, 255}),
+			"tags":  List(String("x"), Int(1)),
+		})
+		if err != nil {
+			return err
+		}
+		b, _ = tx.CreateNode([]string{"Person", "Admin"}, nil)
+		c, _ = tx.CreateNode(nil, Props{"k": Bool(true)})
+		tx.CreateRel("KNOWS", a, b, Props{"since": Int(2016)})
+		tx.CreateRel("MANAGES", b, c, nil)
+		tx.CreateRel("SELF", c, c, nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	err = src.View(func(tx *Tx) error { return Export(tx, &buf) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := memDB(t)
+	stats, err := Import(dst, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 3 || stats.Rels != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	dst.View(func(tx *Tx) error {
+		people, _ := tx.NodesByLabel("Person")
+		if len(people) != 2 {
+			t.Fatalf("people = %v", people)
+		}
+		adas, _ := tx.NodesByProperty("name", String("ada"))
+		if len(adas) != 1 {
+			t.Fatalf("adas = %v", adas)
+		}
+		n, _ := tx.GetNode(adas[0])
+		if v, _ := n.Props["big"].AsInt(); v != math.MaxInt64 {
+			t.Fatalf("int precision lost: %d", v)
+		}
+		if v, _ := n.Props["raw"].AsBytes(); !reflect.DeepEqual(v, []byte{0, 255}) {
+			t.Fatalf("bytes lost: %v", v)
+		}
+		// Topology: ada -KNOWS-> admin -MANAGES-> k.
+		knows, _ := tx.Relationships(adas[0], Outgoing, "KNOWS")
+		if len(knows) != 1 {
+			t.Fatalf("knows = %v", knows)
+		}
+		if s, _ := knows[0].Props["since"].AsInt(); s != 2016 {
+			t.Fatalf("rel props lost: %v", knows[0].Props)
+		}
+		manages, _ := tx.Relationships(knows[0].End, Outgoing, "MANAGES")
+		if len(manages) != 1 {
+			t.Fatalf("manages = %v", manages)
+		}
+		self, _ := tx.Relationships(manages[0].End, Both, "SELF")
+		if len(self) != 1 || self[0].Start != self[0].End {
+			t.Fatalf("self loop lost: %v", self)
+		}
+		return nil
+	})
+}
+
+func TestImportIntoNonEmptyDB(t *testing.T) {
+	src := memDB(t)
+	src.Update(0, func(tx *Tx) error {
+		a, _ := tx.CreateNode([]string{"X"}, nil)
+		b, _ := tx.CreateNode([]string{"X"}, nil)
+		tx.CreateRel("E", a, b, nil)
+		return nil
+	})
+	var buf bytes.Buffer
+	src.View(func(tx *Tx) error { return Export(tx, &buf) })
+
+	dst := memDB(t)
+	// Pre-existing data occupies the low IDs the dump also uses.
+	dst.Update(0, func(tx *Tx) error {
+		for i := 0; i < 5; i++ {
+			tx.CreateNode([]string{"Old"}, nil)
+		}
+		return nil
+	})
+	stats, err := Import(dst, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 2 || stats.Rels != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	dst.View(func(tx *Tx) error {
+		olds, _ := tx.NodesByLabel("Old")
+		xs, _ := tx.NodesByLabel("X")
+		if len(olds) != 5 || len(xs) != 2 {
+			t.Fatalf("olds=%v xs=%v", olds, xs)
+		}
+		rels, _ := tx.Relationships(xs[0], Both)
+		if len(rels) != 1 {
+			t.Fatalf("imported topology broken: %v", rels)
+		}
+		return nil
+	})
+}
+
+func TestImportErrors(t *testing.T) {
+	db := memDB(t)
+	if _, err := Import(db, strings.NewReader(`{"kind":"banana"}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Import(db, strings.NewReader(`{"kind":"rel","id":1,"type":"E","start":99,"end":98}`)); err == nil {
+		t.Fatal("dangling rel accepted")
+	}
+	if _, err := Import(db, strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestExportConsistentUnderWriters(t *testing.T) {
+	db := memDB(t)
+	var ids []NodeID
+	db.Update(0, func(tx *Tx) error {
+		for i := 0; i < 50; i++ {
+			id, _ := tx.CreateNode([]string{"N"}, Props{"v": Int(0)})
+			ids = append(ids, id)
+		}
+		return nil
+	})
+	// Export inside a transaction while a writer mutates mid-export: the
+	// dump must reflect the snapshot (all v identical), not a torn mix.
+	tx := db.Begin()
+	defer tx.Abort()
+	db.Update(0, func(w *Tx) error {
+		for _, id := range ids {
+			if err := w.SetNodeProp(id, "v", Int(42)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var buf bytes.Buffer
+	if err := Export(tx, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"42"`) {
+		t.Fatal("export leaked post-snapshot values")
+	}
+}

@@ -1,0 +1,81 @@
+// Quickstart: open an in-memory database, build a tiny graph, query it,
+// and watch snapshot isolation in action.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neograph"
+)
+
+func main() {
+	db, err := neograph.Open(neograph.Options{}) // in-memory
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Build: two people who know each other.
+	var alice, bob neograph.NodeID
+	err = db.Update(0, func(tx *neograph.Tx) error {
+		alice, err = tx.CreateNode([]string{"Person"}, neograph.Props{
+			"name": neograph.String("alice"),
+		})
+		if err != nil {
+			return err
+		}
+		bob, err = tx.CreateNode([]string{"Person"}, neograph.Props{
+			"name": neograph.String("bob"),
+		})
+		if err != nil {
+			return err
+		}
+		_, err = tx.CreateRel("KNOWS", alice, bob, neograph.Props{
+			"since": neograph.Int(2016),
+		})
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Query: who does alice know?
+	db.View(func(tx *neograph.Tx) error {
+		nbrs, err := tx.Neighbors(alice, neograph.Outgoing, "KNOWS")
+		if err != nil {
+			return err
+		}
+		for _, id := range nbrs {
+			n, err := tx.GetNode(id)
+			if err != nil {
+				return err
+			}
+			name, _ := n.Props["name"].AsString()
+			fmt.Printf("alice knows %s (node %d)\n", name, id)
+		}
+		return nil
+	})
+
+	// Snapshot isolation: a reader's view is frozen at its start.
+	reader := db.Begin()
+	before, _ := reader.GetNode(bob)
+
+	db.Update(0, func(tx *neograph.Tx) error {
+		return tx.SetNodeProp(bob, "name", neograph.String("robert"))
+	})
+
+	after, _ := reader.GetNode(bob)
+	b, _ := before.Props["name"].AsString()
+	a, _ := after.Props["name"].AsString()
+	fmt.Printf("reader saw %q before and %q after a concurrent rename (repeatable!)\n", b, a)
+	reader.Abort()
+
+	fresh := db.Begin()
+	now, _ := fresh.GetNode(bob)
+	name, _ := now.Props["name"].AsString()
+	fmt.Printf("a fresh transaction sees %q\n", name)
+	fresh.Abort()
+}

@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neograph"
+)
+
+// The experiment drivers run here with small "quick" configurations; the
+// assertions check the *shape* each paper claim predicts, not absolute
+// numbers (see EXPERIMENTS.md).
+
+func TestE1ShapeSIZeroRCPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed experiment")
+	}
+	res, err := RunE1(io.Discard, E1Config{
+		People: 200, Writers: 4, Checkers: 2, Duration: 700 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, rc := res[0], res[1]
+	if si.CheckTxns == 0 || rc.CheckTxns == 0 {
+		t.Fatalf("checkers did not run: %+v", res)
+	}
+	if si.UnrepeatableReads != 0 || si.PhantomReads != 0 {
+		t.Fatalf("SI exhibited anomalies: %+v", si)
+	}
+	if rc.UnrepeatableReads == 0 && rc.PhantomReads == 0 {
+		t.Fatalf("RC exhibited no anomalies under write load: %+v", rc)
+	}
+}
+
+func TestE2Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed experiment")
+	}
+	var buf bytes.Buffer
+	rows, err := RunE2(&buf, E2Config{
+		People: 300, Clients: []int{2}, Duration: 150 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DefaultMixes)*2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Result.Commits == 0 {
+			t.Fatalf("no commits in cell %+v", r)
+		}
+		if r.Result.Errors != 0 {
+			t.Fatalf("unexpected errors in cell %+v", r.Result)
+		}
+	}
+	if !strings.Contains(buf.String(), "E2") {
+		t.Fatal("missing table output")
+	}
+}
+
+func TestE3AbortsGrowWithSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed experiment")
+	}
+	rows, err := RunE3(io.Discard, E3Config{
+		People: 200, Clients: 8, Thetas: []float64{0, 1.2}, Duration: 300 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(theta float64, pol string) E3Row {
+		for _, r := range rows {
+			if r.Theta == theta && r.Policy == pol {
+				return r
+			}
+		}
+		t.Fatalf("missing cell %v/%s", theta, pol)
+		return E3Row{}
+	}
+	for _, pol := range []string{"FUW", "FCW"} {
+		lo, hi := get(0, pol), get(1.2, pol)
+		if hi.Result.AbortRate() < lo.Result.AbortRate() {
+			t.Errorf("%s: abort rate fell with skew: %.3f -> %.3f", pol, lo.Result.AbortRate(), hi.Result.AbortRate())
+		}
+	}
+	// FCW detects late: under high skew it wastes at least as many ops
+	// per abort as FUW (which cancels on the first conflicting update).
+	fuw, fcw := get(1.2, "FUW"), get(1.2, "FCW")
+	aborts := func(r E3Row) float64 {
+		a := r.Result.Conflicts + r.Result.Deadlocks
+		if a == 0 {
+			return 0
+		}
+		return float64(r.WastedOps) / float64(a)
+	}
+	if aborts(fcw) < aborts(fuw) {
+		t.Errorf("wasted ops per abort: FCW %.2f < FUW %.2f", aborts(fcw), aborts(fuw))
+	}
+}
+
+func TestE4ThreadedScansOnlyGarbage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sized experiment")
+	}
+	rows, err := RunE4(io.Discard, E4Config{
+		LiveEntities: []int{2_000, 20_000}, GarbageVersions: 1_000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var threaded, vacuum []E4Row
+	for _, r := range rows {
+		if r.Mode == "threaded" {
+			threaded = append(threaded, r)
+		} else {
+			vacuum = append(vacuum, r)
+		}
+	}
+	for _, r := range threaded {
+		if r.Collected != r.Garbage {
+			t.Errorf("threaded collected %d != garbage %d", r.Collected, r.Garbage)
+		}
+		if r.Scanned > r.Garbage+1 {
+			t.Errorf("threaded scanned %d > garbage+1 (cost not O(garbage))", r.Scanned)
+		}
+	}
+	// Vacuum scan cost grows with the live set at fixed garbage.
+	if len(vacuum) == 2 && vacuum[1].Scanned <= vacuum[0].Scanned {
+		t.Errorf("vacuum scanned did not grow with store: %d -> %d", vacuum[0].Scanned, vacuum[1].Scanned)
+	}
+	// Threaded scan cost does not.
+	if len(threaded) == 2 && threaded[1].Scanned > threaded[0].Scanned+1 {
+		t.Errorf("threaded scanned grew with store: %d -> %d", threaded[0].Scanned, threaded[1].Scanned)
+	}
+}
+
+func TestE5MemoryPinnedThenReleased(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sized experiment")
+	}
+	rows, err := RunE5(io.Discard, E5Config{HotNodes: 50, UpdatesPerStep: 200, Steps: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(rows)
+	if n < 3 {
+		t.Fatalf("rows = %d", n)
+	}
+	// Versions grow monotonically while the reader is active...
+	for i := 1; i < n-1; i++ {
+		if rows[i].Versions < rows[i-1].Versions {
+			t.Errorf("versions fell while reader active: %+v", rows)
+		}
+	}
+	// ...and collapse to the live set after it finishes.
+	last := rows[n-1]
+	if last.Phase != "reader-done" {
+		t.Fatalf("last phase = %s", last.Phase)
+	}
+	if last.Versions != 50 {
+		t.Errorf("versions after release = %d, want 50 (live set)", last.Versions)
+	}
+	if last.Backlog != 0 {
+		t.Errorf("backlog after release = %d", last.Backlog)
+	}
+}
+
+func TestE6IndexBeatsScanAtLowSelectivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sized experiment")
+	}
+	rows, err := RunE6(io.Discard, E6Config{Nodes: 5_000, Selectivities: []float64{0.01}, Lookups: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Hits == 0 {
+		t.Fatal("no hits")
+	}
+	if r.IndexTime >= r.ScanTime {
+		t.Errorf("index (%v) not faster than scan (%v) at selectivity 0.01", r.IndexTime, r.ScanTime)
+	}
+}
+
+func TestE7MergeExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sized experiment")
+	}
+	rows, err := RunE7(io.Discard, E7Config{BaseNodes: 500, WriteSetSizes: []int{0, 100}, Lookups: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].ResultSize != 500 || rows[1].ResultSize != 600 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestE8LatestOnlySmaller(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sized experiment")
+	}
+	res, err := RunE8(io.Discard, E8Config{Entities: 300, UpdatesPerNode: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecoveredNodes != res.Entities {
+		t.Fatalf("recovered %d of %d", res.RecoveredNodes, res.Entities)
+	}
+	if res.LatestOnlyBytes == 0 {
+		t.Fatal("nothing checkpointed")
+	}
+	// Paper's claim: persisting only the newest version writes a fraction
+	// of what the all-versions cache holds (≈ 1/versions).
+	if res.LatestOnlyBytes*2 >= res.AllVersionsBytes {
+		t.Fatalf("latest-only %d not << all-versions %d", res.LatestOnlyBytes, res.AllVersionsBytes)
+	}
+	if res.WALAfterCkpt > res.WALBeforeCkpt {
+		t.Fatalf("WAL grew across checkpoint: %d -> %d", res.WALBeforeCkpt, res.WALAfterCkpt)
+	}
+}
+
+func TestF1Prints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sized experiment")
+	}
+	var buf bytes.Buffer
+	if err := RunF1(&buf, 200, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"object cache", "persistent store", "neostore.nodes.db", "wal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F1 output missing %q", want)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "long-header"}}
+	tb.Add(1, 2.5)
+	tb.Add("xyz", time.Millisecond)
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	width := len(lines[0])
+	for _, l := range lines {
+		if len(l) != width {
+			t.Errorf("misaligned table:\n%s", buf.String())
+		}
+	}
+}
+
+func TestRunnerCounters(t *testing.T) {
+	var n atomic.Uint64
+	res := (&Runner{
+		Clients:  2,
+		Duration: 50 * time.Millisecond,
+		Op: func(c int, r *rand.Rand) error {
+			switch n.Add(1) % 3 {
+			case 0:
+				return neograph.ErrWriteConflict
+			case 1:
+				return errOther
+			default:
+				return nil
+			}
+		},
+	}).Run("counters")
+	if res.Commits == 0 || res.Conflicts == 0 || res.Errors == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if res.AbortRate() <= 0 || res.AbortRate() >= 1 {
+		t.Fatalf("abort rate = %f", res.AbortRate())
+	}
+}
+
+var errOther = errors.New("other")

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neograph"
+	"neograph/internal/workload"
+)
+
+// E1Config parameterises the anomaly experiment.
+type E1Config struct {
+	People   int           // graph size
+	Writers  int           // mutating clients
+	Checkers int           // anomaly-detecting clients per isolation level
+	Duration time.Duration // measurement window
+	Seed     int64
+}
+
+// E1Result counts observed anomalies per isolation level.
+type E1Result struct {
+	Isolation         string
+	CheckTxns         uint64
+	UnrepeatableReads uint64
+	PhantomReads      uint64
+}
+
+// RunE1 reproduces the paper's §1 claim: read committed exhibits
+// unrepeatable reads and phantoms; snapshot isolation exhibits neither.
+//
+// Writers continuously flip a property on random Person nodes and toggle
+// membership of the "Flagged" label. Checkers run transactions that (a)
+// read one node's property twice and (b) evaluate the predicate "nodes
+// labelled Flagged" twice, counting any difference as an anomaly.
+func RunE1(w io.Writer, cfg E1Config) ([2]E1Result, error) {
+	if cfg.People <= 0 {
+		cfg.People = 500
+	}
+	if cfg.Writers <= 0 {
+		cfg.Writers = 4
+	}
+	if cfg.Checkers <= 0 {
+		cfg.Checkers = 2
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	db, err := neograph.Open(neograph.Options{})
+	if err != nil {
+		return [2]E1Result{}, err
+	}
+	defer db.Close()
+	g, err := workload.BuildSocial(db, workload.SocialConfig{People: cfg.People, AvgFriends: 2, Seed: cfg.Seed})
+	if err != nil {
+		return [2]E1Result{}, err
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writers.
+	for i := 0; i < cfg.Writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := g.People[r.Intn(len(g.People))]
+				_ = db.Update(0, func(tx *neograph.Tx) error {
+					if err := tx.SetNodeProp(id, "balance", neograph.Int(r.Int63n(10000))); err != nil {
+						return err
+					}
+					if r.Intn(2) == 0 {
+						return tx.AddLabel(id, "Flagged")
+					}
+					return tx.RemoveLabel(id, "Flagged")
+				})
+			}
+		}(i)
+	}
+
+	check := func(level string, begin func() *neograph.Tx, res *E1Result) {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(cfg.Seed ^ 0x5ee))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := begin()
+			id := g.People[r.Intn(len(g.People))]
+			n1, err1 := tx.GetNode(id)
+			set1, errP1 := tx.NodesByLabel("Flagged")
+			// Give writers a window to commit between the two reads.
+			time.Sleep(time.Millisecond)
+			n2, err2 := tx.GetNode(id)
+			set2, errP2 := tx.NodesByLabel("Flagged")
+			tx.Abort()
+			if err1 != nil || err2 != nil || errP1 != nil || errP2 != nil {
+				continue
+			}
+			atomic.AddUint64(&res.CheckTxns, 1)
+			v1, _ := n1.Props["balance"].AsInt()
+			v2, _ := n2.Props["balance"].AsInt()
+			if v1 != v2 {
+				atomic.AddUint64(&res.UnrepeatableReads, 1)
+			}
+			if !sameIDSet(set1, set2) {
+				atomic.AddUint64(&res.PhantomReads, 1)
+			}
+		}
+	}
+
+	results := [2]E1Result{{Isolation: "snapshot-isolation"}, {Isolation: "read-committed"}}
+	for i := 0; i < cfg.Checkers; i++ {
+		wg.Add(2)
+		go check("si", func() *neograph.Tx { return db.BeginIsolation(neograph.SnapshotIsolation) }, &results[0])
+		go check("rc", func() *neograph.Tx { return db.BeginIsolation(neograph.ReadCommitted) }, &results[1])
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+
+	if w != nil {
+		section(w, "E1", "anomalies under RC vs SI (paper §1)")
+		t := &Table{Headers: []string{"isolation", "check txns", "unrepeatable reads", "phantom reads"}}
+		for _, r := range results {
+			t.Add(r.Isolation, r.CheckTxns, r.UnrepeatableReads, r.PhantomReads)
+		}
+		t.Print(w)
+		fmt.Fprintln(w, "expected shape: SI rows are zero; RC rows are non-zero under write load")
+	}
+	return results, nil
+}
+
+func sameIDSet(a, b []neograph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"neograph"
+	"neograph/internal/workload"
+)
+
+// E2Config parameterises the throughput comparison.
+type E2Config struct {
+	People   int
+	Clients  []int // client counts to sweep
+	Duration time.Duration
+	Seed     int64
+}
+
+// Mix is a read/write transaction mix.
+type Mix struct {
+	Name     string
+	ReadFrac float64 // probability a transaction is read-only
+}
+
+// DefaultMixes are the three mixes from DESIGN.md's E2 row.
+var DefaultMixes = []Mix{
+	{"read-heavy 90/10", 0.9},
+	{"balanced 50/50", 0.5},
+	{"write-heavy 10/90", 0.1},
+}
+
+// E2Row is one measured cell.
+type E2Row struct {
+	Mix       string
+	Clients   int
+	Isolation string
+	Result    Result
+}
+
+// RunE2 measures committed-transactions-per-second for SI versus the RC
+// baseline across client counts and mixes. The paper's claim (§1/§4):
+// removing short read locks means SI readers never block, so SI
+// dominates as the write fraction grows.
+func RunE2(w io.Writer, cfg E2Config) ([]E2Row, error) {
+	if cfg.People <= 0 {
+		cfg.People = 2000
+	}
+	if len(cfg.Clients) == 0 {
+		cfg.Clients = []int{1, 4, 16}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 500 * time.Millisecond
+	}
+
+	var rows []E2Row
+	for _, mix := range DefaultMixes {
+		for _, clients := range cfg.Clients {
+			for _, iso := range []struct {
+				name  string
+				level func(*neograph.DB) *neograph.Tx
+			}{
+				{"SI", func(db *neograph.DB) *neograph.Tx { return db.BeginIsolation(neograph.SnapshotIsolation) }},
+				{"RC", func(db *neograph.DB) *neograph.Tx { return db.BeginIsolation(neograph.ReadCommitted) }},
+			} {
+				db, err := neograph.Open(neograph.Options{})
+				if err != nil {
+					return nil, err
+				}
+				g, err := workload.BuildSocial(db, workload.SocialConfig{People: cfg.People, AvgFriends: 3, Seed: cfg.Seed})
+				if err != nil {
+					db.Close()
+					return nil, err
+				}
+				begin := iso.level
+				op := func(c int, r *rand.Rand) error {
+					tx := begin(db)
+					var err error
+					if r.Float64() < mix.ReadFrac {
+						// Read transaction: point reads plus a 1-hop traversal.
+						for k := 0; k < 3 && err == nil; k++ {
+							_, err = tx.GetNode(g.People[r.Intn(len(g.People))])
+						}
+						if err == nil {
+							_, err = tx.Relationships(g.People[r.Intn(len(g.People))], neograph.Both)
+						}
+						tx.Abort() // read-only
+						return err
+					}
+					// Write transaction: one property update.
+					err = tx.SetNodeProp(g.People[r.Intn(len(g.People))], "balance", neograph.Int(r.Int63n(1<<20)))
+					if err != nil {
+						tx.Abort()
+						return err
+					}
+					return tx.Commit()
+				}
+				res := (&Runner{Clients: clients, Duration: cfg.Duration, Seed: cfg.Seed, Op: op}).
+					Run(fmt.Sprintf("%s/%d/%s", mix.Name, clients, iso.name))
+				rows = append(rows, E2Row{Mix: mix.Name, Clients: clients, Isolation: iso.name, Result: res})
+				db.Close()
+			}
+		}
+	}
+
+	if w != nil {
+		section(w, "E2", "throughput, SI vs RC (paper §1/§4: no read locks under SI)")
+		t := &Table{Headers: []string{"mix", "clients", "isolation", "txn/s", "abort rate", "p50", "p95"}}
+		for _, r := range rows {
+			t.Add(r.Mix, r.Clients, r.Isolation, r.Result.Throughput(), r.Result.AbortRate(), r.Result.P50, r.Result.P95)
+		}
+		t.Print(w)
+		fmt.Fprintln(w, "expected shape: SI >= RC, gap widening with write fraction and clients")
+	}
+	return rows, nil
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"neograph"
+)
+
+// E5Config parameterises the long-running-reader experiment.
+type E5Config struct {
+	HotNodes       int // nodes being updated
+	UpdatesPerStep int // committed updates between samples
+	Steps          int // samples while the reader is alive
+	Seed           int64
+}
+
+// E5Row is one sample of version accumulation.
+type E5Row struct {
+	Phase    string
+	Step     int
+	Versions int
+	Bytes    int
+	Backlog  int
+}
+
+// RunE5 shows the cost model of §3's horizon rule: while an old
+// transaction is active, superseded versions cannot be collected and
+// memory grows linearly with update volume; the moment the reader
+// finishes, one GC run reclaims the whole backlog.
+func RunE5(w io.Writer, cfg E5Config) ([]E5Row, error) {
+	if cfg.HotNodes <= 0 {
+		cfg.HotNodes = 100
+	}
+	if cfg.UpdatesPerStep <= 0 {
+		cfg.UpdatesPerStep = 1000
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 5
+	}
+	db, err := neograph.Open(neograph.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	nodes := make([]neograph.NodeID, cfg.HotNodes)
+	err = db.Update(0, func(tx *neograph.Tx) error {
+		for i := range nodes {
+			nodes[i], err = tx.CreateNode(nil, neograph.Props{"v": neograph.Int(0)})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []E5Row
+	sample := func(phase string, step int) {
+		versions, _ := db.VersionCount()
+		rows = append(rows, E5Row{
+			Phase: phase, Step: step,
+			Versions: versions, Bytes: db.VersionBytes(), Backlog: db.GCBacklog(),
+		})
+	}
+
+	longReader := db.Begin() // pins the horizon
+	if _, err := longReader.GetNode(nodes[0]); err != nil {
+		return nil, err
+	}
+	sample("reader-active", 0)
+	for step := 1; step <= cfg.Steps; step++ {
+		for u := 0; u < cfg.UpdatesPerStep; u++ {
+			id := nodes[u%len(nodes)]
+			if err := db.Update(0, func(tx *neograph.Tx) error {
+				return tx.SetNodeProp(id, "v", neograph.Int(int64(u)))
+			}); err != nil {
+				return nil, err
+			}
+		}
+		db.RunGC() // must reclaim ~nothing: the reader pins the horizon
+		sample("reader-active", step)
+	}
+	// Reader finishes: one GC run drains the backlog.
+	longReader.Abort()
+	db.RunGC()
+	sample("reader-done", cfg.Steps+1)
+
+	if w != nil {
+		section(w, "E5", "version accumulation under a long-running transaction (paper §3)")
+		t := &Table{Headers: []string{"phase", "step", "cached versions", "version bytes", "gc backlog"}}
+		for _, r := range rows {
+			t.Add(r.Phase, r.Step, r.Versions, r.Bytes, r.Backlog)
+		}
+		t.Print(w)
+		fmt.Fprintln(w, "expected shape: versions/bytes grow ~linearly per step while the reader lives,")
+		fmt.Fprintln(w, "then collapse to the live set after it finishes")
+	}
+	return rows, nil
+}

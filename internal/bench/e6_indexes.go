@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"neograph"
+)
+
+// E6Config parameterises the versioned-index experiment.
+type E6Config struct {
+	Nodes         int
+	Selectivities []float64 // fraction of nodes carrying the probed label
+	Lookups       int       // lookups per measurement
+	Seed          int64
+}
+
+// E6Row is one measured cell.
+type E6Row struct {
+	Selectivity float64
+	Hits        int
+	IndexTime   time.Duration // per lookup
+	ScanTime    time.Duration // per lookup
+}
+
+// RunE6 measures the versioned label index (§4) against the full-scan
+// baseline, across selectivities. The snapshot filtering is exercised by
+// interleaving label flips so the index holds dead entries that lookups
+// must skip.
+func RunE6(w io.Writer, cfg E6Config) ([]E6Row, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 20_000
+	}
+	if len(cfg.Selectivities) == 0 {
+		cfg.Selectivities = []float64{0.001, 0.01, 0.1}
+	}
+	if cfg.Lookups <= 0 {
+		cfg.Lookups = 20
+	}
+
+	var rows []E6Row
+	for _, sel := range cfg.Selectivities {
+		db, err := neograph.Open(neograph.Options{})
+		if err != nil {
+			return nil, err
+		}
+		label := "Hot"
+		want := int(float64(cfg.Nodes) * sel)
+		if want < 1 {
+			want = 1
+		}
+		const batch = 1024
+		made := 0
+		for made < cfg.Nodes {
+			n := minInt(batch, cfg.Nodes-made)
+			base := made
+			err := db.Update(0, func(tx *neograph.Tx) error {
+				for i := 0; i < n; i++ {
+					labels := []string{"Node"}
+					if (base+i)%(cfg.Nodes/want+1) == 0 {
+						labels = append(labels, label)
+					}
+					if _, err := tx.CreateNode(labels, neograph.Props{"i": neograph.Int(int64(base + i))}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			made += n
+		}
+		// Churn: flip the label on some nodes so dead index entries exist.
+		db.Update(0, func(tx *neograph.Tx) error {
+			hits, err := tx.NodesByLabel(label)
+			if err != nil {
+				return err
+			}
+			for i, id := range hits {
+				if i%3 == 0 {
+					if err := tx.RemoveLabel(id, label); err != nil {
+						return err
+					}
+					if err := tx.AddLabel(id, label); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+
+		var hits int
+		var indexPer, scanPer time.Duration
+		err = db.View(func(tx *neograph.Tx) error {
+			t0 := time.Now()
+			var got []neograph.NodeID
+			for i := 0; i < cfg.Lookups; i++ {
+				var err error
+				got, err = tx.NodesByLabel(label)
+				if err != nil {
+					return err
+				}
+			}
+			indexPer = time.Since(t0) / time.Duration(cfg.Lookups)
+			hits = len(got)
+
+			t0 = time.Now()
+			var scanned []neograph.NodeID
+			for i := 0; i < cfg.Lookups; i++ {
+				scanned = scanned[:0]
+				all, err := tx.AllNodes()
+				if err != nil {
+					return err
+				}
+				for _, id := range all {
+					has, err := tx.HasLabel(id, label)
+					if err != nil {
+						return err
+					}
+					if has {
+						scanned = append(scanned, id)
+					}
+				}
+			}
+			scanPer = time.Since(t0) / time.Duration(cfg.Lookups)
+			if len(scanned) != hits {
+				return fmt.Errorf("bench: index (%d) and scan (%d) disagree", hits, len(scanned))
+			}
+			return nil
+		})
+		db.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, E6Row{Selectivity: sel, Hits: hits, IndexTime: indexPer, ScanTime: scanPer})
+	}
+
+	if w != nil {
+		section(w, "E6", "versioned label index vs full scan (paper §4)")
+		t := &Table{Headers: []string{"selectivity", "hits", "index/lookup", "scan/lookup", "speedup"}}
+		for _, r := range rows {
+			sp := float64(r.ScanTime) / float64(maxInt64(int64(r.IndexTime), 1))
+			t.Add(fmt.Sprintf("%.3f", r.Selectivity), r.Hits, r.IndexTime, r.ScanTime, sp)
+		}
+		t.Print(w)
+		fmt.Fprintln(w, "expected shape: index wins at low selectivity; gap narrows as selectivity -> 1")
+	}
+	return rows, nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

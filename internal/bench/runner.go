@@ -1,0 +1,193 @@
+// Package bench implements the experiment harness: a multi-client
+// transaction runner with throughput/latency/abort accounting, and one
+// driver per experiment in DESIGN.md's index (E1–E8, F1). Each driver
+// prints the table EXPERIMENTS.md records and returns structured results
+// so tests can assert the claimed shape.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neograph"
+)
+
+// Op is one client operation: it runs a whole transaction (including
+// commit/abort) and reports the outcome through its error:
+// nil = committed; ErrWriteConflict / ErrDeadlock = aborted by CC.
+type Op func(client int, r *rand.Rand) error
+
+// Result summarises one runner execution.
+type Result struct {
+	Name      string
+	Clients   int
+	Elapsed   time.Duration
+	Commits   uint64
+	Conflicts uint64
+	Deadlocks uint64
+	Errors    uint64
+	P50, P95  time.Duration
+}
+
+// Throughput returns committed transactions per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Commits) / r.Elapsed.Seconds()
+}
+
+// AbortRate returns the fraction of attempts aborted by concurrency
+// control.
+func (r Result) AbortRate() float64 {
+	total := r.Commits + r.Conflicts + r.Deadlocks
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Conflicts+r.Deadlocks) / float64(total)
+}
+
+// Runner drives Clients goroutines executing Op for Duration.
+type Runner struct {
+	Clients  int
+	Duration time.Duration
+	Seed     int64
+	Op       Op
+}
+
+// Run executes the workload and aggregates counters.
+func (rn *Runner) Run(name string) Result {
+	var commits, conflicts, deadlocks, errs atomic.Uint64
+	var latMu sync.Mutex
+	var lats []time.Duration
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < rn.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(rn.Seed + int64(c)*7919))
+			var local []time.Duration
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					latMu.Lock()
+					lats = append(lats, local...)
+					latMu.Unlock()
+					return
+				default:
+				}
+				t0 := time.Now()
+				err := rn.Op(c, r)
+				if i%8 == 0 { // sample 1/8 of latencies
+					local = append(local, time.Since(t0))
+				}
+				switch {
+				case err == nil:
+					commits.Add(1)
+				case errors.Is(err, neograph.ErrWriteConflict):
+					conflicts.Add(1)
+				case errors.Is(err, neograph.ErrDeadlock):
+					deadlocks.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(rn.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	return Result{
+		Name:    name,
+		Clients: rn.Clients,
+		Elapsed: elapsed,
+		Commits: commits.Load(), Conflicts: conflicts.Load(),
+		Deadlocks: deadlocks.Load(), Errors: errs.Load(),
+		P50: pct(0.50), P95: pct(0.95),
+	}
+}
+
+// Table renders aligned text tables for the experiment reports.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row; cells are Sprint-ed.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Print writes the table to w.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "| "+strings.Join(parts, " | ")+" |")
+	}
+	line(t.Headers)
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// section prints an experiment banner.
+func section(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", id, title)
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"neograph/internal/ids"
+	"neograph/internal/lock"
+	"neograph/internal/mvcc"
+	"neograph/internal/value"
+)
+
+// mutation is the neutral form of one entity change: what a commit
+// installs, what the WAL records, and what recovery replays.
+type mutation struct {
+	key     entKey
+	created bool
+	deleted bool
+	node    *NodeState // nodes: state (for tombstones, the last live state)
+	rel     *RelState  // relationships: likewise
+}
+
+// Commit makes the transaction's writes visible atomically at a fresh
+// commit timestamp and durable through the WAL.
+func (t *Tx) Commit() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	defer t.cleanup()
+
+	muts := t.mutations()
+	if len(muts) == 0 {
+		t.e.stats.committed.Add(1)
+		return nil
+	}
+
+	// First-committer-wins validation: under the commit latch, every
+	// non-created write must still derive from the chain head — any newer
+	// committed version means a concurrent updater won.
+	if t.iso == SnapshotIsolation && t.e.opts.Conflict == FirstCommitterWins {
+		t.e.commitMu.Lock()
+		defer t.e.commitMu.Unlock()
+		for _, w := range t.writes {
+			if w.created {
+				// Relationship creations validate endpoint liveness.
+				if w.rel != nil && !w.deleted {
+					for _, n := range []ids.ID{w.rel.Start, w.rel.End} {
+						if err := t.validateEndpointAlive(n); err != nil {
+							t.e.stats.conflicts.Add(1)
+							t.abortStaged()
+							return err
+						}
+					}
+				}
+				continue
+			}
+			o := t.e.getObject(w.key)
+			if o == nil || o.chain.Head() != w.base {
+				t.e.stats.conflicts.Add(1)
+				t.abortStaged()
+				return fmt.Errorf("%w: %s modified by concurrent transaction (first-committer-wins)",
+					ErrWriteConflict, fmtKey(w.key))
+			}
+		}
+	}
+
+	cts := t.e.oracle.BeginCommit()
+
+	// Durability: the redo record precedes installation (write-ahead).
+	if t.e.store != nil {
+		t.e.commitGate.RLock()
+		payload := encodeCommit(cts, muts)
+		if _, err := t.e.wal.Append(payload); err != nil {
+			t.e.commitGate.RUnlock()
+			t.e.oracle.AbortCommit(cts)
+			t.abortStaged()
+			return fmt.Errorf("core: wal append: %w", err)
+		}
+		if !t.e.opts.NoSyncCommits {
+			if err := t.e.wal.Sync(); err != nil {
+				t.e.commitGate.RUnlock()
+				t.e.oracle.AbortCommit(cts)
+				t.abortStaged()
+				return fmt.Errorf("core: wal sync: %w", err)
+			}
+		}
+	}
+
+	keys := make([]entKey, 0, len(muts))
+	for _, m := range muts {
+		t.e.install(m, cts)
+		keys = append(keys, m.key)
+	}
+	t.e.markDirty(keys)
+	if t.e.store != nil {
+		t.e.commitGate.RUnlock()
+	}
+
+	t.e.oracle.FinishCommit(cts)
+	t.commitTS = cts
+	t.e.stats.committed.Add(1)
+	return nil
+}
+
+// validateEndpointAlive checks (under the FCW commit latch) that a
+// relationship endpoint is still live at commit time.
+func (t *Tx) validateEndpointAlive(node ids.ID) error {
+	if w, ok := t.writes[entKey{lock.KindNode, node}]; ok {
+		if w.deleted {
+			return fmt.Errorf("%w: endpoint node %d deleted", ErrNotFound, node)
+		}
+		return nil
+	}
+	o := t.e.getObject(entKey{lock.KindNode, node})
+	if o == nil {
+		return fmt.Errorf("%w: endpoint node %d", ErrNotFound, node)
+	}
+	head := o.chain.Head()
+	if head == nil || head.Deleted {
+		return fmt.Errorf("%w: endpoint node %d deleted by concurrent transaction", ErrWriteConflict, node)
+	}
+	return nil
+}
+
+// mutations converts the write set to install order, dropping writes that
+// cancelled out (created then deleted in the same transaction).
+func (t *Tx) mutations() []mutation {
+	out := make([]mutation, 0, len(t.order))
+	for _, k := range t.order {
+		w := t.writes[k]
+		if w.created && w.deleted {
+			continue
+		}
+		m := mutation{key: w.key, created: w.created, deleted: w.deleted}
+		if w.deleted {
+			// Tombstones carry the last live state so the checkpointer can
+			// persist a complete deleted image (paper §4: tombstones are
+			// kept until no active transaction can read an older version).
+			switch {
+			case w.node != nil:
+				m.node = w.node
+			case w.rel != nil:
+				m.rel = w.rel
+			case w.base != nil && k.kind == lock.KindNode:
+				m.node = w.base.Data.(*NodeState)
+			case w.base != nil:
+				m.rel = w.base.Data.(*RelState)
+			}
+		} else {
+			m.node, m.rel = w.node, w.rel
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Abort discards the transaction's staged writes and releases its locks
+// and snapshot registration.
+func (t *Tx) Abort() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	t.abortStaged()
+	t.cleanup()
+	t.e.stats.aborted.Add(1)
+	return nil
+}
+
+// abortStaged returns IDs allocated for created-but-never-committed
+// entities.
+func (t *Tx) abortStaged() {
+	for k, w := range t.writes {
+		if !w.created {
+			continue
+		}
+		if k.kind == lock.KindNode {
+			t.e.releaseNodeID(k.id)
+		} else {
+			t.e.releaseRelID(k.id)
+		}
+	}
+}
+
+// cleanup releases long locks and the snapshot registration.
+func (t *Tx) cleanup() {
+	t.e.locks.ReleaseAll(t.id)
+	if t.iso == SnapshotIsolation {
+		t.e.active.Unregister(t.id)
+	}
+}
+
+// install applies one mutation to the object cache, adjacency, indexes
+// and GC bookkeeping at commit timestamp cts. Also used by recovery.
+func (e *Engine) install(m mutation, cts mvcc.TS) {
+	o := e.ensureObject(m.key)
+
+	// Snapshot the previous head state for the index diff.
+	var oldNode *NodeState
+	var oldRel *RelState
+	if head := o.chain.Head(); head != nil && !head.Deleted {
+		switch m.key.kind {
+		case lock.KindNode:
+			oldNode = head.Data.(*NodeState)
+		case lock.KindRel:
+			oldRel = head.Data.(*RelState)
+		}
+	}
+
+	v := &mvcc.Version{CommitTS: cts, Deleted: m.deleted}
+	switch m.key.kind {
+	case lock.KindNode:
+		v.Data = m.node
+	case lock.KindRel:
+		v.Data = m.rel
+	}
+	superseded := o.chain.Install(v)
+	if e.opts.GCMode == GCThreaded {
+		if superseded != nil {
+			e.gcList.Add(superseded)
+		}
+		if m.deleted {
+			// The tombstone becomes collectable at its own timestamp.
+			v.SupersededAt = cts
+			e.gcList.Add(v)
+		}
+	}
+
+	// Adjacency: a created relationship attaches to both endpoints.
+	if m.key.kind == lock.KindRel && m.created && m.rel != nil {
+		o.start, o.end = m.rel.Start, m.rel.End
+		e.addAdjacency(m.rel.Start, m.key.id)
+		if m.rel.End != m.rel.Start {
+			e.addAdjacency(m.rel.End, m.key.id)
+		}
+	}
+
+	// Versioned index maintenance (§4): diff old state against new.
+	switch m.key.kind {
+	case lock.KindNode:
+		e.indexNodeDiff(m.key.id, oldNode, liveNode(m), cts)
+	case lock.KindRel:
+		e.indexRelDiff(m.key.id, oldRel, liveRel(m), cts)
+	}
+}
+
+func liveNode(m mutation) *NodeState {
+	if m.deleted {
+		return nil
+	}
+	return m.node
+}
+
+func liveRel(m mutation) *RelState {
+	if m.deleted {
+		return nil
+	}
+	return m.rel
+}
+
+// indexNodeDiff updates the label and node-property indexes for a node
+// transition old → new at commit timestamp cts (nil means absent/dead).
+func (e *Engine) indexNodeDiff(id ids.ID, old, new *NodeState, cts mvcc.TS) {
+	var oldLabels []string
+	var oldProps value.Map
+	if old != nil {
+		oldLabels, oldProps = old.Labels, old.Props
+	}
+	var newLabels []string
+	var newProps value.Map
+	if new != nil {
+		newLabels, newProps = new.Labels, new.Props
+	}
+	for _, l := range oldLabels {
+		if new == nil || !hasLabel(newLabels, l) {
+			e.labelIdx.Remove(e.tok.get(tokLabel, l), id, cts)
+		}
+	}
+	for _, l := range newLabels {
+		if old == nil || !hasLabel(oldLabels, l) {
+			e.labelIdx.Add(e.tok.get(tokLabel, l), id, cts)
+		}
+	}
+	for k, ov := range oldProps {
+		nv, ok := newProps[k]
+		if !ok || !nv.Equal(ov) {
+			e.nodePropIdx.Remove(e.tok.get(tokPropKey, k), ov, id, cts)
+		}
+	}
+	for k, nv := range newProps {
+		ov, ok := oldProps[k]
+		if !ok || !ov.Equal(nv) {
+			e.nodePropIdx.Add(e.tok.get(tokPropKey, k), nv, id, cts)
+		}
+	}
+}
+
+// indexRelDiff updates the relationship property index.
+func (e *Engine) indexRelDiff(id ids.ID, old, new *RelState, cts mvcc.TS) {
+	var oldProps, newProps value.Map
+	if old != nil {
+		oldProps = old.Props
+	}
+	if new != nil {
+		newProps = new.Props
+	}
+	for k, ov := range oldProps {
+		nv, ok := newProps[k]
+		if !ok || !nv.Equal(ov) {
+			e.relPropIdx.Remove(e.tok.get(tokPropKey, k), ov, id, cts)
+		}
+	}
+	for k, nv := range newProps {
+		ov, ok := oldProps[k]
+		if !ok || !ov.Equal(nv) {
+			e.relPropIdx.Add(e.tok.get(tokPropKey, k), nv, id, cts)
+		}
+	}
+}
+
+// ---- WAL commit-record codec ----
+
+// Record type tags.
+const (
+	recCommit     = 'C'
+	recCheckpoint = 'K'
+)
+
+// encodeCommit renders a commit record: tag, timestamp, mutation list.
+func encodeCommit(cts mvcc.TS, muts []mutation) []byte {
+	buf := make([]byte, 0, 64*len(muts)+16)
+	buf = append(buf, recCommit)
+	buf = binary.LittleEndian.AppendUint64(buf, cts)
+	buf = binary.AppendUvarint(buf, uint64(len(muts)))
+	for _, m := range muts {
+		var kind byte
+		if m.key.kind == lock.KindRel {
+			kind = 1
+		}
+		buf = append(buf, kind)
+		buf = binary.LittleEndian.AppendUint64(buf, m.key.id)
+		var flags byte
+		if m.created {
+			flags |= 1
+		}
+		if m.deleted {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		switch m.key.kind {
+		case lock.KindNode:
+			st := m.node
+			if st == nil {
+				st = &NodeState{}
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(st.Labels)))
+			for _, l := range st.Labels {
+				buf = binary.AppendUvarint(buf, uint64(len(l)))
+				buf = append(buf, l...)
+			}
+			buf = value.AppendMap(buf, st.Props)
+		case lock.KindRel:
+			st := m.rel
+			if st == nil {
+				st = &RelState{}
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(st.Type)))
+			buf = append(buf, st.Type...)
+			buf = binary.LittleEndian.AppendUint64(buf, st.Start)
+			buf = binary.LittleEndian.AppendUint64(buf, st.End)
+			buf = value.AppendMap(buf, st.Props)
+		}
+	}
+	return buf
+}
+
+// encodeCheckpoint renders a checkpoint record at watermark w.
+func encodeCheckpoint(w mvcc.TS) []byte {
+	buf := make([]byte, 0, 9)
+	buf = append(buf, recCheckpoint)
+	return binary.LittleEndian.AppendUint64(buf, w)
+}
+
+// decodeCommit parses a commit record. Returns the commit timestamp and
+// mutations.
+func decodeCommit(payload []byte) (mvcc.TS, []mutation, error) {
+	if len(payload) < 9 || payload[0] != recCommit {
+		return 0, nil, fmt.Errorf("core: not a commit record")
+	}
+	cts := binary.LittleEndian.Uint64(payload[1:])
+	off := 9
+	n, sz := binary.Uvarint(payload[off:])
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("core: corrupt commit record (count)")
+	}
+	off += sz
+	if n > uint64(len(payload)) {
+		return 0, nil, fmt.Errorf("core: corrupt commit record (absurd count %d)", n)
+	}
+	muts := make([]mutation, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if off+10 > len(payload) {
+			return 0, nil, fmt.Errorf("core: corrupt commit record (header)")
+		}
+		var m mutation
+		if payload[off] == 1 {
+			m.key.kind = lock.KindRel
+		} else {
+			m.key.kind = lock.KindNode
+		}
+		m.key.id = binary.LittleEndian.Uint64(payload[off+1:])
+		flags := payload[off+9]
+		m.created = flags&1 != 0
+		m.deleted = flags&2 != 0
+		off += 10
+		switch m.key.kind {
+		case lock.KindNode:
+			nl, sz := binary.Uvarint(payload[off:])
+			if sz <= 0 || nl > uint64(len(payload)) {
+				return 0, nil, fmt.Errorf("core: corrupt commit record (labels)")
+			}
+			off += sz
+			st := &NodeState{}
+			for j := uint64(0); j < nl; j++ {
+				ll, sz := binary.Uvarint(payload[off:])
+				if sz <= 0 || off+sz+int(ll) > len(payload) {
+					return 0, nil, fmt.Errorf("core: corrupt commit record (label)")
+				}
+				off += sz
+				st.Labels = append(st.Labels, string(payload[off:off+int(ll)]))
+				off += int(ll)
+			}
+			props, consumed, err := value.DecodeMap(payload[off:])
+			if err != nil {
+				return 0, nil, fmt.Errorf("core: corrupt commit record: %w", err)
+			}
+			off += consumed
+			st.Props = props
+			m.node = st
+		case lock.KindRel:
+			tl, sz := binary.Uvarint(payload[off:])
+			if sz <= 0 || off+sz+int(tl) > len(payload) {
+				return 0, nil, fmt.Errorf("core: corrupt commit record (type)")
+			}
+			off += sz
+			st := &RelState{Type: string(payload[off : off+int(tl)])}
+			off += int(tl)
+			if off+16 > len(payload) {
+				return 0, nil, fmt.Errorf("core: corrupt commit record (endpoints)")
+			}
+			st.Start = binary.LittleEndian.Uint64(payload[off:])
+			st.End = binary.LittleEndian.Uint64(payload[off+8:])
+			off += 16
+			props, consumed, err := value.DecodeMap(payload[off:])
+			if err != nil {
+				return 0, nil, fmt.Errorf("core: corrupt commit record: %w", err)
+			}
+			off += consumed
+			st.Props = props
+			m.rel = st
+		}
+		muts = append(muts, m)
+	}
+	return cts, muts, nil
+}

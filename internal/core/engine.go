@@ -1,0 +1,516 @@
+// Package core implements the paper's contribution: a multi-version
+// object cache over the persistent store that provides snapshot isolation
+// for a Neo4j-style graph database.
+//
+// Every node and relationship is represented in the object cache by a
+// version chain (internal/mvcc). Transactions read the version visible at
+// their start timestamp, stage writes privately, detect write-write
+// conflicts through long write locks with a first-updater-wins policy
+// (first-committer-wins and the read-committed baseline are selectable),
+// and install new versions at commit. Superseded versions are threaded
+// onto a global timestamp-sorted list so garbage collection touches only
+// garbage; the persistent store receives only the newest committed
+// version of each entity, written back by a checkpointer behind a
+// write-ahead log.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neograph/internal/ids"
+	"neograph/internal/index"
+	"neograph/internal/lock"
+	"neograph/internal/mvcc"
+	"neograph/internal/store"
+	"neograph/internal/value"
+	"neograph/internal/wal"
+)
+
+// IsolationLevel selects how a transaction reads and locks.
+type IsolationLevel uint8
+
+// Isolation levels.
+const (
+	// SnapshotIsolation is the paper's contribution: reads from the
+	// transaction's start-timestamp snapshot, no read locks, write-write
+	// conflict detection.
+	SnapshotIsolation IsolationLevel = iota
+	// ReadCommitted is Neo4j's native level, the baseline: short read
+	// locks on the newest committed version, long (blocking) write locks,
+	// no snapshot — exhibits unrepeatable reads and phantoms.
+	ReadCommitted
+)
+
+func (l IsolationLevel) String() string {
+	if l == ReadCommitted {
+		return "read-committed"
+	}
+	return "snapshot-isolation"
+}
+
+// ConflictPolicy selects how write-write conflicts are resolved under
+// snapshot isolation (paper §3).
+type ConflictPolicy uint8
+
+// Conflict policies.
+const (
+	// FirstUpdaterWins aborts the second transaction to update an entity
+	// at the moment it tries (no-wait write locks) — the paper's choice.
+	FirstUpdaterWins ConflictPolicy = iota
+	// FirstCommitterWins lets both update privately and aborts the one
+	// that validates second at commit.
+	FirstCommitterWins
+)
+
+func (p ConflictPolicy) String() string {
+	if p == FirstCommitterWins {
+		return "first-committer-wins"
+	}
+	return "first-updater-wins"
+}
+
+// GCMode selects the version garbage collector.
+type GCMode uint8
+
+// GC modes.
+const (
+	// GCThreaded uses the paper's global timestamp-sorted doubly-linked
+	// list: collection cost is proportional to garbage collected.
+	GCThreaded GCMode = iota
+	// GCVacuum scans every version chain in the cache, PostgreSQL
+	// VACUUM-style: cost proportional to the whole store. The baseline
+	// for experiment E4.
+	GCVacuum
+)
+
+func (m GCMode) String() string {
+	if m == GCVacuum {
+		return "vacuum"
+	}
+	return "threaded"
+}
+
+// Errors returned by the engine.
+var (
+	ErrNotFound      = errors.New("core: entity not found")
+	ErrWriteConflict = errors.New("core: write-write conflict")
+	ErrTxDone        = errors.New("core: transaction already finished")
+	ErrHasRels       = errors.New("core: node still has relationships")
+	ErrClosed        = errors.New("core: engine closed")
+	// ErrDeadlock re-exports the lock manager's deadlock error for the
+	// read-committed baseline's blocking locks.
+	ErrDeadlock = lock.ErrDeadlock
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Dir is the store directory. Empty means a purely in-memory engine:
+	// no persistent store, no WAL (used by concurrency benchmarks).
+	Dir string
+	// DefaultIsolation applies to transactions begun without an explicit
+	// level. Default SnapshotIsolation.
+	DefaultIsolation IsolationLevel
+	// Conflict selects FUW (default) or FCW for SI transactions.
+	Conflict ConflictPolicy
+	// NoSyncCommits disables the per-commit WAL fsync (the zero Options
+	// value is durable). Benchmarks measuring CPU cost rather than disk
+	// latency set this.
+	NoSyncCommits bool
+	// GCMode selects the collector. Default GCThreaded.
+	GCMode GCMode
+	// GCEvery runs the collector periodically; zero means manual RunGC.
+	GCEvery time.Duration
+	// CheckpointEvery drives the checkpointer; zero means manual.
+	CheckpointEvery time.Duration
+	// StoreCachePages is the page-cache capacity per store file.
+	StoreCachePages int
+}
+
+// Stats are cumulative engine counters.
+type Stats struct {
+	Begun           uint64
+	Committed       uint64
+	Aborted         uint64
+	WriteConflicts  uint64
+	Deadlocks       uint64
+	GCRuns          uint64
+	GCCollected     uint64 // versions reclaimed
+	GCScanned       uint64 // versions touched (== collected for threaded; whole store for vacuum)
+	EntitiesDead    uint64 // chains fully collected
+	Checkpoints     uint64
+	CheckpointPuts  uint64 // entity images written back
+	CheckpointBytes uint64 // approximate bytes written back
+}
+
+// entKey identifies an entity across the node/relationship namespaces.
+type entKey struct {
+	kind lock.EntityKind
+	id   ids.ID
+}
+
+// object is a cached entity: its identity plus its version chain. For
+// relationships the immutable endpoints and type are mirrored here so
+// that garbage collection of a fully dead relationship (whose chain is
+// empty) can still fix up adjacency and the persistent store.
+type object struct {
+	key        entKey
+	chain      *mvcc.Chain
+	start, end ids.ID // relationships only
+}
+
+// NodeState is the payload of a node version.
+type NodeState struct {
+	Labels []string // sorted, no duplicates
+	Props  value.Map
+}
+
+// RelState is the payload of a relationship version. Endpoints and type
+// are immutable over the relationship's lifetime.
+type RelState struct {
+	Type       string
+	Start, End ids.ID
+	Props      value.Map
+}
+
+// Engine is the database engine.
+type Engine struct {
+	opts   Options
+	store  *store.Store // nil in memory-only mode
+	wal    *wal.WAL     // nil in memory-only mode
+	oracle *mvcc.Oracle
+	active *mvcc.ActiveTable
+	locks  *lock.Manager
+	gcList *mvcc.GCList
+
+	mu         sync.RWMutex // guards the maps below
+	nodes      map[ids.ID]*object
+	rels       map[ids.ID]*object
+	chainOwner map[*mvcc.Chain]*object
+	adj        map[ids.ID]map[ids.ID]struct{} // node -> set of rel IDs ever attached (pruned on rel death)
+
+	labelIdx    *index.LabelIndex
+	nodePropIdx *index.PropertyIndex
+	relPropIdx  *index.PropertyIndex
+	// tok maps label and property-key names to the dense uint32 tokens the
+	// indexes are keyed by. Purely in-memory: it is rebuilt from the store
+	// and WAL during recovery.
+	tok *tokenTable
+
+	// memAlloc is used in memory-only mode in place of store allocators.
+	memNodeAlloc, memRelAlloc *ids.Allocator
+
+	// commitMu serialises first-committer-wins validation+install.
+	commitMu sync.Mutex
+	// commitGate is held (shared) by every commit from WAL append through
+	// dirty marking; the checkpointer takes it exclusively to cut a
+	// consistent WAL truncation point.
+	commitGate sync.RWMutex
+
+	maintMu sync.Mutex // serialises checkpoint writes and GC store removals
+	dirtyMu sync.Mutex
+	dirty   map[entKey]struct{} // committed entities awaiting checkpoint
+
+	txnSeq  atomic.Uint64
+	stats   statsCounters
+	closed  atomic.Bool
+	bg      sync.WaitGroup
+	stopBG  chan struct{}
+	stopped sync.Once
+}
+
+// statsCounters is the atomic backing of Stats.
+type statsCounters struct {
+	begun, committed, aborted, conflicts, deadlocks atomic.Uint64
+	gcRuns, gcCollected, gcScanned, dead            atomic.Uint64
+	checkpoints, checkpointPuts, checkpointBytes    atomic.Uint64
+}
+
+// Open creates or opens an engine with the given options, running
+// recovery when a store directory is present.
+func Open(opts Options) (*Engine, error) {
+	if opts.StoreCachePages <= 0 {
+		opts.StoreCachePages = store.DefaultCachePages
+	}
+	e := &Engine{
+		opts:       opts,
+		oracle:     mvcc.NewOracle(0),
+		active:     mvcc.NewActiveTable(),
+		locks:      lock.NewManager(),
+		gcList:     mvcc.NewGCList(),
+		nodes:      make(map[ids.ID]*object),
+		rels:       make(map[ids.ID]*object),
+		chainOwner: make(map[*mvcc.Chain]*object),
+		adj:        make(map[ids.ID]map[ids.ID]struct{}),
+
+		labelIdx:    index.NewLabelIndex(),
+		nodePropIdx: index.NewPropertyIndex(),
+		relPropIdx:  index.NewPropertyIndex(),
+		tok:         newTokenTable(),
+		dirty:       make(map[entKey]struct{}),
+		stopBG:      make(chan struct{}),
+	}
+	if opts.Dir == "" {
+		e.memNodeAlloc = ids.NewAllocator()
+		e.memRelAlloc = ids.NewAllocator()
+		return e, nil
+	}
+
+	st, err := store.Open(opts.Dir, store.Options{CachePages: opts.StoreCachePages})
+	if err != nil {
+		return nil, err
+	}
+	w, err := wal.Open(opts.Dir+"/wal", wal.Options{NoSync: opts.NoSyncCommits})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	e.store, e.wal = st, w
+	if err := e.recover(); err != nil {
+		w.Close()
+		st.Close()
+		return nil, err
+	}
+	e.startBackground()
+	return e, nil
+}
+
+// startBackground launches periodic GC and checkpoint drivers when
+// configured.
+func (e *Engine) startBackground() {
+	if e.opts.GCEvery > 0 {
+		e.bg.Add(1)
+		go func() {
+			defer e.bg.Done()
+			t := time.NewTicker(e.opts.GCEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-e.stopBG:
+					return
+				case <-t.C:
+					e.RunGC()
+				}
+			}
+		}()
+	}
+	if e.opts.CheckpointEvery > 0 && e.store != nil {
+		e.bg.Add(1)
+		go func() {
+			defer e.bg.Done()
+			t := time.NewTicker(e.opts.CheckpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-e.stopBG:
+					return
+				case <-t.C:
+					if err := e.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+						// Background checkpoint failures surface at Close.
+						continue
+					}
+				}
+			}
+		}()
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Begun:           e.stats.begun.Load(),
+		Committed:       e.stats.committed.Load(),
+		Aborted:         e.stats.aborted.Load(),
+		WriteConflicts:  e.stats.conflicts.Load(),
+		Deadlocks:       e.stats.deadlocks.Load(),
+		GCRuns:          e.stats.gcRuns.Load(),
+		GCCollected:     e.stats.gcCollected.Load(),
+		GCScanned:       e.stats.gcScanned.Load(),
+		EntitiesDead:    e.stats.dead.Load(),
+		Checkpoints:     e.stats.checkpoints.Load(),
+		CheckpointPuts:  e.stats.checkpointPuts.Load(),
+		CheckpointBytes: e.stats.checkpointBytes.Load(),
+	}
+}
+
+// Watermark exposes the current commit watermark (newest stable snapshot).
+func (e *Engine) Watermark() mvcc.TS { return e.oracle.Watermark() }
+
+// ActiveTransactions returns the number of currently active transactions.
+func (e *Engine) ActiveTransactions() int { return e.active.Count() }
+
+// VersionCount reports the total number of versions in the cache and the
+// number of entities, for the E5 memory accounting.
+func (e *Engine) VersionCount() (versions, entities int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, o := range e.nodes {
+		versions += o.chain.Len()
+	}
+	for _, o := range e.rels {
+		versions += o.chain.Len()
+	}
+	return versions, len(e.nodes) + len(e.rels)
+}
+
+// GCBacklog returns the number of versions waiting on the threaded GC list.
+func (e *Engine) GCBacklog() int { return e.gcList.Len() }
+
+// Store exposes the underlying persistent store (nil in memory mode), for
+// the F1 architecture report.
+func (e *Engine) Store() *store.Store { return e.store }
+
+// allocNodeID allocates a node ID from the store (or memory) allocator.
+func (e *Engine) allocNodeID() ids.ID {
+	if e.store != nil {
+		return e.store.AllocNodeID()
+	}
+	return e.memNodeAlloc.Next()
+}
+
+func (e *Engine) allocRelID() ids.ID {
+	if e.store != nil {
+		return e.store.AllocRelID()
+	}
+	return e.memRelAlloc.Next()
+}
+
+func (e *Engine) releaseNodeID(id ids.ID) {
+	if e.store != nil {
+		e.store.ReleaseNodeID(id)
+	} else {
+		e.memNodeAlloc.Release(id)
+	}
+}
+
+func (e *Engine) releaseRelID(id ids.ID) {
+	if e.store != nil {
+		e.store.ReleaseRelID(id)
+	} else {
+		e.memRelAlloc.Release(id)
+	}
+}
+
+// getObject returns the cached object for key, or nil.
+func (e *Engine) getObject(k entKey) *object {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if k.kind == lock.KindNode {
+		return e.nodes[k.id]
+	}
+	return e.rels[k.id]
+}
+
+// ensureObject returns the cached object for key, creating an empty one
+// if absent (used at commit install for created entities).
+func (e *Engine) ensureObject(k entKey) *object {
+	if o := e.getObject(k); o != nil {
+		return o
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var m map[ids.ID]*object
+	if k.kind == lock.KindNode {
+		m = e.nodes
+	} else {
+		m = e.rels
+	}
+	if o, ok := m[k.id]; ok {
+		return o
+	}
+	o := &object{key: k, chain: mvcc.NewChain()}
+	m[k.id] = o
+	e.chainOwner[o.chain] = o
+	return o
+}
+
+// addAdjacency records rel as attached to node.
+func (e *Engine) addAdjacency(node, rel ids.ID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	set := e.adj[node]
+	if set == nil {
+		set = make(map[ids.ID]struct{})
+		e.adj[node] = set
+	}
+	set[rel] = struct{}{}
+}
+
+// adjacentRels snapshots the rel IDs ever attached to node. Visibility is
+// decided per relationship by its own version chain.
+func (e *Engine) adjacentRels(node ids.ID) []ids.ID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	set := e.adj[node]
+	out := make([]ids.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	return out
+}
+
+// markDirty queues committed entities for the checkpointer.
+func (e *Engine) markDirty(keys []entKey) {
+	if e.store == nil {
+		return
+	}
+	e.dirtyMu.Lock()
+	for _, k := range keys {
+		e.dirty[k] = struct{}{}
+	}
+	e.dirtyMu.Unlock()
+}
+
+// Close stops background work, checkpoints once, and closes WAL and store.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return ErrClosed
+	}
+	e.stopped.Do(func() { close(e.stopBG) })
+	e.bg.Wait()
+	var firstErr error
+	if e.store != nil {
+		if err := e.checkpointLocked(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := e.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := e.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Crash simulates a process crash for recovery tests: files are closed
+// without flushing caches; only WAL-synced and already-flushed data
+// survives.
+func (e *Engine) Crash() error {
+	if e.closed.Swap(true) {
+		return ErrClosed
+	}
+	e.stopped.Do(func() { close(e.stopBG) })
+	e.bg.Wait()
+	if e.store == nil {
+		return nil
+	}
+	// The WAL writes through to the OS on Append; Close without sync is
+	// closest to a crash (synced bytes survive; this process wrote them
+	// with write(2), so they are visible to a reopen even unsynced — real
+	// durability is exercised by the fsync path, torn tails by wal tests).
+	if err := e.wal.Close(); err != nil {
+		return err
+	}
+	return e.store.Crash()
+}
+
+func fmtKey(k entKey) string {
+	if k.kind == lock.KindNode {
+		return fmt.Sprintf("node %d", k.id)
+	}
+	return fmt.Sprintf("rel %d", k.id)
+}

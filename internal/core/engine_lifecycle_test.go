@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"neograph/internal/value"
+)
+
+func TestTokenTable(t *testing.T) {
+	tt := newTokenTable()
+	a := tt.get(tokLabel, "Person")
+	b := tt.get(tokLabel, "Company")
+	if a == b {
+		t.Fatal("distinct names share a token")
+	}
+	if tt.get(tokLabel, "Person") != a {
+		t.Fatal("token not stable")
+	}
+	// Namespaces are independent: same name, different kind, own token
+	// space starting at 0.
+	if p := tt.get(tokPropKey, "Person"); p != 0 {
+		t.Fatalf("propkey namespace token = %d, want 0", p)
+	}
+	if _, ok := tt.lookup(tokLabel, "Missing"); ok {
+		t.Fatal("lookup invented a token")
+	}
+	if got, ok := tt.lookup(tokLabel, "Company"); !ok || got != b {
+		t.Fatalf("lookup = %d/%v", got, ok)
+	}
+	if tt.count(tokLabel) != 2 || tt.count(tokPropKey) != 1 {
+		t.Fatalf("counts = %d/%d", tt.count(tokLabel), tt.count(tokPropKey))
+	}
+}
+
+func TestDoubleCloseAndCrash(t *testing.T) {
+	e := diskEngine(t, t.TempDir())
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close = %v", err)
+	}
+	if err := e.Crash(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("crash after close = %v", err)
+	}
+	if err := e.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("checkpoint after close = %v", err)
+	}
+}
+
+func TestBackgroundGCAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{
+		Dir:             dir,
+		GCEvery:         10 * time.Millisecond,
+		CheckpointEvery: 10 * time.Millisecond,
+		NoSyncCommits:   true,
+		StoreCachePages: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := seedNode(t, e, nil, value.Map{"v": value.Int(0)})
+	for i := 0; i < 20; i++ {
+		tx := e.Begin()
+		if err := tx.SetNodeProp(id, "v", value.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	// Wait for the background loops to do visible work.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		s := e.Stats()
+		if s.GCRuns > 0 && s.Checkpoints > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := e.Stats()
+	if s.GCRuns == 0 {
+		t.Error("background GC never ran")
+	}
+	if s.Checkpoints == 0 {
+		t.Error("background checkpoint never ran")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen cleanly: the background work must have left consistent state.
+	e2 := diskEngine(t, dir)
+	defer e2.Close()
+	tx := e2.Begin()
+	defer tx.Abort()
+	n, err := tx.GetNode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := n.Props["v"].AsInt(); v != 19 {
+		t.Fatalf("v = %d, want 19", v)
+	}
+}
+
+func TestInMemoryHasNoStore(t *testing.T) {
+	e := memEngine(t)
+	if e.Store() != nil {
+		t.Fatal("memory engine exposes a store")
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("memory checkpoint should be a no-op: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitTSExposed(t *testing.T) {
+	e := memEngine(t)
+	tx := e.Begin()
+	if _, err := tx.CreateNode(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	if tx.CommitTS() == 0 {
+		t.Fatal("writing commit got no timestamp")
+	}
+	ro := e.Begin()
+	mustCommit(t, ro)
+	if ro.CommitTS() != 0 {
+		t.Fatal("read-only commit got a timestamp")
+	}
+	if tx.Isolation() != SnapshotIsolation {
+		t.Fatal("default isolation")
+	}
+	if tx.ID() == ro.ID() {
+		t.Fatal("transaction ids collide")
+	}
+}

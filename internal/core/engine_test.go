@@ -1,0 +1,434 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"neograph/internal/value"
+)
+
+// memEngine returns an in-memory engine with default (SI, FUW) options.
+func memEngine(t *testing.T, opts ...func(*Options)) *Engine {
+	t.Helper()
+	o := Options{}
+	for _, f := range opts {
+		f(&o)
+	}
+	e, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustCommit(t *testing.T, tx *Tx) {
+	t.Helper()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedNode creates and commits one node, returning its ID.
+func seedNode(t *testing.T, e *Engine, labels []string, props value.Map) uint64 {
+	t.Helper()
+	tx := e.Begin()
+	id, err := tx.CreateNode(labels, props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	return id
+}
+
+func TestCreateGetNode(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, []string{"Person", "Admin"}, value.Map{"name": value.String("ada")})
+
+	tx := e.Begin()
+	defer tx.Abort()
+	n, err := tx.GetNode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n.Labels, []string{"Admin", "Person"}) {
+		t.Errorf("labels = %v (must be sorted, deduped)", n.Labels)
+	}
+	if v, _ := n.Props["name"].AsString(); v != "ada" {
+		t.Errorf("props = %v", n.Props)
+	}
+}
+
+func TestGetNodeMissing(t *testing.T) {
+	e := memEngine(t)
+	tx := e.Begin()
+	defer tx.Abort()
+	if _, err := tx.GetNode(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if ok, _ := tx.NodeExists(99); ok {
+		t.Fatal("NodeExists(99) = true")
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	e := memEngine(t)
+	tx := e.Begin()
+	id, err := tx.CreateNode([]string{"Person"}, value.Map{"name": value.String("bob")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Visible to the creator before commit (§3).
+	n, err := tx.GetNode(id)
+	if err != nil {
+		t.Fatalf("creator cannot read own write: %v", err)
+	}
+	if v, _ := n.Props["name"].AsString(); v != "bob" {
+		t.Fatal("own write has wrong state")
+	}
+	// Invisible to a concurrent transaction (uncommitted data is private).
+	tx2 := e.Begin()
+	if _, err := tx2.GetNode(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("uncommitted node leaked to another transaction: %v", err)
+	}
+	tx2.Abort()
+	mustCommit(t, tx)
+	// Visible after commit.
+	tx3 := e.Begin()
+	defer tx3.Abort()
+	if _, err := tx3.GetNode(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateOwnWriteStacks(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, value.Map{"n": value.Int(0)})
+	tx := e.Begin()
+	for i := 1; i <= 3; i++ {
+		if err := tx.SetNodeProp(id, "n", value.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		n, _ := tx.GetNode(id)
+		if v, _ := n.Props["n"].AsInt(); v != int64(i) {
+			t.Fatalf("iteration %d: read %d", i, v)
+		}
+	}
+	mustCommit(t, tx)
+	tx2 := e.Begin()
+	defer tx2.Abort()
+	n, _ := tx2.GetNode(id)
+	if v, _ := n.Props["n"].AsInt(); v != 3 {
+		t.Fatalf("committed value = %d, want 3 (one version per commit, not per write)", v)
+	}
+	// Exactly two versions exist: the create and the one update commit.
+	versions, _ := e.VersionCount()
+	if versions != 2 {
+		t.Fatalf("versions = %d, want 2", versions)
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, value.Map{"v": value.Int(1)})
+	tx := e.Begin()
+	if err := tx.SetNodeProp(id, "v", value.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	newID, _ := tx.CreateNode(nil, nil)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := e.Begin()
+	defer tx2.Abort()
+	n, _ := tx2.GetNode(id)
+	if v, _ := n.Props["v"].AsInt(); v != 1 {
+		t.Fatalf("aborted write leaked: v = %d", v)
+	}
+	if _, err := tx2.GetNode(newID); !errors.Is(err, ErrNotFound) {
+		t.Fatal("aborted create leaked")
+	}
+	// The aborted transaction's node ID is recycled.
+	tx3 := e.Begin()
+	defer tx3.Abort()
+	id3, _ := tx3.CreateNode(nil, nil)
+	if id3 != newID {
+		t.Fatalf("expected recycled id %d, got %d", newID, id3)
+	}
+}
+
+func TestTxDoneErrors(t *testing.T) {
+	e := memEngine(t)
+	tx := e.Begin()
+	mustCommit(t, tx)
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double commit = %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("abort after commit = %v", err)
+	}
+	if _, err := tx.GetNode(0); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("read after commit = %v", err)
+	}
+	if _, err := tx.CreateNode(nil, nil); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("write after commit = %v", err)
+	}
+}
+
+func TestLabelsAddRemove(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, []string{"A"}, nil)
+	tx := e.Begin()
+	if err := tx.AddLabel(id, "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.RemoveLabel(id, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if has, _ := tx.HasLabel(id, "B"); !has {
+		t.Fatal("own label add invisible")
+	}
+	if has, _ := tx.HasLabel(id, "A"); has {
+		t.Fatal("own label remove invisible")
+	}
+	mustCommit(t, tx)
+	tx2 := e.Begin()
+	defer tx2.Abort()
+	n, _ := tx2.GetNode(id)
+	if !reflect.DeepEqual(n.Labels, []string{"B"}) {
+		t.Fatalf("labels = %v", n.Labels)
+	}
+}
+
+func TestPropsSetRemove(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, value.Map{"a": value.Int(1), "b": value.Int(2)})
+	tx := e.Begin()
+	if err := tx.RemoveNodeProp(id, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetNodeProps(id, value.Map{"b": value.Null, "c": value.Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	tx2 := e.Begin()
+	defer tx2.Abort()
+	n, _ := tx2.GetNode(id)
+	want := value.Map{"c": value.Int(3)}
+	if !n.Props.Equal(want) {
+		t.Fatalf("props = %v, want %v", n.Props, want)
+	}
+}
+
+func TestCreateRelAndTraverse(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, nil, nil)
+	b := seedNode(t, e, nil, nil)
+	c := seedNode(t, e, nil, nil)
+
+	tx := e.Begin()
+	r1, err := tx.CreateRel("KNOWS", a, b, value.Map{"since": value.Int(2009)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tx.CreateRel("WORKS_WITH", a, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RYOW traversal before commit.
+	rels, err := tx.Relationships(a, Outgoing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 2 {
+		t.Fatalf("own rels = %d, want 2", len(rels))
+	}
+	mustCommit(t, tx)
+
+	tx2 := e.Begin()
+	defer tx2.Abort()
+	rels, _ = tx2.Relationships(a, Outgoing)
+	if len(rels) != 2 || rels[0].ID != r1 || rels[1].ID != r2 {
+		t.Fatalf("rels = %+v", rels)
+	}
+	// Type filter.
+	rels, _ = tx2.Relationships(a, Outgoing, "KNOWS")
+	if len(rels) != 1 || rels[0].ID != r1 {
+		t.Fatalf("typed rels = %+v", rels)
+	}
+	// Direction.
+	rels, _ = tx2.Relationships(b, Incoming)
+	if len(rels) != 1 || rels[0].Start != a {
+		t.Fatalf("incoming = %+v", rels)
+	}
+	if rels, _ := tx2.Relationships(b, Outgoing); len(rels) != 0 {
+		t.Fatalf("outgoing of b = %+v", rels)
+	}
+	// Neighbors and degree.
+	nbrs, _ := tx2.Neighbors(a, Both)
+	if !reflect.DeepEqual(nbrs, []uint64{b, c}) {
+		t.Fatalf("neighbors = %v", nbrs)
+	}
+	if d, _ := tx2.Degree(a, Both); d != 2 {
+		t.Fatalf("degree = %d", d)
+	}
+	// GetRel.
+	r, err := tx2.GetRel(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Type != "KNOWS" || r.Start != a || r.End != b {
+		t.Fatalf("rel = %+v", r)
+	}
+	if v, _ := r.Props["since"].AsInt(); v != 2009 {
+		t.Fatalf("rel props = %v", r.Props)
+	}
+}
+
+func TestSelfLoopTraversal(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, nil, nil)
+	tx := e.Begin()
+	if _, err := tx.CreateRel("SELF", a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	tx2 := e.Begin()
+	defer tx2.Abort()
+	rels, _ := tx2.Relationships(a, Both)
+	if len(rels) != 1 {
+		t.Fatalf("self loop appears %d times, want 1", len(rels))
+	}
+	nbrs, _ := tx2.Neighbors(a, Both)
+	if !reflect.DeepEqual(nbrs, []uint64{a}) {
+		t.Fatalf("neighbors = %v", nbrs)
+	}
+}
+
+func TestDeleteRel(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, nil, nil)
+	b := seedNode(t, e, nil, nil)
+	tx := e.Begin()
+	r, _ := tx.CreateRel("R", a, b, nil)
+	mustCommit(t, tx)
+
+	tx2 := e.Begin()
+	if err := tx2.DeleteRel(r); err != nil {
+		t.Fatal(err)
+	}
+	if rels, _ := tx2.Relationships(a, Both); len(rels) != 0 {
+		t.Fatal("own delete invisible in traversal")
+	}
+	mustCommit(t, tx2)
+
+	tx3 := e.Begin()
+	defer tx3.Abort()
+	if _, err := tx3.GetRel(r); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted rel readable: %v", err)
+	}
+	if rels, _ := tx3.Relationships(a, Both); len(rels) != 0 {
+		t.Fatalf("deleted rel in traversal: %+v", rels)
+	}
+}
+
+func TestDeleteNodeRequiresNoRels(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, nil, nil)
+	b := seedNode(t, e, nil, nil)
+	tx := e.Begin()
+	if _, err := tx.CreateRel("R", a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	tx2 := e.Begin()
+	if err := tx2.DeleteNode(a); !errors.Is(err, ErrHasRels) {
+		t.Fatalf("err = %v, want ErrHasRels", err)
+	}
+	if err := tx2.DetachDeleteNode(a); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx2)
+
+	tx3 := e.Begin()
+	defer tx3.Abort()
+	if _, err := tx3.GetNode(a); !errors.Is(err, ErrNotFound) {
+		t.Fatal("detach-deleted node readable")
+	}
+	if rels, _ := tx3.Relationships(b, Both); len(rels) != 0 {
+		t.Fatalf("dangling rel: %+v", rels)
+	}
+}
+
+func TestCreateDeleteSameTxCancels(t *testing.T) {
+	e := memEngine(t)
+	tx := e.Begin()
+	id, _ := tx.CreateNode(nil, nil)
+	if err := tx.DeleteNode(id); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	versions, entities := e.VersionCount()
+	if versions != 0 || entities != 0 {
+		t.Fatalf("cancelled create left %d versions, %d entities", versions, entities)
+	}
+}
+
+func TestCreateRelToMissingNode(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, nil, nil)
+	tx := e.Begin()
+	defer tx.Abort()
+	if _, err := tx.CreateRel("R", a, 999, nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := tx.CreateRel("", a, a, nil); err == nil {
+		t.Fatal("empty rel type accepted")
+	}
+}
+
+func TestRelPropsUpdate(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, nil, nil)
+	b := seedNode(t, e, nil, nil)
+	tx := e.Begin()
+	r, _ := tx.CreateRel("R", a, b, value.Map{"w": value.Int(1)})
+	mustCommit(t, tx)
+
+	tx2 := e.Begin()
+	if err := tx2.SetRelProp(r, "w", value.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.RemoveRelProp(r, "nope"); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx2)
+
+	tx3 := e.Begin()
+	defer tx3.Abort()
+	got, _ := tx3.GetRel(r)
+	if v, _ := got.Props["w"].AsInt(); v != 2 {
+		t.Fatalf("rel prop = %v", got.Props)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	e := memEngine(t)
+	seedNode(t, e, nil, nil)
+	tx := e.Begin()
+	tx.Abort()
+	s := e.Stats()
+	if s.Begun != 2 || s.Committed != 1 || s.Aborted != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestWatermarkAdvances(t *testing.T) {
+	e := memEngine(t)
+	w0 := e.Watermark()
+	seedNode(t, e, nil, nil)
+	if e.Watermark() != w0+1 {
+		t.Fatalf("watermark %d -> %d, want +1", w0, e.Watermark())
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"neograph/internal/lock"
+	"neograph/internal/mvcc"
+	"neograph/internal/store"
+)
+
+// GCReport summarises one collector run (experiment E4's measurements).
+type GCReport struct {
+	Mode         GCMode
+	Horizon      mvcc.TS
+	Collected    int // versions reclaimed from chains
+	Scanned      int // versions examined (== Collected+1 at most for threaded; whole cache for vacuum)
+	IndexPruned  int // dead index entries dropped
+	EntitiesDead int // chains fully collected (tombstoned entities removed)
+	Duration     time.Duration
+}
+
+// RunGC runs one garbage collection cycle in the configured mode and
+// returns its report. The horizon is the oldest active transaction's
+// start timestamp (or the watermark when idle): versions below it can
+// never be read again (§3).
+func (e *Engine) RunGC() GCReport {
+	start := time.Now()
+	horizon := e.active.Horizon(e.oracle.Watermark())
+	var rep GCReport
+	rep.Mode = e.opts.GCMode
+	rep.Horizon = horizon
+
+	var deadChains []*mvcc.Chain
+	onDead := func(c *mvcc.Chain) { deadChains = append(deadChains, c) }
+
+	switch e.opts.GCMode {
+	case GCThreaded:
+		rep.Collected = e.gcList.Collect(horizon, onDead)
+		// The threaded list touches exactly the collected versions plus
+		// the one probe that stopped the walk.
+		rep.Scanned = rep.Collected + 1
+	case GCVacuum:
+		// Vacuum-style: visit every chain in the cache.
+		e.mu.RLock()
+		chains := make([]*mvcc.Chain, 0, len(e.nodes)+len(e.rels))
+		for _, o := range e.nodes {
+			chains = append(chains, o.chain)
+		}
+		for _, o := range e.rels {
+			chains = append(chains, o.chain)
+		}
+		e.mu.RUnlock()
+		for _, c := range chains {
+			before := c.Len()
+			removed, empty := c.PruneOlderThan(horizon)
+			rep.Scanned += before
+			rep.Collected += removed
+			if empty {
+				onDead(c)
+			}
+		}
+	}
+
+	rep.IndexPruned += e.labelIdx.Prune(horizon)
+	rep.IndexPruned += e.nodePropIdx.Prune(horizon)
+	rep.IndexPruned += e.relPropIdx.Prune(horizon)
+
+	rep.EntitiesDead = len(deadChains)
+	e.reapDead(deadChains)
+
+	rep.Duration = time.Since(start)
+	e.stats.gcRuns.Add(1)
+	e.stats.gcCollected.Add(uint64(rep.Collected))
+	e.stats.gcScanned.Add(uint64(rep.Scanned))
+	e.stats.dead.Add(uint64(rep.EntitiesDead))
+	return rep
+}
+
+// reapDead removes fully collected entities from the cache maps, the
+// adjacency structure, the dirty queue, and the persistent store. A dead
+// relationship detaches from both endpoints; a dead node drops its (by
+// now empty) adjacency set. Store removals share the maintenance mutex
+// with the checkpointer so a stale checkpoint write cannot resurrect a
+// removed record.
+func (e *Engine) reapDead(chains []*mvcc.Chain) {
+	if len(chains) == 0 {
+		return
+	}
+	var objs []*object
+	e.mu.Lock()
+	for _, c := range chains {
+		o := e.chainOwner[c]
+		if o == nil {
+			continue
+		}
+		delete(e.chainOwner, c)
+		if o.key.kind == lock.KindNode {
+			delete(e.nodes, o.key.id)
+			delete(e.adj, o.key.id)
+		} else {
+			delete(e.rels, o.key.id)
+			if set := e.adj[o.start]; set != nil {
+				delete(set, o.key.id)
+			}
+			if set := e.adj[o.end]; set != nil {
+				delete(set, o.key.id)
+			}
+		}
+		objs = append(objs, o)
+	}
+	e.mu.Unlock()
+
+	e.dirtyMu.Lock()
+	for _, o := range objs {
+		delete(e.dirty, o.key)
+	}
+	e.dirtyMu.Unlock()
+
+	if e.store == nil {
+		for _, o := range objs {
+			if o.key.kind == lock.KindNode {
+				e.releaseNodeID(o.key.id)
+			} else {
+				e.releaseRelID(o.key.id)
+			}
+		}
+		return
+	}
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	// Relationships first: the store refuses to remove a node whose
+	// relationship chain is non-empty.
+	for _, o := range objs {
+		if o.key.kind == lock.KindRel {
+			err := e.store.RemoveRel(o.key.id)
+			if errors.Is(err, store.ErrNotFound) {
+				// Created and deleted before any checkpoint: the record was
+				// never written, so only the ID needs recycling.
+				e.store.ReleaseRelID(o.key.id)
+			}
+		}
+	}
+	for _, o := range objs {
+		if o.key.kind == lock.KindNode {
+			err := e.store.RemoveNode(o.key.id)
+			if errors.Is(err, store.ErrNotFound) {
+				e.store.ReleaseNodeID(o.key.id)
+			}
+		}
+	}
+}

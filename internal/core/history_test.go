@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"neograph/internal/value"
+)
+
+// committedOp is the record of one successfully committed transaction's
+// effect, replayable against a sequential model.
+type committedOp struct {
+	cts  uint64
+	kind byte // 'c' create, 'u' update, 'd' delete
+	node uint64
+	val  int64
+}
+
+// TestHistoryEquivalentToCommitOrderReplay is the central soundness check
+// of the MVCC engine: run a random concurrent workload of blind creates,
+// updates and deletes under SI; afterwards, replaying the committed
+// operations sequentially in commit-timestamp order against a plain map
+// must produce exactly the database's final visible state. The commit
+// timestamp really is a serialisation order for write sets (§3).
+func TestHistoryEquivalentToCommitOrderReplay(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		e := memEngine(t)
+
+		// Seed pool of nodes.
+		var pool []uint64
+		tx := e.Begin()
+		for i := 0; i < 30; i++ {
+			id, err := tx.CreateNode(nil, value.Map{"v": value.Int(0)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool = append(pool, id)
+		}
+		mustCommit(t, tx)
+		seedCts := tx.CommitTS()
+		if seedCts == 0 {
+			t.Fatal("seed commit got no timestamp")
+		}
+
+		var mu sync.Mutex
+		var log []committedOp
+
+		const workers, opsPer = 8, 120
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(int64(trial*1000 + w)))
+				for i := 0; i < opsPer; i++ {
+					tx := e.Begin()
+					var op committedOp
+					var err error
+					switch r.Intn(10) {
+					case 0: // create
+						op.kind = 'c'
+						op.val = r.Int63n(1000)
+						op.node, err = tx.CreateNode(nil, value.Map{"v": value.Int(op.val)})
+					case 1: // delete
+						op.kind = 'd'
+						op.node = pool[r.Intn(len(pool))]
+						err = tx.DeleteNode(op.node)
+					default: // blind update
+						op.kind = 'u'
+						op.node = pool[r.Intn(len(pool))]
+						op.val = r.Int63n(1000)
+						err = tx.SetNodeProp(op.node, "v", value.Int(op.val))
+					}
+					if err != nil {
+						tx.Abort()
+						if errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrNotFound) {
+							continue
+						}
+						t.Error(err)
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						if errors.Is(err, ErrWriteConflict) {
+							continue
+						}
+						t.Error(err)
+						return
+					}
+					op.cts = tx.CommitTS()
+					mu.Lock()
+					log = append(log, op)
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Sequential model: replay in commit-timestamp order.
+		type modelNode struct{ v int64 }
+		model := make(map[uint64]*modelNode)
+		for _, id := range pool {
+			model[id] = &modelNode{0}
+		}
+		// Commit timestamps are unique; sort the log by them.
+		sortOps(log)
+		var prev uint64
+		for _, op := range log {
+			if op.cts == prev {
+				t.Fatalf("duplicate commit timestamp %d", op.cts)
+			}
+			prev = op.cts
+			switch op.kind {
+			case 'c':
+				model[op.node] = &modelNode{op.val}
+			case 'u':
+				if model[op.node] == nil {
+					t.Fatalf("model: update of missing node %d at cts %d (engine allowed a write to a deleted node)", op.node, op.cts)
+				}
+				model[op.node].v = op.val
+			case 'd':
+				if model[op.node] == nil {
+					t.Fatalf("model: delete of missing node %d at cts %d", op.node, op.cts)
+				}
+				delete(model, op.node)
+			}
+		}
+
+		// Compare with the database's final visible state.
+		final := e.Begin()
+		all, err := final.AllNodes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != len(model) {
+			t.Fatalf("trial %d: %d visible nodes, model has %d", trial, len(all), len(model))
+		}
+		for _, id := range all {
+			m, ok := model[id]
+			if !ok {
+				t.Fatalf("trial %d: node %d visible but not in model", trial, id)
+			}
+			n, err := final.GetNode(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, _ := n.Props["v"].AsInt()
+			if v != m.v {
+				t.Fatalf("trial %d: node %d v=%d, model says %d", trial, id, v, m.v)
+			}
+		}
+		final.Abort()
+
+		// GC to nothing outstanding, then re-verify (collection must not
+		// change visible state).
+		e.RunGC()
+		check := e.Begin()
+		all2, _ := check.AllNodes()
+		if len(all2) != len(model) {
+			t.Fatalf("trial %d: GC changed visible node count %d -> %d", trial, len(all), len(all2))
+		}
+		check.Abort()
+	}
+}
+
+func sortOps(ops []committedOp) {
+	// Insertion sort is fine at this size and avoids another import.
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].cts < ops[j-1].cts; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+}
+
+// TestSnapshotReadsStableThroughoutRandomHistory drives readers that
+// repeatedly re-read a fixed witness set mid-churn: within one SI
+// transaction every re-read must return the identical value.
+func TestSnapshotReadsStableThroughoutRandomHistory(t *testing.T) {
+	e := memEngine(t)
+	var pool []uint64
+	tx := e.Begin()
+	for i := 0; i < 10; i++ {
+		id, _ := tx.CreateNode(nil, value.Map{"v": value.Int(int64(i))})
+		pool = append(pool, id)
+	}
+	mustCommit(t, tx)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := e.Begin()
+				if err := tx.SetNodeProp(pool[r.Intn(len(pool))], "v", value.Int(r.Int63n(100))); err != nil {
+					tx.Abort()
+					continue
+				}
+				_ = tx.Commit()
+			}
+		}(w)
+	}
+	// Readers (tracked separately so writers can be stopped once all
+	// readers finish their fixed iteration budget).
+	var readers sync.WaitGroup
+	for rdr := 0; rdr < 4; rdr++ {
+		readers.Add(1)
+		go func(rdr int) {
+			defer readers.Done()
+			for iter := 0; iter < 50; iter++ {
+				tx := e.Begin()
+				first := make(map[uint64]int64)
+				for _, id := range pool {
+					n, err := tx.GetNode(id)
+					if err != nil {
+						t.Error(err)
+						tx.Abort()
+						return
+					}
+					v, _ := n.Props["v"].AsInt()
+					first[id] = v
+				}
+				for pass := 0; pass < 3; pass++ {
+					for _, id := range pool {
+						n, err := tx.GetNode(id)
+						if err != nil {
+							t.Error(err)
+							tx.Abort()
+							return
+						}
+						v, _ := n.Props["v"].AsInt()
+						if v != first[id] {
+							t.Errorf("reader %d: node %d changed within snapshot: %d -> %d", rdr, id, first[id], v)
+							tx.Abort()
+							return
+						}
+					}
+				}
+				tx.Abort()
+			}
+		}(rdr)
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+}

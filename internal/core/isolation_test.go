@@ -1,0 +1,547 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neograph/internal/value"
+)
+
+// TestSINoUnrepeatableRead is the paper's first motivating anomaly (§1):
+// under SI a transaction re-reading a data item sees the same value even
+// after a concurrent commit; under RC it does not.
+func TestSINoUnrepeatableRead(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, value.Map{"v": value.Int(1)})
+
+	reader := e.Begin()
+	n1, err := reader.GetNode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	writer := e.Begin()
+	if err := writer.SetNodeProp(id, "v", value.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, writer)
+
+	n2, err := reader.GetNode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := n1.Props["v"].AsInt()
+	v2, _ := n2.Props["v"].AsInt()
+	if v1 != v2 {
+		t.Fatalf("unrepeatable read under SI: %d then %d", v1, v2)
+	}
+	reader.Abort()
+
+	// A transaction started after the commit sees the new value.
+	later := e.Begin()
+	defer later.Abort()
+	n3, _ := later.GetNode(id)
+	if v3, _ := n3.Props["v"].AsInt(); v3 != 2 {
+		t.Fatalf("new snapshot sees %d, want 2", v3)
+	}
+}
+
+// TestRCUnrepeatableRead shows the baseline exhibits the anomaly.
+func TestRCUnrepeatableRead(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, value.Map{"v": value.Int(1)})
+
+	reader := e.BeginWith(TxOptions{Isolation: ReadCommitted})
+	n1, _ := reader.GetNode(id)
+
+	writer := e.Begin()
+	writer.SetNodeProp(id, "v", value.Int(2))
+	mustCommit(t, writer)
+
+	n2, _ := reader.GetNode(id)
+	v1, _ := n1.Props["v"].AsInt()
+	v2, _ := n2.Props["v"].AsInt()
+	if v1 == v2 {
+		t.Fatalf("read committed unexpectedly repeatable: %d, %d", v1, v2)
+	}
+	reader.Abort()
+}
+
+// TestSINoPhantoms is the paper's second motivating anomaly (§1): a
+// predicate read (here, nodes by label) repeated in one SI transaction
+// returns the same result set despite concurrent inserts.
+func TestSINoPhantoms(t *testing.T) {
+	e := memEngine(t)
+	seedNode(t, e, []string{"Person"}, nil)
+	seedNode(t, e, []string{"Person"}, nil)
+
+	reader := e.Begin()
+	first, err := reader.NodesByLabel("Person")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent insert and delete.
+	w := e.Begin()
+	if _, err := w.CreateNode([]string{"Person"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, w)
+	w2 := e.Begin()
+	if err := w2.DeleteNode(first[0]); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, w2)
+
+	second, err := reader.NodesByLabel("Person")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("phantom under SI: %v then %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("phantom under SI: %v then %v", first, second)
+		}
+	}
+	reader.Abort()
+
+	// RC sees the phantom.
+	rc := e.BeginWith(TxOptions{Isolation: ReadCommitted})
+	defer rc.Abort()
+	rcSet, _ := rc.NodesByLabel("Person")
+	if len(rcSet) != 2 { // 2 + 1 insert - 1 delete
+		t.Fatalf("rc set = %v", rcSet)
+	}
+}
+
+// TestFirstUpdaterWinsImmediateAbort: the second concurrent updater of an
+// entity fails at its update statement, not at commit (§3/§4).
+func TestFirstUpdaterWinsImmediateAbort(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, value.Map{"v": value.Int(0)})
+
+	tx1 := e.Begin()
+	tx2 := e.Begin()
+	if err := tx1.SetNodeProp(id, "v", value.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	err := tx2.SetNodeProp(id, "v", value.Int(2))
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("second updater got %v, want ErrWriteConflict", err)
+	}
+	tx2.Abort()
+	mustCommit(t, tx1)
+
+	tx3 := e.Begin()
+	defer tx3.Abort()
+	n, _ := tx3.GetNode(id)
+	if v, _ := n.Props["v"].AsInt(); v != 1 {
+		t.Fatalf("v = %d, want 1 (first updater's value)", v)
+	}
+	if e.Stats().WriteConflicts == 0 {
+		t.Fatal("conflict not counted")
+	}
+}
+
+// TestFUWConflictWithCommittedWriter: a transaction whose snapshot
+// predates a committed update must not overwrite it (lost update).
+func TestFUWConflictWithCommittedWriter(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, value.Map{"v": value.Int(0)})
+
+	tx1 := e.Begin() // snapshot before tx2's commit
+	tx2 := e.Begin()
+	if err := tx2.SetNodeProp(id, "v", value.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx2)
+
+	// tx2 released its lock, but its commit is newer than tx1's snapshot.
+	err := tx1.SetNodeProp(id, "v", value.Int(1))
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("err = %v, want ErrWriteConflict", err)
+	}
+	tx1.Abort()
+}
+
+// TestFirstCommitterWins: under FCW both updaters stage freely; the
+// second to commit aborts.
+func TestFirstCommitterWins(t *testing.T) {
+	e := memEngine(t, func(o *Options) { o.Conflict = FirstCommitterWins })
+	id := seedNode(t, e, nil, value.Map{"v": value.Int(0)})
+
+	tx1 := e.Begin()
+	tx2 := e.Begin()
+	if err := tx1.SetNodeProp(id, "v", value.Int(1)); err != nil {
+		t.Fatalf("FCW must not conflict at update: %v", err)
+	}
+	if err := tx2.SetNodeProp(id, "v", value.Int(2)); err != nil {
+		t.Fatalf("FCW must not conflict at update: %v", err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatalf("first committer: %v", err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("second committer got %v, want ErrWriteConflict", err)
+	}
+
+	tx3 := e.Begin()
+	defer tx3.Abort()
+	n, _ := tx3.GetNode(id)
+	if v, _ := n.Props["v"].AsInt(); v != 1 {
+		t.Fatalf("v = %d, want 1", v)
+	}
+}
+
+// TestWriteSkewAllowed: SI admits write skew (§1) — two transactions read
+// the same pair and update different members. Both commit.
+func TestWriteSkewAllowed(t *testing.T) {
+	e := memEngine(t)
+	x := seedNode(t, e, nil, value.Map{"on": value.Bool(true)})
+	y := seedNode(t, e, nil, value.Map{"on": value.Bool(true)})
+
+	tx1 := e.Begin()
+	tx2 := e.Begin()
+	// Both check the invariant "at least one on" in their snapshots...
+	for _, tx := range []*Tx{tx1, tx2} {
+		nx, _ := tx.GetNode(x)
+		ny, _ := tx.GetNode(y)
+		bx, _ := nx.Props["on"].AsBool()
+		by, _ := ny.Props["on"].AsBool()
+		if !bx || !by {
+			t.Fatal("setup broken")
+		}
+	}
+	// ...then each turns off a different node: disjoint write sets, no
+	// write-write conflict, so SI lets both commit — violating the
+	// invariant. This is the anomaly SI admits and serializability would
+	// prevent; the test documents the expected (anomalous) behaviour.
+	if err := tx1.SetNodeProp(x, "on", value.Bool(false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.SetNodeProp(y, "on", value.Bool(false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("write skew should be allowed under SI: %v", err)
+	}
+
+	tx3 := e.Begin()
+	defer tx3.Abort()
+	nx, _ := tx3.GetNode(x)
+	ny, _ := tx3.GetNode(y)
+	bx, _ := nx.Props["on"].AsBool()
+	by, _ := ny.Props["on"].AsBool()
+	if bx || by {
+		t.Fatal("expected both off (write skew outcome)")
+	}
+}
+
+// TestRCBlockingWriters: under RC the second writer blocks rather than
+// aborts, and proceeds once the first commits.
+func TestRCBlockingWriters(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, value.Map{"v": value.Int(0)})
+
+	tx1 := e.BeginWith(TxOptions{Isolation: ReadCommitted})
+	if err := tx1.SetNodeProp(id, "v", value.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		tx2 := e.BeginWith(TxOptions{Isolation: ReadCommitted})
+		if err := tx2.SetNodeProp(id, "v", value.Int(2)); err != nil {
+			done <- err
+			return
+		}
+		done <- tx2.Commit()
+	}()
+	mustCommit(t, tx1)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked RC writer: %v", err)
+	}
+	tx3 := e.Begin()
+	defer tx3.Abort()
+	n, _ := tx3.GetNode(id)
+	if v, _ := n.Props["v"].AsInt(); v != 2 {
+		t.Fatalf("v = %d, want 2 (second writer last)", v)
+	}
+}
+
+// TestRCDeadlockDetected: two RC writers in opposite order deadlock; one
+// is aborted with ErrDeadlock.
+func TestRCDeadlockDetected(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, nil, value.Map{"v": value.Int(0)})
+	b := seedNode(t, e, nil, value.Map{"v": value.Int(0)})
+
+	tx1 := e.BeginWith(TxOptions{Isolation: ReadCommitted})
+	tx2 := e.BeginWith(TxOptions{Isolation: ReadCommitted})
+	if err := tx1.SetNodeProp(a, "v", value.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.SetNodeProp(b, "v", value.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var err1, err2 error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err1 = tx1.SetNodeProp(b, "v", value.Int(1))
+		if err1 == nil {
+			err1 = tx1.Commit()
+		} else {
+			tx1.Abort()
+		}
+	}()
+	err2 = tx2.SetNodeProp(a, "v", value.Int(2))
+	if err2 == nil {
+		err2 = tx2.Commit()
+	} else {
+		tx2.Abort()
+	}
+	wg.Wait()
+	dead1 := errors.Is(err1, ErrDeadlock)
+	dead2 := errors.Is(err2, ErrDeadlock)
+	if dead1 == dead2 {
+		t.Fatalf("exactly one victim expected: err1=%v err2=%v", err1, err2)
+	}
+}
+
+// TestSIReadersNeverBlock: an SI reader proceeds while a writer holds the
+// write lock — the paper removed the short read locks (§4).
+func TestSIReadersNeverBlock(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, value.Map{"v": value.Int(1)})
+
+	writer := e.Begin()
+	if err := writer.SetNodeProp(id, "v", value.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Reader runs to completion while the write lock is held: no channel
+	// gymnastics needed — if reads took locks this would deadlock here.
+	reader := e.Begin()
+	n, err := reader.GetNode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := n.Props["v"].AsInt(); v != 1 {
+		t.Fatalf("reader saw uncommitted or wrong value: %d", v)
+	}
+	reader.Abort()
+	mustCommit(t, writer)
+}
+
+// TestRCReaderBlocksOnWriter: the short read lock of the RC baseline
+// blocks behind a concurrent writer's long write lock — the very cost SI
+// removes (§4). The reader proceeds only after the writer commits, and
+// then observes the new value.
+func TestRCReaderBlocksOnWriter(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, value.Map{"v": value.Int(1)})
+
+	writer := e.Begin()
+	if err := writer.SetNodeProp(id, "v", value.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	var sawV int64
+	var blocked atomic.Bool
+	blocked.Store(true)
+	done := make(chan error, 1)
+	go func() {
+		rc := e.BeginWith(TxOptions{Isolation: ReadCommitted})
+		defer rc.Abort()
+		n, err := rc.GetNode(id) // must block on the write lock
+		blocked.Store(false)
+		if err != nil {
+			done <- err
+			return
+		}
+		sawV, _ = n.Props["v"].AsInt()
+		done <- nil
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if !blocked.Load() {
+		t.Fatal("RC reader did not block behind a writer's long write lock")
+	}
+	mustCommit(t, writer)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if sawV != 2 {
+		t.Fatalf("unblocked RC reader saw %d, want the committed 2", sawV)
+	}
+}
+
+// TestConflictOnDelete: deleting and updating the same node concurrently
+// conflicts under FUW.
+func TestConflictOnDelete(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, nil)
+	tx1 := e.Begin()
+	tx2 := e.Begin()
+	if err := tx1.DeleteNode(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.SetNodeProp(id, "v", value.Int(1)); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("err = %v, want ErrWriteConflict", err)
+	}
+	tx2.Abort()
+	mustCommit(t, tx1)
+	// Updating a deleted node: not found.
+	tx3 := e.Begin()
+	defer tx3.Abort()
+	if err := tx3.SetNodeProp(id, "v", value.Int(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestSnapshotSeesDeletedForOldReader: a reader whose snapshot predates a
+// delete still sees the entity (tombstone visibility).
+func TestSnapshotSeesDeletedForOldReader(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, []string{"L"}, value.Map{"v": value.Int(1)})
+
+	old := e.Begin()
+	del := e.Begin()
+	if err := del.DeleteNode(id); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, del)
+
+	if _, err := old.GetNode(id); err != nil {
+		t.Fatalf("old reader lost deleted node: %v", err)
+	}
+	if ids, _ := old.NodesByLabel("L"); len(ids) != 1 {
+		t.Fatalf("old reader label scan = %v", ids)
+	}
+	old.Abort()
+
+	fresh := e.Begin()
+	defer fresh.Abort()
+	if _, err := fresh.GetNode(id); !errors.Is(err, ErrNotFound) {
+		t.Fatal("fresh reader sees deleted node")
+	}
+}
+
+// TestConcurrentDisjointCommits exercises the commit pipeline under
+// parallel load with disjoint write sets: all must succeed and every
+// committed value must be readable afterwards.
+func TestConcurrentDisjointCommits(t *testing.T) {
+	e := memEngine(t)
+	const n = 16
+	nodeIDs := make([]uint64, n)
+	for i := range nodeIDs {
+		nodeIDs[i] = seedNode(t, e, nil, value.Map{"v": value.Int(0)})
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				// A snapshot can trail the worker's own latest commit while
+				// other workers' commits are still installing; the resulting
+				// self-conflict is correct SI behaviour, so retry.
+				for {
+					tx := e.Begin()
+					err := tx.SetNodeProp(nodeIDs[i], "v", value.Int(int64(round)))
+					if err == nil {
+						err = tx.Commit()
+						if err == nil {
+							break
+						}
+					} else {
+						tx.Abort()
+					}
+					if !errors.Is(err, ErrWriteConflict) {
+						errs[i] = err
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	tx := e.Begin()
+	defer tx.Abort()
+	for _, id := range nodeIDs {
+		node, err := tx.GetNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := node.Props["v"].AsInt(); v != 49 {
+			t.Fatalf("node %d final v = %d, want 49", id, v)
+		}
+	}
+	if got := e.Stats().Committed; got != n*50+n {
+		t.Fatalf("committed = %d, want %d", got, n*50+n)
+	}
+}
+
+// TestConcurrentContendedCounter: many SI transactions increment one
+// counter; conflicts abort, successes serialise. The final value equals
+// the number of successful commits — the lost-update anomaly is absent.
+func TestConcurrentContendedCounter(t *testing.T) {
+	e := memEngine(t)
+	id := seedNode(t, e, nil, value.Map{"n": value.Int(0)})
+	var wg sync.WaitGroup
+	var commits, conflicts sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var c, x int64
+			for i := 0; i < 200; i++ {
+				tx := e.Begin()
+				node, err := tx.GetNode(id)
+				if err != nil {
+					tx.Abort()
+					continue
+				}
+				cur, _ := node.Props["n"].AsInt()
+				if err := tx.SetNodeProp(id, "n", value.Int(cur+1)); err != nil {
+					x++
+					tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					x++
+					continue
+				}
+				c++
+			}
+			commits.Store(g, c)
+			conflicts.Store(g, x)
+		}(g)
+	}
+	wg.Wait()
+	var totalCommits int64
+	commits.Range(func(_, v any) bool { totalCommits += v.(int64); return true })
+
+	tx := e.Begin()
+	defer tx.Abort()
+	node, _ := tx.GetNode(id)
+	final, _ := node.Props["n"].AsInt()
+	if final != totalCommits {
+		t.Fatalf("counter = %d but %d commits succeeded (lost update!)", final, totalCommits)
+	}
+	if totalCommits == 0 {
+		t.Fatal("no transaction ever succeeded")
+	}
+}

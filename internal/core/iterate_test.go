@@ -1,0 +1,215 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"neograph/internal/value"
+)
+
+func TestNodesByLabelCommitted(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, []string{"X"}, nil)
+	seedNode(t, e, []string{"Y"}, nil)
+	c := seedNode(t, e, []string{"X", "Y"}, nil)
+
+	tx := e.Begin()
+	defer tx.Abort()
+	got, err := tx.NodesByLabel("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uint64{a, c}) {
+		t.Fatalf("X = %v, want [%d %d]", got, a, c)
+	}
+	if got, _ := tx.NodesByLabel("Missing"); len(got) != 0 {
+		t.Fatalf("missing label = %v", got)
+	}
+}
+
+func TestNodesByLabelRYOW(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, []string{"X"}, nil)
+	b := seedNode(t, e, []string{"X"}, nil)
+
+	tx := e.Begin()
+	// Stage: remove label from a, add to a fresh node, delete b.
+	if err := tx.RemoveLabel(a, "X"); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := tx.CreateNode([]string{"X"}, nil)
+	if err := tx.DeleteNode(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tx.NodesByLabel("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uint64{fresh}) {
+		t.Fatalf("RYOW merge = %v, want [%d]", got, fresh)
+	}
+	// Another transaction still sees the committed state.
+	other := e.Begin()
+	defer other.Abort()
+	got, _ = other.NodesByLabel("X")
+	if !reflect.DeepEqual(got, []uint64{a, b}) {
+		t.Fatalf("committed view polluted: %v", got)
+	}
+	tx.Abort()
+}
+
+func TestNodesByProperty(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, nil, value.Map{"city": value.String("madrid")})
+	seedNode(t, e, nil, value.Map{"city": value.String("paris")})
+	c := seedNode(t, e, nil, value.Map{"city": value.String("madrid")})
+
+	tx := e.Begin()
+	got, err := tx.NodesByProperty("city", value.String("madrid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uint64{a, c}) {
+		t.Fatalf("madrid = %v", got)
+	}
+	// Update through the write set: index hit must be re-validated.
+	if err := tx.SetNodeProp(a, "city", value.String("berlin")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = tx.NodesByProperty("city", value.String("madrid"))
+	if !reflect.DeepEqual(got, []uint64{c}) {
+		t.Fatalf("after staged update = %v, want [%d]", got, c)
+	}
+	got, _ = tx.NodesByProperty("city", value.String("berlin"))
+	if !reflect.DeepEqual(got, []uint64{a}) {
+		t.Fatalf("staged value lookup = %v, want [%d]", got, a)
+	}
+	tx.Abort()
+}
+
+func TestPropertyIndexAfterCommitUpdate(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, nil, value.Map{"v": value.Int(1)})
+	tx := e.Begin()
+	if err := tx.SetNodeProp(a, "v", value.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	tx2 := e.Begin()
+	defer tx2.Abort()
+	if got, _ := tx2.NodesByProperty("v", value.Int(1)); len(got) != 0 {
+		t.Fatalf("stale index entry: %v", got)
+	}
+	if got, _ := tx2.NodesByProperty("v", value.Int(2)); !reflect.DeepEqual(got, []uint64{a}) {
+		t.Fatalf("new index entry missing: %v", got)
+	}
+}
+
+func TestRelsByProperty(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, nil, nil)
+	b := seedNode(t, e, nil, nil)
+	tx := e.Begin()
+	r1, _ := tx.CreateRel("R", a, b, value.Map{"w": value.Int(5)})
+	_, _ = tx.CreateRel("R", a, b, value.Map{"w": value.Int(6)})
+	mustCommit(t, tx)
+
+	tx2 := e.Begin()
+	got, err := tx2.RelsByProperty("w", value.Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uint64{r1}) {
+		t.Fatalf("w=5 -> %v", got)
+	}
+	// Staged create merges in.
+	r3, _ := tx2.CreateRel("R", a, b, value.Map{"w": value.Int(5)})
+	got, _ = tx2.RelsByProperty("w", value.Int(5))
+	if !reflect.DeepEqual(got, []uint64{r1, r3}) {
+		t.Fatalf("merged = %v", got)
+	}
+	tx2.Abort()
+}
+
+func TestAllNodesAllRels(t *testing.T) {
+	e := memEngine(t)
+	a := seedNode(t, e, nil, nil)
+	b := seedNode(t, e, nil, nil)
+	tx := e.Begin()
+	r, _ := tx.CreateRel("R", a, b, nil)
+	mustCommit(t, tx)
+
+	tx2 := e.Begin()
+	nodes, _ := tx2.AllNodes()
+	rels, _ := tx2.AllRels()
+	if !reflect.DeepEqual(nodes, []uint64{a, b}) || !reflect.DeepEqual(rels, []uint64{r}) {
+		t.Fatalf("nodes=%v rels=%v", nodes, rels)
+	}
+	// Staged entities appear; deleted ones vanish.
+	c, _ := tx2.CreateNode(nil, nil)
+	if err := tx2.DeleteRel(r); err != nil {
+		t.Fatal(err)
+	}
+	nodes, _ = tx2.AllNodes()
+	rels, _ = tx2.AllRels()
+	if !reflect.DeepEqual(nodes, []uint64{a, b, c}) || len(rels) != 0 {
+		t.Fatalf("staged: nodes=%v rels=%v", nodes, rels)
+	}
+	tx2.Abort()
+}
+
+func TestNodeIterator(t *testing.T) {
+	e := memEngine(t)
+	want := map[uint64]bool{}
+	for i := 0; i < 5; i++ {
+		want[seedNode(t, e, []string{"It"}, value.Map{"i": value.Int(int64(i))})] = true
+	}
+	tx := e.Begin()
+	defer tx.Abort()
+	it, err := tx.IterateNodesByLabel("It")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for it.Next() {
+		n := it.Node()
+		if !want[n.ID] {
+			t.Fatalf("unexpected node %d", n.ID)
+		}
+		if _, ok := n.Props["i"]; !ok {
+			t.Fatalf("iterator snapshot missing props: %v", n)
+		}
+		seen++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if seen != 5 {
+		t.Fatalf("iterated %d, want 5", seen)
+	}
+	it2, _ := tx.IterateAllNodes()
+	count := 0
+	for it2.Next() {
+		count++
+	}
+	if count != 5 {
+		t.Fatalf("all-nodes iterator = %d", count)
+	}
+}
+
+func TestIndexVisibilityForOldSnapshots(t *testing.T) {
+	e := memEngine(t)
+	old := e.Begin() // snapshot before anything labelled "New" exists
+	seedNode(t, e, []string{"New"}, nil)
+
+	if got, _ := old.NodesByLabel("New"); len(got) != 0 {
+		t.Fatalf("old snapshot sees later label: %v", got)
+	}
+	old.Abort()
+	fresh := e.Begin()
+	defer fresh.Abort()
+	if got, _ := fresh.NodesByLabel("New"); len(got) != 1 {
+		t.Fatalf("fresh snapshot missing label: %v", got)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"neograph/internal/lock"
+	"neograph/internal/mvcc"
+	"neograph/internal/store"
+)
+
+// recover rebuilds the object cache, adjacency, indexes and oracle from
+// the persistent store and the WAL tail:
+//
+//  1. every persisted entity image (the newest committed version only,
+//     per §4) becomes a single-version chain at its stored commit
+//     timestamp; tombstone images re-enter the GC list;
+//  2. WAL commit records newer than the persisted image are re-installed
+//     (idempotently — older or equal timestamps are skipped), exactly as
+//     if the original transactions had just committed;
+//  3. the oracle resumes from the largest commit timestamp seen.
+func (e *Engine) recover() error {
+	var maxTS mvcc.TS
+
+	seed := func(k entKey, v *mvcc.Version, relStart, relEnd uint64) {
+		o := e.ensureObject(k)
+		o.start, o.end = relStart, relEnd
+		o.chain.Install(v)
+		if v.CommitTS > maxTS {
+			maxTS = v.CommitTS
+		}
+		if v.Deleted && e.opts.GCMode == GCThreaded {
+			v.SupersededAt = v.CommitTS
+			e.gcList.Add(v)
+		}
+	}
+
+	err := e.store.ScanNodes(func(nd store.NodeData) error {
+		st := &NodeState{Labels: normalizeLabels(nd.Labels), Props: nd.Props}
+		v := &mvcc.Version{CommitTS: nd.CommitTS, Deleted: nd.Tombstone, Data: st}
+		k := entKey{lock.KindNode, nd.ID}
+		seed(k, v, 0, 0)
+		if !nd.Tombstone {
+			e.indexNodeDiff(nd.ID, nil, st, nd.CommitTS)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: recover nodes: %w", err)
+	}
+	err = e.store.ScanRels(func(rd store.RelData) error {
+		st := &RelState{Type: rd.Type, Start: rd.StartNode, End: rd.EndNode, Props: rd.Props}
+		v := &mvcc.Version{CommitTS: rd.CommitTS, Deleted: rd.Tombstone, Data: st}
+		k := entKey{lock.KindRel, rd.ID}
+		seed(k, v, rd.StartNode, rd.EndNode)
+		e.addAdjacency(rd.StartNode, rd.ID)
+		if rd.EndNode != rd.StartNode {
+			e.addAdjacency(rd.EndNode, rd.ID)
+		}
+		if !rd.Tombstone {
+			e.indexRelDiff(rd.ID, nil, st, rd.CommitTS)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: recover rels: %w", err)
+	}
+
+	// Replay the WAL tail. Records whose effects are already persisted
+	// (head commit TS >= record TS) are skipped per entity, making replay
+	// idempotent.
+	var replayed []entKey
+	err = e.wal.ForEach(func(lsn uint64, payload []byte) error {
+		if len(payload) == 0 {
+			return nil
+		}
+		switch payload[0] {
+		case recCheckpoint:
+			return nil
+		case recCommit:
+			cts, muts, err := decodeCommit(payload)
+			if err != nil {
+				return err
+			}
+			if cts > maxTS {
+				maxTS = cts
+			}
+			for _, m := range muts {
+				o := e.getObject(m.key)
+				if o != nil {
+					if head := o.chain.Head(); head != nil && head.CommitTS >= cts {
+						continue // already persisted at or past this commit
+					}
+				}
+				e.install(m, cts)
+				replayed = append(replayed, m.key)
+			}
+			return nil
+		default:
+			return fmt.Errorf("core: unknown WAL record tag %q", payload[0])
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("core: wal replay: %w", err)
+	}
+	e.markDirty(replayed)
+
+	// Allocator high-water marks may trail the WAL tail after a crash
+	// (store allocators are rebuilt from record files, which the replayed
+	// commits never reached). Raise them past every recovered ID.
+	var maxNode, maxRel uint64
+	hasNode, hasRel := false, false
+	e.mu.RLock()
+	for id := range e.nodes {
+		if !hasNode || id > maxNode {
+			maxNode, hasNode = id, true
+		}
+	}
+	for id := range e.rels {
+		if !hasRel || id > maxRel {
+			maxRel, hasRel = id, true
+		}
+	}
+	e.mu.RUnlock()
+	if hasNode && e.store.NodeHighWater() <= maxNode {
+		e.store.SetNodeHighWater(maxNode + 1)
+	}
+	if hasRel && e.store.RelHighWater() <= maxRel {
+		e.store.SetRelHighWater(maxRel + 1)
+	}
+
+	e.oracle = mvcc.NewOracle(maxTS)
+	return nil
+}

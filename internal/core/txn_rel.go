@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"neograph/internal/ids"
+	"neograph/internal/lock"
+	"neograph/internal/value"
+)
+
+// Direction selects relationship orientation relative to a node.
+type Direction uint8
+
+// Directions.
+const (
+	Outgoing Direction = iota
+	Incoming
+	Both
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Outgoing:
+		return "outgoing"
+	case Incoming:
+		return "incoming"
+	default:
+		return "both"
+	}
+}
+
+// lockEndpoint takes the long write lock on an endpoint node of a
+// relationship being created or deleted, mirroring Neo4j, which locks
+// both endpoint nodes to serialise relationship-chain updates. Endpoints
+// created by this very transaction are private and need no lock. Under
+// first-committer-wins no locks are taken during execution; endpoint
+// liveness is re-validated at commit.
+func (t *Tx) lockEndpoint(node ids.ID) error {
+	k := entKey{lock.KindNode, node}
+	if w, ok := t.writes[k]; ok && w.created {
+		return nil
+	}
+	if t.iso == SnapshotIsolation && t.e.opts.Conflict == FirstCommitterWins {
+		return nil
+	}
+	lk := lock.Key{Kind: lock.KindNode, ID: node}
+	if t.iso == ReadCommitted {
+		if err := t.e.locks.Acquire(t.id, lk, lock.Exclusive); err != nil {
+			t.e.stats.deadlocks.Add(1)
+			return err
+		}
+		return nil
+	}
+	if err := t.e.locks.TryAcquire(t.id, lk, lock.Exclusive); err != nil {
+		t.e.stats.conflicts.Add(1)
+		return fmt.Errorf("%w: endpoint node %d locked by concurrent transaction", ErrWriteConflict, node)
+	}
+	return nil
+}
+
+// CreateRel creates a relationship of the given type from start to end.
+// Both endpoint nodes must be visible in this transaction's snapshot; both
+// are write-locked (as in Neo4j) to serialise chain updates.
+func (t *Tx) CreateRel(relType string, start, end ids.ID, props value.Map) (ids.ID, error) {
+	if err := t.check(); err != nil {
+		return 0, err
+	}
+	if relType == "" {
+		return 0, fmt.Errorf("core: relationship type must not be empty")
+	}
+	if _, ok, err := t.visibleNode(start); err != nil {
+		return 0, err
+	} else if !ok {
+		return 0, fmt.Errorf("%w: start node %d", ErrNotFound, start)
+	}
+	if _, ok, err := t.visibleNode(end); err != nil {
+		return 0, err
+	} else if !ok {
+		return 0, fmt.Errorf("%w: end node %d", ErrNotFound, end)
+	}
+	if err := t.lockEndpoint(start); err != nil {
+		return 0, err
+	}
+	if end != start {
+		if err := t.lockEndpoint(end); err != nil {
+			return 0, err
+		}
+	}
+	id := t.e.allocRelID()
+	k := entKey{lock.KindRel, id}
+	t.writes[k] = &writeEntry{
+		key:     k,
+		created: true,
+		rel:     &RelState{Type: relType, Start: start, End: end, Props: props.Clone()},
+	}
+	t.order = append(t.order, k)
+	return id, nil
+}
+
+// GetRel returns the relationship visible in this transaction's snapshot.
+func (t *Tx) GetRel(id ids.ID) (RelSnapshot, error) {
+	if err := t.check(); err != nil {
+		return RelSnapshot{}, err
+	}
+	st, ok, err := t.visibleRel(id)
+	if err != nil {
+		return RelSnapshot{}, err
+	}
+	if !ok {
+		return RelSnapshot{}, fmt.Errorf("%w: rel %d", ErrNotFound, id)
+	}
+	return RelSnapshot{
+		ID: id, Type: st.Type, Start: st.Start, End: st.End, Props: st.Props.Clone(),
+	}, nil
+}
+
+// SetRelProp sets one property on a relationship.
+func (t *Tx) SetRelProp(id ids.ID, key string, v value.Value) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	w, err := t.stageRelWrite(id)
+	if err != nil {
+		return err
+	}
+	w.rel.Props[key] = v
+	return nil
+}
+
+// RemoveRelProp removes a property from a relationship (no-op if absent).
+func (t *Tx) RemoveRelProp(id ids.ID, key string) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	w, err := t.stageRelWrite(id)
+	if err != nil {
+		return err
+	}
+	delete(w.rel.Props, key)
+	return nil
+}
+
+// DeleteRel deletes a relationship. Both endpoint nodes are write-locked
+// (chain update, as in Neo4j).
+func (t *Tx) DeleteRel(id ids.ID) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	k := entKey{lock.KindRel, id}
+	if w, ok := t.writes[k]; ok && w.created {
+		w.deleted = true // created and deleted in the same transaction
+		st := w.rel
+		w.rel = nil
+		if st != nil {
+			// Endpoints were locked at create; nothing to undo.
+			_ = st
+		}
+		return nil
+	}
+	st, ok, err := t.visibleRel(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: rel %d", ErrNotFound, id)
+	}
+	if err := t.lockEndpoint(st.Start); err != nil {
+		return err
+	}
+	if st.End != st.Start {
+		if err := t.lockEndpoint(st.End); err != nil {
+			return err
+		}
+	}
+	w, err := t.stageRelWrite(id)
+	if err != nil {
+		return err
+	}
+	w.deleted = true
+	return nil
+}
+
+// Relationships returns the relationships of node visible in this
+// snapshot, filtered by direction and (optionally) type, sorted by ID.
+//
+// This is the paper's "enriched iterator" (§4): the candidate set comes
+// from the committed adjacency structure plus the transaction's own
+// staged creations; each candidate's visibility is decided by its version
+// chain, and staged deletions are excluded — read-your-own-writes.
+func (t *Tx) Relationships(node ids.ID, dir Direction, relTypes ...string) ([]RelSnapshot, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	if _, ok, err := t.visibleNode(node); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("%w: node %d", ErrNotFound, node)
+	}
+	var typeFilter map[string]bool
+	if len(relTypes) > 0 {
+		typeFilter = make(map[string]bool, len(relTypes))
+		for _, rt := range relTypes {
+			typeFilter[rt] = true
+		}
+	}
+
+	candidates := t.e.adjacentRels(node)
+	// Merge staged creations touching this node.
+	for k, w := range t.writes {
+		if k.kind != lock.KindRel || !w.created || w.deleted || w.rel == nil {
+			continue
+		}
+		if w.rel.Start == node || w.rel.End == node {
+			candidates = append(candidates, k.id)
+		}
+	}
+
+	seen := make(map[ids.ID]bool, len(candidates))
+	var out []RelSnapshot
+	for _, rid := range candidates {
+		if seen[rid] {
+			continue
+		}
+		seen[rid] = true
+		st, ok, err := t.visibleRel(rid)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if st.Start != node && st.End != node {
+			continue
+		}
+		switch dir {
+		case Outgoing:
+			if st.Start != node {
+				continue
+			}
+		case Incoming:
+			if st.End != node {
+				continue
+			}
+		}
+		if typeFilter != nil && !typeFilter[st.Type] {
+			continue
+		}
+		out = append(out, RelSnapshot{
+			ID: rid, Type: st.Type, Start: st.Start, End: st.End, Props: st.Props.Clone(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Degree returns the number of visible relationships on node.
+func (t *Tx) Degree(node ids.ID, dir Direction, relTypes ...string) (int, error) {
+	rels, err := t.Relationships(node, dir, relTypes...)
+	if err != nil {
+		return 0, err
+	}
+	return len(rels), nil
+}
+
+// Neighbors returns the IDs of nodes adjacent to node over visible
+// relationships, deduplicated and sorted.
+func (t *Tx) Neighbors(node ids.ID, dir Direction, relTypes ...string) ([]ids.ID, error) {
+	rels, err := t.Relationships(node, dir, relTypes...)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[ids.ID]struct{}, len(rels))
+	for _, r := range rels {
+		other := r.End
+		if r.End == node && r.Start != node {
+			other = r.Start
+		} else if r.Start == node {
+			other = r.End
+		}
+		set[other] = struct{}{}
+	}
+	out := make([]ids.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package ids
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestNextMonotonic(t *testing.T) {
+	a := NewAllocator()
+	for want := ID(0); want < 100; want++ {
+		if got := a.Next(); got != want {
+			t.Fatalf("Next() = %d, want %d", got, want)
+		}
+	}
+	if a.HighWater() != 100 {
+		t.Fatalf("HighWater() = %d, want 100", a.HighWater())
+	}
+}
+
+func TestReleaseReuse(t *testing.T) {
+	a := NewAllocator()
+	for i := 0; i < 10; i++ {
+		a.Next()
+	}
+	a.Release(3)
+	a.Release(7)
+	if a.FreeCount() != 2 {
+		t.Fatalf("FreeCount() = %d, want 2", a.FreeCount())
+	}
+	got := map[ID]bool{a.Next(): true, a.Next(): true}
+	if !got[3] || !got[7] {
+		t.Fatalf("recycled IDs = %v, want {3,7}", got)
+	}
+	if next := a.Next(); next != 10 {
+		t.Fatalf("after recycling, Next() = %d, want 10", next)
+	}
+}
+
+func TestReleasePanics(t *testing.T) {
+	a := NewAllocator()
+	a.Next()
+	for _, bad := range []ID{5, NoID} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Release(%d) should panic", bad)
+				}
+			}()
+			a.Release(bad)
+		}()
+	}
+}
+
+func TestSetHighWater(t *testing.T) {
+	a := NewAllocator()
+	a.SetHighWater(50)
+	if got := a.Next(); got != 50 {
+		t.Fatalf("Next() after SetHighWater(50) = %d", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("shrinking SetHighWater should panic")
+			}
+		}()
+		a.SetHighWater(10)
+	}()
+}
+
+func TestConcurrentAllocationUnique(t *testing.T) {
+	a := NewAllocator()
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	results := make([][]ID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				results[g] = append(results[g], a.Next())
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[ID]bool, goroutines*perG)
+	for _, rs := range results {
+		for _, id := range rs {
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("got %d unique ids, want %d", len(seen), goroutines*perG)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node.id")
+
+	a := NewAllocator()
+	for i := 0; i < 20; i++ {
+		a.Next()
+	}
+	a.Release(4)
+	a.Release(11)
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.HighWater() != 20 || b.FreeCount() != 2 {
+		t.Fatalf("loaded hw=%d free=%d, want 20/2", b.HighWater(), b.FreeCount())
+	}
+	got := map[ID]bool{b.Next(): true, b.Next(): true}
+	if !got[4] || !got[11] {
+		t.Fatalf("loaded free list = %v, want {4,11}", got)
+	}
+}
+
+func TestLoadMissingFileFresh(t *testing.T) {
+	a, err := Load(filepath.Join(t.TempDir(), "absent.id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Next() != 0 {
+		t.Fatal("missing file should give fresh allocator")
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"short.id":    {1, 2, 3},
+		"badmagic.id": append([]byte("XXXXXXXX"), make([]byte, 16)...),
+		"truncfree.id": func() []byte {
+			b := append([]byte{}, idFileMagic[:]...)
+			b = append(b, make([]byte, 8)...) // next = 0
+			b = append(b, 5, 0, 0, 0, 0, 0, 0, 0)
+			return b // claims 5 free ids, none present
+		}(),
+		"freebeyond.id": func() []byte {
+			b := append([]byte{}, idFileMagic[:]...)
+			b = append(b, 1, 0, 0, 0, 0, 0, 0, 0) // next = 1
+			b = append(b, 1, 0, 0, 0, 0, 0, 0, 0) // one free id
+			b = append(b, 9, 0, 0, 0, 0, 0, 0, 0) // free id 9 >= next
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

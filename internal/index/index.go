@@ -1,0 +1,298 @@
+// Package index implements the multi-versioned label and property indexes
+// of the paper (§4). Neo4j keeps two node indexes (labels → nodes,
+// property → nodes) and one relationship index (property →
+// relationships); labels and properties are never deleted, so the paper
+// versions them instead:
+//
+//   - each index *key* (label or property) records the commit timestamp of
+//     the transaction that created it, letting a reader discard the whole
+//     key when it was created after the reader's snapshot;
+//   - each index *entry* (the membership of one entity under a key) is
+//     tagged with the commit timestamp that added it and, when the entity
+//     is removed from the key, the commit timestamp that removed it. A
+//     reader at start timestamp S sees an entry iff added ≤ S < removed.
+//
+// Only committed changes reach the index; a transaction's own uncommitted
+// writes are merged over index lookups by the engine's enriched iterators
+// (read-your-own-writes, §4).
+package index
+
+import (
+	"sort"
+	"sync"
+
+	"neograph/internal/mvcc"
+	"neograph/internal/value"
+)
+
+// neverRemoved marks a live entry.
+const neverRemoved = ^mvcc.TS(0)
+
+// entryRec is one versioned membership: entity id was associated with the
+// key at Added and dissociated at Removed (neverRemoved while live).
+type entryRec struct {
+	ID      uint64
+	Added   mvcc.TS
+	Removed mvcc.TS
+}
+
+// posting is the versioned entry list of one index key.
+type posting struct {
+	mu      sync.RWMutex
+	created mvcc.TS // commit TS of the transaction that created this key
+	entries []entryRec
+}
+
+// add appends a new live entry.
+func (p *posting) add(id uint64, ts mvcc.TS) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = append(p.entries, entryRec{ID: id, Added: ts, Removed: neverRemoved})
+}
+
+// remove marks the live entry for id as removed at ts. Missing entries are
+// ignored (idempotent with respect to replay).
+func (p *posting) remove(id uint64, ts mvcc.TS) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.entries {
+		if p.entries[i].ID == id && p.entries[i].Removed == neverRemoved {
+			p.entries[i].Removed = ts
+			return
+		}
+	}
+}
+
+// lookup returns the IDs visible at startTS, sorted ascending.
+func (p *posting) lookup(startTS mvcc.TS) []uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.created > startTS {
+		// Key itself is newer than the snapshot: discard wholesale (§4).
+		return nil
+	}
+	var out []uint64
+	for _, e := range p.entries {
+		if e.Added <= startTS && startTS < e.Removed {
+			out = append(out, e.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// prune drops entries whose removal is at or below the horizon — no
+// active or future transaction can see them. Returns entries dropped.
+func (p *posting) prune(horizon mvcc.TS) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.entries[:0]
+	dropped := 0
+	for _, e := range p.entries {
+		if e.Removed <= horizon {
+			dropped++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	p.entries = kept
+	return dropped
+}
+
+func (p *posting) size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.entries)
+}
+
+// LabelIndex maps label tokens to versioned node sets.
+type LabelIndex struct {
+	mu       sync.RWMutex
+	postings map[uint32]*posting
+}
+
+// NewLabelIndex returns an empty label index.
+func NewLabelIndex() *LabelIndex {
+	return &LabelIndex{postings: make(map[uint32]*posting)}
+}
+
+// postingFor returns (creating at ts if absent) the posting for label.
+func (ix *LabelIndex) postingFor(label uint32, ts mvcc.TS) *posting {
+	ix.mu.RLock()
+	p, ok := ix.postings[label]
+	ix.mu.RUnlock()
+	if ok {
+		return p
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if p, ok = ix.postings[label]; ok {
+		return p
+	}
+	p = &posting{created: ts}
+	ix.postings[label] = p
+	return p
+}
+
+// Add records that node id gained the label at commit timestamp ts.
+func (ix *LabelIndex) Add(label uint32, id uint64, ts mvcc.TS) {
+	ix.postingFor(label, ts).add(id, ts)
+}
+
+// Remove records that node id lost the label at commit timestamp ts.
+func (ix *LabelIndex) Remove(label uint32, id uint64, ts mvcc.TS) {
+	ix.mu.RLock()
+	p, ok := ix.postings[label]
+	ix.mu.RUnlock()
+	if ok {
+		p.remove(id, ts)
+	}
+}
+
+// Lookup returns the node IDs carrying label in the snapshot at startTS.
+func (ix *LabelIndex) Lookup(label uint32, startTS mvcc.TS) []uint64 {
+	ix.mu.RLock()
+	p, ok := ix.postings[label]
+	ix.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return p.lookup(startTS)
+}
+
+// Prune drops dead entries below the horizon, returning entries dropped.
+func (ix *LabelIndex) Prune(horizon mvcc.TS) int {
+	ix.mu.RLock()
+	ps := make([]*posting, 0, len(ix.postings))
+	for _, p := range ix.postings {
+		ps = append(ps, p)
+	}
+	ix.mu.RUnlock()
+	dropped := 0
+	for _, p := range ps {
+		dropped += p.prune(horizon)
+	}
+	return dropped
+}
+
+// EntryCount returns the total number of versioned entries (live + dead),
+// used by GC accounting and tests.
+func (ix *LabelIndex) EntryCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := 0
+	for _, p := range ix.postings {
+		n += p.size()
+	}
+	return n
+}
+
+// propKey identifies one (property key, value) index key. The value is
+// captured by its deterministic binary encoding.
+type propKey struct {
+	key uint32
+	val string
+}
+
+// PropertyIndex maps (property key token, value) pairs to versioned entity
+// sets. It serves both the node property index and the relationship
+// property index — the engine instantiates one of each.
+type PropertyIndex struct {
+	mu       sync.RWMutex
+	postings map[propKey]*posting
+	keyBorn  map[uint32]mvcc.TS // first commit TS each property key appeared
+}
+
+// NewPropertyIndex returns an empty property index.
+func NewPropertyIndex() *PropertyIndex {
+	return &PropertyIndex{
+		postings: make(map[propKey]*posting),
+		keyBorn:  make(map[uint32]mvcc.TS),
+	}
+}
+
+func encodeKey(key uint32, val value.Value) propKey {
+	return propKey{key: key, val: string(value.EncodeValue(val))}
+}
+
+func (ix *PropertyIndex) postingFor(k propKey, ts mvcc.TS) *posting {
+	ix.mu.RLock()
+	p, ok := ix.postings[k]
+	ix.mu.RUnlock()
+	if ok {
+		return p
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if p, ok = ix.postings[k]; ok {
+		return p
+	}
+	if _, born := ix.keyBorn[k.key]; !born {
+		ix.keyBorn[k.key] = ts
+	}
+	p = &posting{created: ts}
+	ix.postings[k] = p
+	return p
+}
+
+// Add records that entity id gained property key=val at commit TS ts.
+func (ix *PropertyIndex) Add(key uint32, val value.Value, id uint64, ts mvcc.TS) {
+	ix.postingFor(encodeKey(key, val), ts).add(id, ts)
+}
+
+// Remove records that entity id lost property key=val at commit TS ts.
+func (ix *PropertyIndex) Remove(key uint32, val value.Value, id uint64, ts mvcc.TS) {
+	k := encodeKey(key, val)
+	ix.mu.RLock()
+	p, ok := ix.postings[k]
+	ix.mu.RUnlock()
+	if ok {
+		p.remove(id, ts)
+	}
+}
+
+// Lookup returns the entity IDs whose property key equals val in the
+// snapshot at startTS.
+func (ix *PropertyIndex) Lookup(key uint32, val value.Value, startTS mvcc.TS) []uint64 {
+	// Fast path: the property key itself post-dates the snapshot (§4).
+	ix.mu.RLock()
+	born, known := ix.keyBorn[key]
+	ix.mu.RUnlock()
+	if known && born > startTS {
+		return nil
+	}
+	k := encodeKey(key, val)
+	ix.mu.RLock()
+	p, ok := ix.postings[k]
+	ix.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return p.lookup(startTS)
+}
+
+// Prune drops dead entries below the horizon, returning entries dropped.
+func (ix *PropertyIndex) Prune(horizon mvcc.TS) int {
+	ix.mu.RLock()
+	ps := make([]*posting, 0, len(ix.postings))
+	for _, p := range ix.postings {
+		ps = append(ps, p)
+	}
+	ix.mu.RUnlock()
+	dropped := 0
+	for _, p := range ps {
+		dropped += p.prune(horizon)
+	}
+	return dropped
+}
+
+// EntryCount returns the total number of versioned entries (live + dead).
+func (ix *PropertyIndex) EntryCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := 0
+	for _, p := range ix.postings {
+		n += p.size()
+	}
+	return n
+}

@@ -1,0 +1,202 @@
+package index
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"neograph/internal/value"
+)
+
+func TestLabelLookupSnapshot(t *testing.T) {
+	ix := NewLabelIndex()
+	ix.Add(1, 100, 10)
+	ix.Add(1, 200, 20)
+	ix.Add(1, 300, 30)
+
+	cases := []struct {
+		ts   uint64
+		want []uint64
+	}{
+		{5, nil},
+		{10, []uint64{100}},
+		{25, []uint64{100, 200}},
+		{30, []uint64{100, 200, 300}},
+	}
+	for _, c := range cases {
+		if got := ix.Lookup(1, c.ts); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Lookup(ts=%d) = %v, want %v", c.ts, got, c.want)
+		}
+	}
+}
+
+func TestLabelKeyCreatedAfterSnapshotDiscarded(t *testing.T) {
+	ix := NewLabelIndex()
+	ix.Add(7, 100, 50) // label first appears at TS 50
+	if got := ix.Lookup(7, 40); got != nil {
+		t.Fatalf("reader at 40 must discard label created at 50, got %v", got)
+	}
+	if got := ix.Lookup(7, 50); len(got) != 1 {
+		t.Fatalf("reader at 50 must see it: %v", got)
+	}
+	if got := ix.Lookup(99, 100); got != nil {
+		t.Fatalf("unknown label: %v", got)
+	}
+}
+
+func TestLabelRemoveVersioned(t *testing.T) {
+	ix := NewLabelIndex()
+	ix.Add(1, 100, 10)
+	ix.Remove(1, 100, 20)
+	if got := ix.Lookup(1, 15); !reflect.DeepEqual(got, []uint64{100}) {
+		t.Fatalf("reader at 15 must still see entry: %v", got)
+	}
+	if got := ix.Lookup(1, 20); got != nil {
+		t.Fatalf("reader at 20 must not see removed entry: %v", got)
+	}
+	// Re-add after removal: two versioned entries, one visible.
+	ix.Add(1, 100, 30)
+	if got := ix.Lookup(1, 35); !reflect.DeepEqual(got, []uint64{100}) {
+		t.Fatalf("re-added entry: %v", got)
+	}
+	if got := ix.Lookup(1, 25); got != nil {
+		t.Fatalf("gap snapshot: %v", got)
+	}
+	// Removing an id never added is a no-op.
+	ix.Remove(1, 999, 40)
+	ix.Remove(42, 999, 40)
+}
+
+func TestLabelPrune(t *testing.T) {
+	ix := NewLabelIndex()
+	ix.Add(1, 100, 10)
+	ix.Remove(1, 100, 20)
+	ix.Add(1, 200, 12)
+	if n := ix.EntryCount(); n != 2 {
+		t.Fatalf("entries = %d", n)
+	}
+	if n := ix.Prune(15); n != 0 {
+		t.Fatalf("prune below removal dropped %d", n)
+	}
+	if n := ix.Prune(20); n != 1 {
+		t.Fatalf("prune dropped %d, want 1", n)
+	}
+	if n := ix.EntryCount(); n != 1 {
+		t.Fatalf("entries after prune = %d", n)
+	}
+	// Live entry survives and is still visible.
+	if got := ix.Lookup(1, 100); !reflect.DeepEqual(got, []uint64{200}) {
+		t.Fatalf("after prune: %v", got)
+	}
+}
+
+func TestPropertyLookup(t *testing.T) {
+	ix := NewPropertyIndex()
+	name := value.String("ada")
+	ix.Add(3, name, 100, 10)
+	ix.Add(3, value.String("bob"), 200, 10)
+	ix.Add(4, name, 300, 10) // different key, same value
+
+	if got := ix.Lookup(3, name, 10); !reflect.DeepEqual(got, []uint64{100}) {
+		t.Fatalf("Lookup = %v", got)
+	}
+	if got := ix.Lookup(3, value.String("carol"), 10); got != nil {
+		t.Fatalf("absent value: %v", got)
+	}
+	if got := ix.Lookup(9, name, 10); got != nil {
+		t.Fatalf("absent key: %v", got)
+	}
+}
+
+func TestPropertyValueKindStrict(t *testing.T) {
+	ix := NewPropertyIndex()
+	ix.Add(1, value.Int(42), 100, 5)
+	// Float 42 is a different value from Int 42.
+	if got := ix.Lookup(1, value.Float(42), 10); got != nil {
+		t.Fatalf("kind-mismatched lookup: %v", got)
+	}
+	if got := ix.Lookup(1, value.Int(42), 10); len(got) != 1 {
+		t.Fatalf("exact lookup: %v", got)
+	}
+}
+
+func TestPropertyKeyBornFilter(t *testing.T) {
+	ix := NewPropertyIndex()
+	ix.Add(5, value.Int(1), 100, 30)
+	if got := ix.Lookup(5, value.Int(1), 20); got != nil {
+		t.Fatalf("key born at 30 visible at 20: %v", got)
+	}
+}
+
+func TestPropertyRemoveAndPrune(t *testing.T) {
+	ix := NewPropertyIndex()
+	v := value.Int(7)
+	ix.Add(1, v, 100, 10)
+	ix.Remove(1, v, 100, 20)
+	if got := ix.Lookup(1, v, 25); got != nil {
+		t.Fatalf("removed entry visible: %v", got)
+	}
+	if n := ix.Prune(20); n != 1 {
+		t.Fatalf("pruned %d", n)
+	}
+	if n := ix.EntryCount(); n != 0 {
+		t.Fatalf("entries = %d", n)
+	}
+}
+
+func TestPropertyUpdateIsRemoveAdd(t *testing.T) {
+	// An update of a property from v1 to v2 at TS t is modelled by the
+	// engine as Remove(key, v1, t) + Add(key, v2, t).
+	ix := NewPropertyIndex()
+	v1, v2 := value.String("old"), value.String("new")
+	ix.Add(1, v1, 100, 10)
+	ix.Remove(1, v1, 100, 20)
+	ix.Add(1, v2, 100, 20)
+
+	if got := ix.Lookup(1, v1, 15); !reflect.DeepEqual(got, []uint64{100}) {
+		t.Fatalf("old snapshot: %v", got)
+	}
+	if got := ix.Lookup(1, v1, 20); got != nil {
+		t.Fatalf("old value after update: %v", got)
+	}
+	if got := ix.Lookup(1, v2, 20); !reflect.DeepEqual(got, []uint64{100}) {
+		t.Fatalf("new value: %v", got)
+	}
+}
+
+func TestLookupSorted(t *testing.T) {
+	ix := NewLabelIndex()
+	for _, id := range []uint64{50, 10, 30, 20, 40} {
+		ix.Add(1, id, 5)
+	}
+	got := ix.Lookup(1, 10)
+	want := []uint64{10, 20, 30, 40, 50}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestConcurrentIndexAccess(t *testing.T) {
+	ix := NewLabelIndex()
+	pix := NewPropertyIndex()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ts := uint64(g*200 + i + 1)
+				id := uint64(i % 37)
+				ix.Add(uint32(g%3), id, ts)
+				pix.Add(uint32(g%3), value.Int(int64(i%5)), id, ts)
+				_ = ix.Lookup(uint32(g%3), ts)
+				_ = pix.Lookup(uint32(g%3), value.Int(int64(i%5)), ts)
+				if i%10 == 0 {
+					ix.Prune(ts / 2)
+					pix.Prune(ts / 2)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,63 @@
+package mvcc
+
+import "sync"
+
+// ActiveTable tracks the start timestamp of every active transaction. Its
+// single job is to answer the GC horizon question: which is the oldest
+// snapshot any active transaction can read (paper §3: versions older than
+// what the oldest active transaction can read "will never be read by any
+// active transaction")?
+type ActiveTable struct {
+	mu     sync.Mutex
+	active map[uint64]TS // txn id -> start TS
+}
+
+// NewActiveTable returns an empty table.
+func NewActiveTable() *ActiveTable {
+	return &ActiveTable{active: make(map[uint64]TS)}
+}
+
+// Register records that transaction id started at ts.
+func (t *ActiveTable) Register(id uint64, ts TS) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.active[id] = ts
+}
+
+// Unregister removes a finished (committed or aborted) transaction.
+func (t *ActiveTable) Unregister(id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.active, id)
+}
+
+// Count returns the number of active transactions.
+func (t *ActiveTable) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}
+
+// Horizon returns the GC horizon: the minimum start timestamp over all
+// active transactions, or ifIdle when none are active (the caller passes
+// the current watermark — with no readers, everything up to the newest
+// committed state but excluding current heads is reclaimable).
+//
+// The table is scanned linearly; GC runs are far rarer than
+// register/unregister, so the table optimises for the latter.
+func (t *ActiveTable) Horizon(ifIdle TS) TS {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.active) == 0 {
+		return ifIdle
+	}
+	first := true
+	var min TS
+	for _, ts := range t.active {
+		if first || ts < min {
+			min = ts
+			first = false
+		}
+	}
+	return min
+}

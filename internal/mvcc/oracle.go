@@ -1,0 +1,91 @@
+// Package mvcc implements the multi-version concurrency control kernel of
+// the paper: the timestamp oracle that orders transactions, per-entity
+// version chains, the active-transaction table that defines the garbage
+// collection horizon, and the global doubly-linked version list — sorted
+// by commit timestamp — that makes garbage collection proportional to the
+// amount of garbage rather than to the size of the store (paper §4).
+package mvcc
+
+import "sync"
+
+// TS is a logical timestamp. Commit timestamps are dense and start at 1;
+// 0 is the timestamp of the initial (empty or recovered) snapshot.
+type TS = uint64
+
+// Oracle issues start and commit timestamps.
+//
+// The commit watermark is the largest timestamp W such that every commit
+// with timestamp ≤ W has finished installing its versions. New
+// transactions start at the watermark, which guarantees the snapshot they
+// read is fully installed — a reader can never observe half of a
+// concurrent commit.
+type Oracle struct {
+	mu         sync.Mutex
+	lastCommit TS
+	watermark  TS
+	pending    map[TS]struct{}
+}
+
+// NewOracle returns an oracle whose watermark starts at base. Recovery
+// passes the largest commit timestamp found in the store/WAL.
+func NewOracle(base TS) *Oracle {
+	return &Oracle{lastCommit: base, watermark: base, pending: make(map[TS]struct{})}
+}
+
+// StartTS returns the snapshot timestamp for a new transaction: the
+// current commit watermark (paper §3, the read rule — the most recent
+// committed state at transaction start).
+func (o *Oracle) StartTS() TS {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.watermark
+}
+
+// BeginCommit assigns the next commit timestamp. The caller must install
+// its versions and then call FinishCommit (or AbortCommit) with the same
+// timestamp; until then the watermark cannot pass it.
+func (o *Oracle) BeginCommit() TS {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.lastCommit++
+	ts := o.lastCommit
+	o.pending[ts] = struct{}{}
+	return ts
+}
+
+// FinishCommit marks ts as fully installed and advances the watermark
+// past every consecutive finished commit.
+func (o *Oracle) FinishCommit(ts TS) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.pending, ts)
+	o.advanceLocked()
+}
+
+// AbortCommit releases a commit timestamp whose transaction aborted after
+// BeginCommit. The timestamp is treated as an empty commit: the watermark
+// may pass it.
+func (o *Oracle) AbortCommit(ts TS) { o.FinishCommit(ts) }
+
+func (o *Oracle) advanceLocked() {
+	for o.watermark < o.lastCommit {
+		if _, stillPending := o.pending[o.watermark+1]; stillPending {
+			return
+		}
+		o.watermark++
+	}
+}
+
+// Watermark returns the current commit watermark.
+func (o *Oracle) Watermark() TS {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.watermark
+}
+
+// LastCommit returns the highest commit timestamp handed out so far.
+func (o *Oracle) LastCommit() TS {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.lastCommit
+}

@@ -1,0 +1,275 @@
+// Package pagecache implements a fixed-size page cache over a store file,
+// the lowest layer of Figure 1's "persistent store". Record stores read
+// and write through the cache; pages are pinned while in use, evicted in
+// LRU order when the cache is full, and written back when dirty.
+//
+// The cache is safe for concurrent use. Callers pin a page, read or
+// mutate its Data under their own record-level synchronisation, then
+// unpin it (marking it dirty if mutated).
+package pagecache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the size of every cached page in bytes (8 KiB, as in Neo4j's
+// default page cache).
+const PageSize = 8192
+
+// Errors returned by the cache.
+var (
+	ErrCacheFull = errors.New("pagecache: all pages pinned")
+	ErrClosed    = errors.New("pagecache: closed")
+)
+
+// File is the backing storage a cache operates on. *os.File implements it.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Close() error
+}
+
+// Page is a pinned cache page. Data is valid until Unpin.
+type Page struct {
+	id    uint64
+	data  [PageSize]byte
+	pins  int
+	dirty bool
+	lru   *list.Element // nil while pinned (pinned pages are not evictable)
+}
+
+// ID returns the page number within the file.
+func (p *Page) ID() uint64 { return p.id }
+
+// Data returns the page's byte buffer. The caller must hold the pin and
+// provide its own synchronisation for concurrent record access.
+func (p *Page) Data() []byte { return p.data[:] }
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Flushes   uint64
+}
+
+// Cache is an LRU page cache over a single file.
+type Cache struct {
+	mu       sync.Mutex
+	file     File
+	capacity int
+	pages    map[uint64]*Page
+	lru      *list.List // front = most recently used; holds only unpinned pages
+	closed   bool
+	stats    Stats
+	grown    uint64 // number of pages known to exist in the file
+}
+
+// New creates a cache of capacity pages over file. fileSize is the current
+// size of the file in bytes (used to know which pages exist on disk).
+func New(file File, capacity int, fileSize int64) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("pagecache: capacity %d < 1", capacity)
+	}
+	if fileSize%PageSize != 0 {
+		return nil, fmt.Errorf("pagecache: file size %d not page aligned", fileSize)
+	}
+	return &Cache{
+		file:     file,
+		capacity: capacity,
+		pages:    make(map[uint64]*Page, capacity),
+		lru:      list.New(),
+		grown:    uint64(fileSize / PageSize),
+	}, nil
+}
+
+// Open is a convenience constructor opening (creating if necessary) the
+// file at path.
+func Open(path string, capacity int) (*Cache, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagecache: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagecache: stat %s: %w", path, err)
+	}
+	c, err := New(f, capacity, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// PageCount returns the number of pages the backing file logically holds.
+func (c *Cache) PageCount() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.grown
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Pin returns the page with the given number, faulting it in from the file
+// if necessary, with the pin count incremented. Pages beyond the current
+// end of file are materialised as zero pages (the file grows lazily at
+// write-back). The caller must Unpin exactly once per Pin.
+func (c *Cache) Pin(pageID uint64) (*Page, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if p, ok := c.pages[pageID]; ok {
+		c.stats.Hits++
+		c.pin(p)
+		return p, nil
+	}
+	c.stats.Misses++
+	if len(c.pages) >= c.capacity {
+		if err := c.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	p := &Page{id: pageID}
+	if pageID < c.grown {
+		if _, err := c.file.ReadAt(p.data[:], int64(pageID)*PageSize); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("pagecache: read page %d: %w", pageID, err)
+		}
+	} else {
+		c.grown = pageID + 1
+	}
+	c.pages[pageID] = p
+	c.pin(p)
+	return p, nil
+}
+
+// pin increments the pin count and removes the page from the evictable
+// LRU list. Caller holds c.mu.
+func (c *Cache) pin(p *Page) {
+	p.pins++
+	if p.lru != nil {
+		c.lru.Remove(p.lru)
+		p.lru = nil
+	}
+}
+
+// Unpin releases one pin on p. If dirty is true the page is marked for
+// write-back before eviction. Unpinning a page with no pins panics.
+func (c *Cache) Unpin(p *Page, dirty bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p.pins <= 0 {
+		panic("pagecache: unpin of unpinned page")
+	}
+	if dirty {
+		p.dirty = true
+	}
+	p.pins--
+	if p.pins == 0 {
+		p.lru = c.lru.PushFront(p)
+	}
+}
+
+// evictLocked removes the least recently used unpinned page, writing it
+// back first if dirty. Caller holds c.mu.
+func (c *Cache) evictLocked() error {
+	e := c.lru.Back()
+	if e == nil {
+		return ErrCacheFull
+	}
+	p := e.Value.(*Page)
+	if p.dirty {
+		if err := c.writeBackLocked(p); err != nil {
+			return err
+		}
+	}
+	c.lru.Remove(e)
+	delete(c.pages, p.id)
+	c.stats.Evictions++
+	return nil
+}
+
+// writeBackLocked flushes a dirty page to the file. Caller holds c.mu.
+func (c *Cache) writeBackLocked(p *Page) error {
+	if _, err := c.file.WriteAt(p.data[:], int64(p.id)*PageSize); err != nil {
+		return fmt.Errorf("pagecache: write page %d: %w", p.id, err)
+	}
+	p.dirty = false
+	c.stats.Flushes++
+	return nil
+}
+
+// Flush writes back every dirty page and syncs the file.
+func (c *Cache) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	for _, p := range c.pages {
+		if p.dirty {
+			if err := c.writeBackLocked(p); err != nil {
+				return err
+			}
+		}
+	}
+	return c.file.Sync()
+}
+
+// Discard closes the backing file WITHOUT writing dirty pages back,
+// simulating a crash: only data that reached the file (earlier eviction or
+// Flush) survives. Pinned pages are abandoned. Test-support only.
+func (c *Cache) Discard() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.file.Close()
+}
+
+// Close flushes all dirty pages and closes the backing file. Close fails
+// if any page is still pinned.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	for _, p := range c.pages {
+		if p.pins > 0 {
+			c.mu.Unlock()
+			return fmt.Errorf("pagecache: close with page %d pinned", p.id)
+		}
+	}
+	for _, p := range c.pages {
+		if p.dirty {
+			if err := c.writeBackLocked(p); err != nil {
+				c.mu.Unlock()
+				return err
+			}
+		}
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if err := c.file.Sync(); err != nil {
+		return err
+	}
+	return c.file.Close()
+}

@@ -1,0 +1,226 @@
+package pagecache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTestCache(t *testing.T, capacity int) (*Cache, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.store")
+	c, err := Open(path, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, path
+}
+
+func TestPinNewPageZeroed(t *testing.T) {
+	c, _ := openTestCache(t, 4)
+	defer c.Close()
+	p, err := c.Pin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range p.Data() {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+	c.Unpin(p, false)
+}
+
+func TestWriteReadBackThroughEviction(t *testing.T) {
+	c, path := openTestCache(t, 2)
+	// Write a distinct first byte into 8 pages: forces eviction with cap 2.
+	for i := uint64(0); i < 8; i++ {
+		p, err := c.Pin(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Data()[0] = byte(i + 1)
+		c.Unpin(p, true)
+	}
+	for i := uint64(0); i < 8; i++ {
+		p, err := c.Pin(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Data()[0] != byte(i+1) {
+			t.Fatalf("page %d byte = %d, want %d", i, p.Data()[0], i+1)
+		}
+		c.Unpin(p, false)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: data must have hit the disk.
+	c2, err := Open(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	p, err := c2.Pin(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Data()[0] != 6 {
+		t.Fatalf("reopened page 5 byte = %d, want 6", p.Data()[0])
+	}
+	c2.Unpin(p, false)
+}
+
+func TestAllPinnedError(t *testing.T) {
+	c, _ := openTestCache(t, 2)
+	p0, _ := c.Pin(0)
+	p1, _ := c.Pin(1)
+	if _, err := c.Pin(2); err != ErrCacheFull {
+		t.Fatalf("err = %v, want ErrCacheFull", err)
+	}
+	c.Unpin(p0, false)
+	if _, err := c.Pin(2); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+	c.Unpin(p1, false)
+	// p2 still pinned; drop it so Close succeeds.
+	p2 := c.pages[2]
+	c.Unpin(p2, false)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoublePinSamePage(t *testing.T) {
+	c, _ := openTestCache(t, 2)
+	defer c.Close()
+	a, _ := c.Pin(0)
+	b, _ := c.Pin(0)
+	if a != b {
+		t.Fatal("same page id must return same page")
+	}
+	if a.pins != 2 {
+		t.Fatalf("pins = %d, want 2", a.pins)
+	}
+	c.Unpin(a, false)
+	c.Unpin(b, false)
+	if a.pins != 0 {
+		t.Fatalf("pins = %d, want 0", a.pins)
+	}
+}
+
+func TestUnpinWithoutPinPanics(t *testing.T) {
+	c, _ := openTestCache(t, 2)
+	defer c.Close()
+	p, _ := c.Pin(0)
+	c.Unpin(p, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("unpin of unpinned page should panic")
+		}
+	}()
+	c.Unpin(p, false)
+}
+
+func TestCloseWithPinnedFails(t *testing.T) {
+	c, _ := openTestCache(t, 2)
+	p, _ := c.Pin(0)
+	if err := c.Close(); err == nil {
+		t.Fatal("Close with pinned page should fail")
+	}
+	c.Unpin(p, false)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != ErrClosed {
+		t.Fatalf("Flush after close = %v, want ErrClosed", err)
+	}
+	if _, err := c.Pin(0); err != ErrClosed {
+		t.Fatalf("Pin after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestFlushPersists(t *testing.T) {
+	c, path := openTestCache(t, 4)
+	p, _ := c.Pin(3)
+	copy(p.Data(), "hello")
+	c.Unpin(p, true)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 4*PageSize {
+		t.Fatalf("file size %d, want >= %d", len(raw), 4*PageSize)
+	}
+	if string(raw[3*PageSize:3*PageSize+5]) != "hello" {
+		t.Fatal("flushed bytes not found at page offset")
+	}
+	c.Close()
+}
+
+func TestStats(t *testing.T) {
+	c, _ := openTestCache(t, 2)
+	defer c.Close()
+	p, _ := c.Pin(0)
+	c.Unpin(p, false)
+	p, _ = c.Pin(0)
+	c.Unpin(p, false)
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", s)
+	}
+}
+
+func TestPageCountGrowth(t *testing.T) {
+	c, _ := openTestCache(t, 4)
+	defer c.Close()
+	if c.PageCount() != 0 {
+		t.Fatalf("fresh PageCount = %d", c.PageCount())
+	}
+	p, _ := c.Pin(9)
+	c.Unpin(p, false)
+	if c.PageCount() != 10 {
+		t.Fatalf("PageCount = %d, want 10", c.PageCount())
+	}
+}
+
+func TestBadConstructorArgs(t *testing.T) {
+	if _, err := New(nil, 0, 0); err == nil {
+		t.Error("capacity 0 should fail")
+	}
+	if _, err := New(nil, 1, PageSize+1); err == nil {
+		t.Error("unaligned file size should fail")
+	}
+}
+
+func TestConcurrentPinUnpin(t *testing.T) {
+	c, _ := openTestCache(t, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := uint64((g + i) % 16)
+				p, err := c.Pin(id)
+				if err != nil {
+					if err == ErrCacheFull {
+						continue // transient under heavy pinning
+					}
+					t.Error(err)
+					return
+				}
+				p.Data()[g] = byte(i)
+				c.Unpin(p, true)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

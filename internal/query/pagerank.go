@@ -1,0 +1,130 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"neograph"
+)
+
+// PageRankConfig tunes the power iteration.
+type PageRankConfig struct {
+	// Damping is the probability of following an edge (default 0.85).
+	Damping float64
+	// MaxIterations bounds the power iteration (default 50).
+	MaxIterations int
+	// Tolerance stops the iteration when the total rank change drops
+	// below it (default 1e-6).
+	Tolerance float64
+	// RelTypes optionally restricts the edges followed.
+	RelTypes []string
+}
+
+// Rank is one node's PageRank score.
+type Rank struct {
+	Node  neograph.NodeID
+	Score float64
+}
+
+// PageRank computes PageRank over the snapshot visible to tx, following
+// relationships in their stored direction. Because the whole iteration
+// runs inside one transaction, the scores are consistent even while
+// writers mutate the graph — the property RC cannot offer (§1).
+func PageRank(tx *neograph.Tx, cfg PageRankConfig) ([]Rank, error) {
+	if cfg.Damping <= 0 || cfg.Damping >= 1 {
+		cfg.Damping = 0.85
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 50
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 1e-6
+	}
+	nodes, err := tx.AllNodes()
+	if err != nil {
+		return nil, err
+	}
+	n := len(nodes)
+	if n == 0 {
+		return nil, nil
+	}
+	idx := make(map[neograph.NodeID]int, n)
+	for i, id := range nodes {
+		idx[id] = i
+	}
+	// Build the out-adjacency once from the snapshot.
+	out := make([][]int, n)
+	for i, id := range nodes {
+		rels, err := tx.Relationships(id, neograph.Outgoing, cfg.RelTypes...)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rels {
+			if j, ok := idx[r.End]; ok {
+				out[i] = append(out[i], j)
+			}
+		}
+	}
+
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	base := (1 - cfg.Damping) / float64(n)
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		for i := range next {
+			next[i] = base
+		}
+		dangling := 0.0
+		for i, targets := range out {
+			if len(targets) == 0 {
+				dangling += rank[i]
+				continue
+			}
+			share := cfg.Damping * rank[i] / float64(len(targets))
+			for _, j := range targets {
+				next[j] += share
+			}
+		}
+		// Dangling mass is redistributed uniformly.
+		if dangling > 0 {
+			spread := cfg.Damping * dangling / float64(n)
+			for i := range next {
+				next[i] += spread
+			}
+		}
+		delta := 0.0
+		for i := range rank {
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if delta < cfg.Tolerance {
+			break
+		}
+	}
+
+	res := make([]Rank, n)
+	for i, id := range nodes {
+		res[i] = Rank{Node: id, Score: rank[i]}
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Score != res[j].Score {
+			return res[i].Score > res[j].Score
+		}
+		return res[i].Node < res[j].Node
+	})
+	return res, nil
+}
+
+// TopK returns the k highest-ranked entries (or all if fewer).
+func TopK(ranks []Rank, k int) []Rank {
+	if k > len(ranks) {
+		k = len(ranks)
+	}
+	return ranks[:k]
+}
+
+// String renders a rank for logs.
+func (r Rank) String() string { return fmt.Sprintf("node %d: %.6f", r.Node, r.Score) }

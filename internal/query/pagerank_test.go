@@ -1,0 +1,136 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"neograph"
+)
+
+func TestPageRankStar(t *testing.T) {
+	db := openDB(t)
+	// Star: spokes all point at the hub; the hub must rank highest.
+	var hub neograph.NodeID
+	var spokes []neograph.NodeID
+	db.Update(0, func(tx *neograph.Tx) error {
+		hub, _ = tx.CreateNode(nil, nil)
+		for i := 0; i < 6; i++ {
+			s, _ := tx.CreateNode(nil, nil)
+			spokes = append(spokes, s)
+			tx.CreateRel("E", s, hub, nil)
+		}
+		return nil
+	})
+	db.View(func(tx *neograph.Tx) error {
+		ranks, err := PageRank(tx, PageRankConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ranks) != 7 {
+			t.Fatalf("ranks = %d", len(ranks))
+		}
+		if ranks[0].Node != hub {
+			t.Fatalf("top = %v, want hub %d", ranks[0], hub)
+		}
+		// Scores sum to ~1.
+		sum := 0.0
+		for _, r := range ranks {
+			sum += r.Score
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("rank mass = %f", sum)
+		}
+		top := TopK(ranks, 3)
+		if len(top) != 3 || top[0].Node != hub {
+			t.Fatalf("TopK = %v", top)
+		}
+		if TopK(ranks, 100)[0].Node != hub || len(TopK(ranks, 100)) != 7 {
+			t.Fatal("TopK overflow clamp broken")
+		}
+		return nil
+	})
+}
+
+func TestPageRankSymmetricCycle(t *testing.T) {
+	db := openDB(t)
+	// A directed 4-cycle: perfectly symmetric, all ranks equal.
+	var ids []neograph.NodeID
+	db.Update(0, func(tx *neograph.Tx) error {
+		for i := 0; i < 4; i++ {
+			id, _ := tx.CreateNode(nil, nil)
+			ids = append(ids, id)
+		}
+		for i := range ids {
+			tx.CreateRel("E", ids[i], ids[(i+1)%4], nil)
+		}
+		return nil
+	})
+	db.View(func(tx *neograph.Tx) error {
+		ranks, err := PageRank(tx, PageRankConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range ranks {
+			if math.Abs(r.Score-0.25) > 1e-4 {
+				t.Fatalf("cycle rank %v, want 0.25", r)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPageRankEmptyAndDangling(t *testing.T) {
+	db := openDB(t)
+	db.View(func(tx *neograph.Tx) error {
+		ranks, err := PageRank(tx, PageRankConfig{})
+		if err != nil || ranks != nil {
+			t.Fatalf("empty graph: %v, %v", ranks, err)
+		}
+		return nil
+	})
+	// Dangling node (no out edges) must not leak rank mass.
+	db.Update(0, func(tx *neograph.Tx) error {
+		a, _ := tx.CreateNode(nil, nil)
+		b, _ := tx.CreateNode(nil, nil)
+		tx.CreateRel("E", a, b, nil) // b dangles
+		return nil
+	})
+	db.View(func(tx *neograph.Tx) error {
+		ranks, err := PageRank(tx, PageRankConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range ranks {
+			sum += r.Score
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("dangling leaked mass: sum = %f", sum)
+		}
+		return nil
+	})
+}
+
+func TestPageRankTypeFilter(t *testing.T) {
+	db := openDB(t)
+	var a, b, c neograph.NodeID
+	db.Update(0, func(tx *neograph.Tx) error {
+		a, _ = tx.CreateNode(nil, nil)
+		b, _ = tx.CreateNode(nil, nil)
+		c, _ = tx.CreateNode(nil, nil)
+		tx.CreateRel("FOLLOW", a, b, nil)
+		tx.CreateRel("IGNORE", a, c, nil)
+		tx.CreateRel("FOLLOW", c, b, nil)
+		return nil
+	})
+	db.View(func(tx *neograph.Tx) error {
+		ranks, err := PageRank(tx, PageRankConfig{RelTypes: []string{"FOLLOW"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ranks[0].Node != b {
+			t.Fatalf("top = %v, want b=%d", ranks[0], b)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,365 @@
+// Package query provides graph traversal algorithms over a neograph
+// transaction: breadth-first search, shortest paths (unweighted and
+// weighted), connected components and simple graph statistics. These are
+// the multi-hop, whole-query-on-the-engine traversals the paper's
+// introduction motivates — and because they take a transaction, every
+// algorithm runs against one consistent snapshot under SI, which is
+// precisely what read committed cannot guarantee (a path traversed once
+// "might not exist when trying to go through it later in the same
+// transaction", §1).
+package query
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"neograph"
+)
+
+// ErrNoPath reports that no path exists between the requested endpoints.
+var ErrNoPath = errors.New("query: no path")
+
+// BFSVisit is called for each node reached by BFS with its depth.
+// Returning false stops the traversal.
+type BFSVisit func(id neograph.NodeID, depth int) bool
+
+// BFS walks the graph breadth-first from start, following relationships
+// in the given direction (optionally type-filtered) up to maxDepth
+// (negative = unlimited). The visit function receives each node once.
+func BFS(tx *neograph.Tx, start neograph.NodeID, dir neograph.Direction, maxDepth int, visit BFSVisit, relTypes ...string) error {
+	if ok, err := tx.NodeExists(start); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("%w: node %d", neograph.ErrNotFound, start)
+	}
+	type item struct {
+		id    neograph.NodeID
+		depth int
+	}
+	seen := map[neograph.NodeID]bool{start: true}
+	queue := []item{{start, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !visit(cur.id, cur.depth) {
+			return nil
+		}
+		if maxDepth >= 0 && cur.depth == maxDepth {
+			continue
+		}
+		nbrs, err := tx.Neighbors(cur.id, dir, relTypes...)
+		if err != nil {
+			return err
+		}
+		for _, n := range nbrs {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, item{n, cur.depth + 1})
+			}
+		}
+	}
+	return nil
+}
+
+// Reachable returns the set of nodes reachable from start within maxDepth
+// hops (negative = unlimited), excluding start itself.
+func Reachable(tx *neograph.Tx, start neograph.NodeID, dir neograph.Direction, maxDepth int, relTypes ...string) ([]neograph.NodeID, error) {
+	var out []neograph.NodeID
+	err := BFS(tx, start, dir, maxDepth, func(id neograph.NodeID, depth int) bool {
+		if depth > 0 {
+			out = append(out, id)
+		}
+		return true
+	}, relTypes...)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Path is a node sequence with the relationships connecting it.
+type Path struct {
+	Nodes []neograph.NodeID
+	Rels  []neograph.RelID
+	// Cost is hop count for unweighted paths, accumulated weight for
+	// weighted ones.
+	Cost float64
+}
+
+// ShortestPath finds a minimum-hop path from start to end via BFS.
+func ShortestPath(tx *neograph.Tx, start, end neograph.NodeID, dir neograph.Direction, relTypes ...string) (Path, error) {
+	if start == end {
+		return Path{Nodes: []neograph.NodeID{start}}, nil
+	}
+	preds := map[neograph.NodeID]predecessor{}
+	seen := map[neograph.NodeID]bool{start: true}
+	queue := []neograph.NodeID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		rels, err := tx.Relationships(cur, dir, relTypes...)
+		if err != nil {
+			return Path{}, err
+		}
+		for _, r := range rels {
+			next, ok := follow(r, cur, dir)
+			if !ok || seen[next] {
+				continue
+			}
+			seen[next] = true
+			preds[next] = predecessor{cur, r.ID}
+			if next == end {
+				return buildPath(start, end, preds), nil
+			}
+			queue = append(queue, next)
+		}
+	}
+	return Path{}, fmt.Errorf("%w: %d -> %d", ErrNoPath, start, end)
+}
+
+// follow returns the node on the far side of r from cur under dir.
+func follow(r neograph.Relationship, cur neograph.NodeID, dir neograph.Direction) (neograph.NodeID, bool) {
+	switch dir {
+	case neograph.Outgoing:
+		if r.Start == cur {
+			return r.End, true
+		}
+	case neograph.Incoming:
+		if r.End == cur {
+			return r.Start, true
+		}
+	default:
+		if r.Start == cur {
+			return r.End, true
+		}
+		if r.End == cur {
+			return r.Start, true
+		}
+	}
+	return 0, false
+}
+
+// predecessor records how a node was first reached during a search.
+type predecessor struct {
+	node neograph.NodeID
+	rel  neograph.RelID
+}
+
+func buildPath(start, end neograph.NodeID, preds map[neograph.NodeID]predecessor) Path {
+	var nodes []neograph.NodeID
+	var rels []neograph.RelID
+	for at := end; ; {
+		nodes = append(nodes, at)
+		if at == start {
+			break
+		}
+		p := preds[at]
+		rels = append(rels, p.rel)
+		at = p.node
+	}
+	reverseNodes(nodes)
+	reverseRels(rels)
+	return Path{Nodes: nodes, Rels: rels, Cost: float64(len(rels))}
+}
+
+func reverseNodes(s []neograph.NodeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func reverseRels(s []neograph.RelID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// pqItem is a priority-queue element for Dijkstra.
+type pqItem struct {
+	node neograph.NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
+func (q pq) peek() pqItem       { return q[0] }
+func (q pq) emptied() bool      { return len(q) == 0 }
+
+// WeightedShortestPath runs Dijkstra from start to end using the numeric
+// relationship property weightProp as edge cost (edges without the
+// property, or with non-numeric or negative values, cost defaultWeight).
+func WeightedShortestPath(tx *neograph.Tx, start, end neograph.NodeID, dir neograph.Direction, weightProp string, defaultWeight float64, relTypes ...string) (Path, error) {
+	dist := map[neograph.NodeID]float64{start: 0}
+	preds := map[neograph.NodeID]predecessor{}
+	done := map[neograph.NodeID]bool{}
+	q := &pq{{start, 0}}
+	for !q.emptied() {
+		cur := heap.Pop(q).(pqItem)
+		if done[cur.node] {
+			continue
+		}
+		done[cur.node] = true
+		if cur.node == end {
+			p := buildPath(start, end, preds)
+			p.Cost = cur.dist
+			return p, nil
+		}
+		rels, err := tx.Relationships(cur.node, dir, relTypes...)
+		if err != nil {
+			return Path{}, err
+		}
+		for _, r := range rels {
+			next, ok := follow(r, cur.node, dir)
+			if !ok || done[next] {
+				continue
+			}
+			w := defaultWeight
+			if wp, ok := r.Props[weightProp]; ok {
+				if f, ok := wp.Numeric(); ok && f >= 0 {
+					w = f
+				}
+			}
+			nd := cur.dist + w
+			if old, ok := dist[next]; !ok || nd < old {
+				dist[next] = nd
+				preds[next] = predecessor{cur.node, r.ID}
+				heap.Push(q, pqItem{next, nd})
+			}
+		}
+	}
+	return Path{}, fmt.Errorf("%w: %d -> %d", ErrNoPath, start, end)
+}
+
+// ConnectedComponents returns the undirected connected components of the
+// visible graph, each sorted, largest first.
+func ConnectedComponents(tx *neograph.Tx) ([][]neograph.NodeID, error) {
+	all, err := tx.AllNodes()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[neograph.NodeID]bool, len(all))
+	var comps [][]neograph.NodeID
+	for _, root := range all {
+		if seen[root] {
+			continue
+		}
+		var comp []neograph.NodeID
+		stack := []neograph.NodeID{root}
+		seen[root] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, cur)
+			nbrs, err := tx.Neighbors(cur, neograph.Both)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range nbrs {
+				if !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps, nil
+}
+
+// TriangleCount counts undirected triangles in the visible graph.
+func TriangleCount(tx *neograph.Tx) (int, error) {
+	all, err := tx.AllNodes()
+	if err != nil {
+		return 0, err
+	}
+	adj := make(map[neograph.NodeID]map[neograph.NodeID]bool, len(all))
+	for _, id := range all {
+		nbrs, err := tx.Neighbors(id, neograph.Both)
+		if err != nil {
+			return 0, err
+		}
+		set := make(map[neograph.NodeID]bool, len(nbrs))
+		for _, n := range nbrs {
+			if n != id {
+				set[n] = true
+			}
+		}
+		adj[id] = set
+	}
+	count := 0
+	for a, na := range adj {
+		for b := range na {
+			if b <= a {
+				continue
+			}
+			for c := range adj[b] {
+				if c <= b {
+					continue
+				}
+				if na[c] {
+					count++
+				}
+			}
+		}
+	}
+	return count, nil
+}
+
+// DegreeStats summarises the degree distribution of the visible graph.
+type DegreeStats struct {
+	Nodes     int
+	Rels      int
+	MinDegree int
+	MaxDegree int
+	AvgDegree float64
+}
+
+// Degrees computes degree statistics over the visible graph.
+func Degrees(tx *neograph.Tx) (DegreeStats, error) {
+	all, err := tx.AllNodes()
+	if err != nil {
+		return DegreeStats{}, err
+	}
+	st := DegreeStats{Nodes: len(all), MinDegree: math.MaxInt}
+	total := 0
+	for _, id := range all {
+		d, err := tx.Degree(id, neograph.Both)
+		if err != nil {
+			return DegreeStats{}, err
+		}
+		total += d
+		if d < st.MinDegree {
+			st.MinDegree = d
+		}
+		if d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+	}
+	if st.Nodes == 0 {
+		st.MinDegree = 0
+		return st, nil
+	}
+	rels, err := tx.AllRels()
+	if err != nil {
+		return DegreeStats{}, err
+	}
+	st.Rels = len(rels)
+	st.AvgDegree = float64(total) / float64(st.Nodes)
+	return st, nil
+}

@@ -1,0 +1,334 @@
+package query
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"neograph"
+)
+
+// buildChain creates a path graph a0 -> a1 -> ... -> a(n-1), returning IDs.
+func buildChain(t *testing.T, db *neograph.DB, n int) []neograph.NodeID {
+	t.Helper()
+	ids := make([]neograph.NodeID, n)
+	err := db.Update(0, func(tx *neograph.Tx) error {
+		for i := 0; i < n; i++ {
+			var err error
+			ids[i], err = tx.CreateNode([]string{"N"}, neograph.Props{"i": neograph.Int(int64(i))})
+			if err != nil {
+				return err
+			}
+		}
+		for i := 0; i+1 < n; i++ {
+			if _, err := tx.CreateRel("NEXT", ids[i], ids[i+1], nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func openDB(t *testing.T) *neograph.DB {
+	t.Helper()
+	db, err := neograph.Open(neograph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBFSDepths(t *testing.T) {
+	db := openDB(t)
+	ids := buildChain(t, db, 5)
+	db.View(func(tx *neograph.Tx) error {
+		depths := map[neograph.NodeID]int{}
+		err := BFS(tx, ids[0], neograph.Outgoing, -1, func(id neograph.NodeID, d int) bool {
+			depths[id] = d
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			if depths[id] != i {
+				t.Errorf("node %d depth = %d, want %d", i, depths[id], i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBFSMaxDepthAndStop(t *testing.T) {
+	db := openDB(t)
+	ids := buildChain(t, db, 10)
+	db.View(func(tx *neograph.Tx) error {
+		visited := 0
+		BFS(tx, ids[0], neograph.Outgoing, 3, func(neograph.NodeID, int) bool {
+			visited++
+			return true
+		})
+		if visited != 4 { // depths 0..3
+			t.Errorf("maxDepth visit count = %d, want 4", visited)
+		}
+		visited = 0
+		BFS(tx, ids[0], neograph.Outgoing, -1, func(neograph.NodeID, int) bool {
+			visited++
+			return visited < 2
+		})
+		if visited != 2 {
+			t.Errorf("early stop visited %d", visited)
+		}
+		return nil
+	})
+}
+
+func TestBFSMissingStart(t *testing.T) {
+	db := openDB(t)
+	db.View(func(tx *neograph.Tx) error {
+		err := BFS(tx, 999, neograph.Both, -1, func(neograph.NodeID, int) bool { return true })
+		if !errors.Is(err, neograph.ErrNotFound) {
+			t.Errorf("err = %v", err)
+		}
+		return nil
+	})
+}
+
+func TestReachableRespectsDirection(t *testing.T) {
+	db := openDB(t)
+	ids := buildChain(t, db, 4)
+	db.View(func(tx *neograph.Tx) error {
+		fwd, err := Reachable(tx, ids[1], neograph.Outgoing, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fwd, []neograph.NodeID{ids[2], ids[3]}) {
+			t.Errorf("forward = %v", fwd)
+		}
+		back, _ := Reachable(tx, ids[1], neograph.Incoming, -1)
+		if !reflect.DeepEqual(back, []neograph.NodeID{ids[0]}) {
+			t.Errorf("backward = %v", back)
+		}
+		both, _ := Reachable(tx, ids[1], neograph.Both, 1)
+		if len(both) != 2 {
+			t.Errorf("1-hop both = %v", both)
+		}
+		return nil
+	})
+}
+
+func TestShortestPath(t *testing.T) {
+	db := openDB(t)
+	// Diamond: a -> b -> d, a -> c -> d, plus long way a -> e -> f -> d.
+	var a, b, c, d, e, f neograph.NodeID
+	db.Update(0, func(tx *neograph.Tx) error {
+		a, _ = tx.CreateNode(nil, nil)
+		b, _ = tx.CreateNode(nil, nil)
+		c, _ = tx.CreateNode(nil, nil)
+		d, _ = tx.CreateNode(nil, nil)
+		e, _ = tx.CreateNode(nil, nil)
+		f, _ = tx.CreateNode(nil, nil)
+		tx.CreateRel("E", a, b, nil)
+		tx.CreateRel("E", b, d, nil)
+		tx.CreateRel("E", a, c, nil)
+		tx.CreateRel("E", c, d, nil)
+		tx.CreateRel("E", a, e, nil)
+		tx.CreateRel("E", e, f, nil)
+		tx.CreateRel("E", f, d, nil)
+		return nil
+	})
+	db.View(func(tx *neograph.Tx) error {
+		p, err := ShortestPath(tx, a, d, neograph.Outgoing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Nodes) != 3 || p.Nodes[0] != a || p.Nodes[2] != d || p.Cost != 2 {
+			t.Errorf("path = %+v", p)
+		}
+		if len(p.Rels) != 2 {
+			t.Errorf("rels = %v", p.Rels)
+		}
+		// Trivial path.
+		p0, _ := ShortestPath(tx, a, a, neograph.Outgoing)
+		if len(p0.Nodes) != 1 || p0.Cost != 0 {
+			t.Errorf("self path = %+v", p0)
+		}
+		// No path against direction.
+		if _, err := ShortestPath(tx, d, a, neograph.Outgoing); !errors.Is(err, ErrNoPath) {
+			t.Errorf("err = %v, want ErrNoPath", err)
+		}
+		return nil
+	})
+}
+
+func TestWeightedShortestPath(t *testing.T) {
+	db := openDB(t)
+	// a->b->c costs 1+1=2; direct a->c costs 5.
+	var a, b, c neograph.NodeID
+	db.Update(0, func(tx *neograph.Tx) error {
+		a, _ = tx.CreateNode(nil, nil)
+		b, _ = tx.CreateNode(nil, nil)
+		c, _ = tx.CreateNode(nil, nil)
+		tx.CreateRel("E", a, b, neograph.Props{"w": neograph.Float(1)})
+		tx.CreateRel("E", b, c, neograph.Props{"w": neograph.Float(1)})
+		tx.CreateRel("E", a, c, neograph.Props{"w": neograph.Float(5)})
+		return nil
+	})
+	db.View(func(tx *neograph.Tx) error {
+		p, err := WeightedShortestPath(tx, a, c, neograph.Outgoing, "w", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cost != 2 || len(p.Nodes) != 3 {
+			t.Errorf("weighted path = %+v", p)
+		}
+		return nil
+	})
+}
+
+func TestWeightedDefaultWeight(t *testing.T) {
+	db := openDB(t)
+	var a, b neograph.NodeID
+	db.Update(0, func(tx *neograph.Tx) error {
+		a, _ = tx.CreateNode(nil, nil)
+		b, _ = tx.CreateNode(nil, nil)
+		tx.CreateRel("E", a, b, nil) // no weight property
+		return nil
+	})
+	db.View(func(tx *neograph.Tx) error {
+		p, err := WeightedShortestPath(tx, a, b, neograph.Outgoing, "w", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cost != 7 {
+			t.Errorf("cost = %f, want default 7", p.Cost)
+		}
+		return nil
+	})
+}
+
+func TestConnectedComponents(t *testing.T) {
+	db := openDB(t)
+	c1 := buildChain(t, db, 4)
+	c2 := buildChain(t, db, 2)
+	var isolated neograph.NodeID
+	db.Update(0, func(tx *neograph.Tx) error {
+		isolated, _ = tx.CreateNode(nil, nil)
+		return nil
+	})
+	db.View(func(tx *neograph.Tx) error {
+		comps, err := ConnectedComponents(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(comps) != 3 {
+			t.Fatalf("components = %d, want 3", len(comps))
+		}
+		if len(comps[0]) != 4 || comps[0][0] != c1[0] {
+			t.Errorf("largest = %v", comps[0])
+		}
+		if len(comps[1]) != 2 || comps[1][0] != c2[0] {
+			t.Errorf("second = %v", comps[1])
+		}
+		if !reflect.DeepEqual(comps[2], []neograph.NodeID{isolated}) {
+			t.Errorf("isolated = %v", comps[2])
+		}
+		return nil
+	})
+}
+
+func TestTriangleCount(t *testing.T) {
+	db := openDB(t)
+	var a, b, c, d neograph.NodeID
+	db.Update(0, func(tx *neograph.Tx) error {
+		a, _ = tx.CreateNode(nil, nil)
+		b, _ = tx.CreateNode(nil, nil)
+		c, _ = tx.CreateNode(nil, nil)
+		d, _ = tx.CreateNode(nil, nil)
+		tx.CreateRel("E", a, b, nil)
+		tx.CreateRel("E", b, c, nil)
+		tx.CreateRel("E", c, a, nil) // triangle abc
+		tx.CreateRel("E", c, d, nil) // dangling edge
+		return nil
+	})
+	db.View(func(tx *neograph.Tx) error {
+		n, err := TriangleCount(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Errorf("triangles = %d, want 1", n)
+		}
+		return nil
+	})
+}
+
+func TestDegrees(t *testing.T) {
+	db := openDB(t)
+	buildChain(t, db, 3) // degrees 1,2,1
+	db.View(func(tx *neograph.Tx) error {
+		st, err := Degrees(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Nodes != 3 || st.Rels != 2 || st.MinDegree != 1 || st.MaxDegree != 2 {
+			t.Errorf("stats = %+v", st)
+		}
+		return nil
+	})
+}
+
+func TestDegreesEmpty(t *testing.T) {
+	db := openDB(t)
+	db.View(func(tx *neograph.Tx) error {
+		st, err := Degrees(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Nodes != 0 || st.MinDegree != 0 {
+			t.Errorf("empty stats = %+v", st)
+		}
+		return nil
+	})
+}
+
+// TestTraversalStableUnderConcurrentMutation is the paper's motivating
+// graph scenario (§1): a two-step algorithm traverses a path; a
+// concurrent transaction deletes an edge on that path mid-traversal.
+// Under SI the second step still sees the path.
+func TestTraversalStableUnderConcurrentMutation(t *testing.T) {
+	db := openDB(t)
+	ids := buildChain(t, db, 5)
+
+	tx := db.Begin()
+	// Step 1: find the path.
+	p1, err := ShortestPath(tx, ids[0], ids[4], neograph.Outgoing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent edge deletion.
+	err = db.Update(0, func(w *neograph.Tx) error { return w.DeleteRel(p1.Rels[2]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 2: walk the found path again in the same transaction.
+	p2, err := ShortestPath(tx, ids[0], ids[4], neograph.Outgoing)
+	if err != nil {
+		t.Fatalf("SI traversal lost its path mid-transaction: %v", err)
+	}
+	if !reflect.DeepEqual(p1.Nodes, p2.Nodes) {
+		t.Fatalf("path changed: %v -> %v", p1.Nodes, p2.Nodes)
+	}
+	tx.Abort()
+
+	// A read-committed transaction experiences exactly the §1 anomaly.
+	rc := db.BeginIsolation(neograph.ReadCommitted)
+	defer rc.Abort()
+	if _, err := ShortestPath(rc, ids[0], ids[4], neograph.Outgoing); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("read committed unexpectedly still has a path: %v", err)
+	}
+}

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+
+	"neograph"
+	"neograph/internal/wire"
+)
+
+// Client is a typed connection to a neograph server. A Client is one
+// session (one potential open transaction); it is not safe for concurrent
+// use — open one client per worker, as with any session-oriented
+// database driver.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	return &Client{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection (aborting any open transaction server-side).
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends req and reads the response, converting protocol errors.
+func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	var resp wire.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("client: recv: %w", err)
+	}
+	if !resp.OK {
+		return nil, remoteError(resp.Error)
+	}
+	return &resp, nil
+}
+
+// remoteError maps well-known engine errors back to their sentinel values
+// so errors.Is works across the wire.
+func remoteError(msg string) error {
+	for _, sentinel := range []error{
+		neograph.ErrNotFound, neograph.ErrWriteConflict, neograph.ErrDeadlock,
+		neograph.ErrTxDone, neograph.ErrHasRels,
+	} {
+		if strings.Contains(msg, sentinel.Error()) {
+			return fmt.Errorf("%w (remote: %s)", sentinel, msg)
+		}
+	}
+	return errors.New(msg)
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// Begin opens an explicit transaction ("si" or "rc"; empty = si).
+func (c *Client) Begin(isolation string) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpBegin, Isolation: isolation})
+	return err
+}
+
+// Commit commits the open transaction.
+func (c *Client) Commit() error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpCommit})
+	return err
+}
+
+// Abort aborts the open transaction.
+func (c *Client) Abort() error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpAbort})
+	return err
+}
+
+// CreateNode creates a node and returns its ID.
+func (c *Client) CreateNode(labels []string, props neograph.Props) (neograph.NodeID, error) {
+	enc, err := wire.EncodeProps(props)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpCreateNode, Labels: labels, Props: enc})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// GetNode fetches a node snapshot.
+func (c *Client) GetNode(id neograph.NodeID) (neograph.Node, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpGetNode, ID: id})
+	if err != nil {
+		return neograph.Node{}, err
+	}
+	props, err := wire.DecodeProps(resp.Node.Props)
+	if err != nil {
+		return neograph.Node{}, err
+	}
+	return neograph.Node{ID: resp.Node.ID, Labels: resp.Node.Labels, Props: props}, nil
+}
+
+// SetNodeProp sets one node property.
+func (c *Client) SetNodeProp(id neograph.NodeID, key string, v neograph.Value) error {
+	enc, err := wire.EncodeValue(v)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(&wire.Request{Op: wire.OpSetNodeProp, ID: id, Key: key, Value: enc})
+	return err
+}
+
+// AddLabel adds a label to a node.
+func (c *Client) AddLabel(id neograph.NodeID, label string) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpAddLabel, ID: id, Label: label})
+	return err
+}
+
+// RemoveLabel removes a label from a node.
+func (c *Client) RemoveLabel(id neograph.NodeID, label string) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpRemoveLabel, ID: id, Label: label})
+	return err
+}
+
+// DeleteNode deletes a relationship-free node.
+func (c *Client) DeleteNode(id neograph.NodeID) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpDeleteNode, ID: id})
+	return err
+}
+
+// DetachDeleteNode deletes a node and its relationships.
+func (c *Client) DetachDeleteNode(id neograph.NodeID) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpDetachDelete, ID: id})
+	return err
+}
+
+// CreateRel creates a relationship and returns its ID.
+func (c *Client) CreateRel(relType string, start, end neograph.NodeID, props neograph.Props) (neograph.RelID, error) {
+	enc, err := wire.EncodeProps(props)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpCreateRel, Type: relType, Start: start, End: end, Props: enc})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// GetRel fetches a relationship snapshot.
+func (c *Client) GetRel(id neograph.RelID) (neograph.Relationship, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpGetRel, ID: id})
+	if err != nil {
+		return neograph.Relationship{}, err
+	}
+	props, err := wire.DecodeProps(resp.Rel.Props)
+	if err != nil {
+		return neograph.Relationship{}, err
+	}
+	return neograph.Relationship{
+		ID: resp.Rel.ID, Type: resp.Rel.Type,
+		Start: resp.Rel.Start, End: resp.Rel.End, Props: props,
+	}, nil
+}
+
+// SetRelProp sets one relationship property.
+func (c *Client) SetRelProp(id neograph.RelID, key string, v neograph.Value) error {
+	enc, err := wire.EncodeValue(v)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(&wire.Request{Op: wire.OpSetRelProp, ID: id, Key: key, Value: enc})
+	return err
+}
+
+// DeleteRel deletes a relationship.
+func (c *Client) DeleteRel(id neograph.RelID) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpDeleteRel, ID: id})
+	return err
+}
+
+// Relationships lists a node's relationships ("out", "in", "both").
+func (c *Client) Relationships(id neograph.NodeID, dir string, types ...string) ([]neograph.Relationship, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpRels, ID: id, Dir: dir, Types: types})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]neograph.Relationship, 0, len(resp.Rels))
+	for _, r := range resp.Rels {
+		props, err := wire.DecodeProps(r.Props)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, neograph.Relationship{ID: r.ID, Type: r.Type, Start: r.Start, End: r.End, Props: props})
+	}
+	return out, nil
+}
+
+// Neighbors lists adjacent node IDs.
+func (c *Client) Neighbors(id neograph.NodeID, dir string, types ...string) ([]neograph.NodeID, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpNeighbors, ID: id, Dir: dir, Types: types})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// NodesByLabel lists node IDs carrying a label.
+func (c *Client) NodesByLabel(label string) ([]neograph.NodeID, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpNodesByLabel, Label: label})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// NodesByProperty lists node IDs whose property key equals v.
+func (c *Client) NodesByProperty(key string, v neograph.Value) ([]neograph.NodeID, error) {
+	enc, err := wire.EncodeValue(v)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpNodesByProp, Key: key, Value: enc})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// AllNodes lists every visible node ID.
+func (c *Client) AllNodes() ([]neograph.NodeID, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpAllNodes})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Stats returns the server's engine counters as raw JSON.
+func (c *Client) Stats() (json.RawMessage, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, nil
+}
+
+// GC triggers a garbage collection cycle, returning the report as JSON.
+func (c *Client) GC() (json.RawMessage, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpGC})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, nil
+}
+
+// Checkpoint triggers a checkpoint.
+func (c *Client) Checkpoint() error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpCheckpoint})
+	return err
+}

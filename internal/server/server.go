@@ -1,0 +1,426 @@
+// Package server exposes a neograph database over TCP using the wire
+// protocol. Each connection is a session with at most one open
+// transaction; operations outside an explicit begin/commit run in their
+// own auto-committed transaction. Traversals execute fully server-side —
+// the engine-side query execution the paper's introduction argues graph
+// databases exist for.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"neograph"
+	"neograph/internal/wire"
+)
+
+// Server serves one DB over a listener.
+type Server struct {
+	db *neograph.DB
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New creates a server for db listening on addr (e.g. "127.0.0.1:7475").
+func New(db *neograph.DB, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	s := &Server{db: db, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every connection and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// session is one connection's state.
+type session struct {
+	db *neograph.DB
+	tx *neograph.Tx // open explicit transaction, nil otherwise
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sess := &session{db: s.db}
+	defer func() {
+		if sess.tx != nil {
+			sess.tx.Abort()
+		}
+	}()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			return // disconnect or garbage
+		}
+		resp := sess.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// inTx runs fn in the session's open transaction or an auto-committed one.
+func (sess *session) inTx(write bool, fn func(tx *neograph.Tx) error) error {
+	if sess.tx != nil {
+		return fn(sess.tx)
+	}
+	tx := sess.db.Begin()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	if write {
+		return tx.Commit()
+	}
+	return tx.Abort()
+}
+
+func fail(err error) *wire.Response { return &wire.Response{Error: err.Error()} }
+
+func parseDir(d string) (neograph.Direction, error) {
+	switch d {
+	case "out":
+		return neograph.Outgoing, nil
+	case "in":
+		return neograph.Incoming, nil
+	case "", "both":
+		return neograph.Both, nil
+	default:
+		return 0, fmt.Errorf("server: bad direction %q", d)
+	}
+}
+
+func (sess *session) dispatch(req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpPing:
+		return &wire.Response{OK: true}
+
+	case wire.OpBegin:
+		if sess.tx != nil {
+			return fail(errors.New("server: transaction already open"))
+		}
+		switch req.Isolation {
+		case "", "si":
+			sess.tx = sess.db.BeginIsolation(neograph.SnapshotIsolation)
+		case "rc":
+			sess.tx = sess.db.BeginIsolation(neograph.ReadCommitted)
+		default:
+			return fail(fmt.Errorf("server: bad isolation %q", req.Isolation))
+		}
+		return &wire.Response{OK: true}
+
+	case wire.OpCommit:
+		if sess.tx == nil {
+			return fail(errors.New("server: no open transaction"))
+		}
+		err := sess.tx.Commit()
+		sess.tx = nil
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true}
+
+	case wire.OpAbort:
+		if sess.tx == nil {
+			return fail(errors.New("server: no open transaction"))
+		}
+		sess.tx.Abort()
+		sess.tx = nil
+		return &wire.Response{OK: true}
+
+	case wire.OpCreateNode:
+		props, err := wire.DecodeProps(req.Props)
+		if err != nil {
+			return fail(err)
+		}
+		var id neograph.NodeID
+		err = sess.inTx(true, func(tx *neograph.Tx) error {
+			var err error
+			id, err = tx.CreateNode(req.Labels, props)
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, ID: id}
+
+	case wire.OpGetNode:
+		var node *wire.NodeJSON
+		err := sess.inTx(false, func(tx *neograph.Tx) error {
+			n, err := tx.GetNode(req.ID)
+			if err != nil {
+				return err
+			}
+			props, err := wire.EncodeProps(n.Props)
+			if err != nil {
+				return err
+			}
+			node = &wire.NodeJSON{ID: n.ID, Labels: n.Labels, Props: props}
+			return nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, Node: node}
+
+	case wire.OpSetNodeProp:
+		v, err := wire.DecodeValue(req.Value)
+		if err != nil {
+			return fail(err)
+		}
+		if err := sess.inTx(true, func(tx *neograph.Tx) error {
+			return tx.SetNodeProp(req.ID, req.Key, v)
+		}); err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true}
+
+	case wire.OpAddLabel:
+		if err := sess.inTx(true, func(tx *neograph.Tx) error {
+			return tx.AddLabel(req.ID, req.Label)
+		}); err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true}
+
+	case wire.OpRemoveLabel:
+		if err := sess.inTx(true, func(tx *neograph.Tx) error {
+			return tx.RemoveLabel(req.ID, req.Label)
+		}); err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true}
+
+	case wire.OpDeleteNode:
+		if err := sess.inTx(true, func(tx *neograph.Tx) error {
+			return tx.DeleteNode(req.ID)
+		}); err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true}
+
+	case wire.OpDetachDelete:
+		if err := sess.inTx(true, func(tx *neograph.Tx) error {
+			return tx.DetachDeleteNode(req.ID)
+		}); err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true}
+
+	case wire.OpCreateRel:
+		props, err := wire.DecodeProps(req.Props)
+		if err != nil {
+			return fail(err)
+		}
+		var id neograph.RelID
+		err = sess.inTx(true, func(tx *neograph.Tx) error {
+			var err error
+			id, err = tx.CreateRel(req.Type, req.Start, req.End, props)
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, ID: id}
+
+	case wire.OpGetRel:
+		var rel *wire.RelJSON
+		err := sess.inTx(false, func(tx *neograph.Tx) error {
+			r, err := tx.GetRel(req.ID)
+			if err != nil {
+				return err
+			}
+			props, err := wire.EncodeProps(r.Props)
+			if err != nil {
+				return err
+			}
+			rel = &wire.RelJSON{ID: r.ID, Type: r.Type, Start: r.Start, End: r.End, Props: props}
+			return nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, Rel: rel}
+
+	case wire.OpSetRelProp:
+		v, err := wire.DecodeValue(req.Value)
+		if err != nil {
+			return fail(err)
+		}
+		if err := sess.inTx(true, func(tx *neograph.Tx) error {
+			return tx.SetRelProp(req.ID, req.Key, v)
+		}); err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true}
+
+	case wire.OpDeleteRel:
+		if err := sess.inTx(true, func(tx *neograph.Tx) error {
+			return tx.DeleteRel(req.ID)
+		}); err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true}
+
+	case wire.OpRels:
+		dir, err := parseDir(req.Dir)
+		if err != nil {
+			return fail(err)
+		}
+		var rels []wire.RelJSON
+		err = sess.inTx(false, func(tx *neograph.Tx) error {
+			rs, err := tx.Relationships(req.ID, dir, req.Types...)
+			if err != nil {
+				return err
+			}
+			for _, r := range rs {
+				props, err := wire.EncodeProps(r.Props)
+				if err != nil {
+					return err
+				}
+				rels = append(rels, wire.RelJSON{ID: r.ID, Type: r.Type, Start: r.Start, End: r.End, Props: props})
+			}
+			return nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, Rels: rels}
+
+	case wire.OpNeighbors:
+		dir, err := parseDir(req.Dir)
+		if err != nil {
+			return fail(err)
+		}
+		var ids []uint64
+		err = sess.inTx(false, func(tx *neograph.Tx) error {
+			var err error
+			ids, err = tx.Neighbors(req.ID, dir, req.Types...)
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, IDs: ids}
+
+	case wire.OpNodesByLabel:
+		var ids []uint64
+		err := sess.inTx(false, func(tx *neograph.Tx) error {
+			var err error
+			ids, err = tx.NodesByLabel(req.Label)
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, IDs: ids}
+
+	case wire.OpNodesByProp:
+		v, err := wire.DecodeValue(req.Value)
+		if err != nil {
+			return fail(err)
+		}
+		var ids []uint64
+		err = sess.inTx(false, func(tx *neograph.Tx) error {
+			var err error
+			ids, err = tx.NodesByProperty(req.Key, v)
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, IDs: ids}
+
+	case wire.OpAllNodes:
+		var ids []uint64
+		err := sess.inTx(false, func(tx *neograph.Tx) error {
+			var err error
+			ids, err = tx.AllNodes()
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, IDs: ids}
+
+	case wire.OpStats:
+		info, err := json.Marshal(sess.db.Stats())
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, Info: info}
+
+	case wire.OpGC:
+		info, err := json.Marshal(sess.db.RunGC())
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, Info: info}
+
+	case wire.OpCheckpoint:
+		if err := sess.db.Checkpoint(); err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true}
+
+	default:
+		return fail(fmt.Errorf("server: unknown op %q", req.Op))
+	}
+}

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"neograph"
+)
+
+// startServer spins up an in-memory DB + server and returns a connected
+// client.
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	db, err := neograph.Open(neograph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); db.Close() })
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return srv, cl
+}
+
+func TestPing(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoCommitCRUD(t *testing.T) {
+	_, cl := startServer(t)
+	id, err := cl.CreateNode([]string{"Person"}, neograph.Props{
+		"name": neograph.String("ada"),
+		"age":  neograph.Int(36),
+		"temp": neograph.Float(36.6),
+		"tags": neograph.List(neograph.String("x")),
+		"raw":  neograph.Bytes([]byte{1, 2}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := cl.GetNode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n.Labels, []string{"Person"}) {
+		t.Errorf("labels = %v", n.Labels)
+	}
+	if v, _ := n.Props["age"].AsInt(); v != 36 {
+		t.Errorf("age = %v (typed round trip)", n.Props["age"])
+	}
+	if v, _ := n.Props["temp"].AsFloat(); v != 36.6 {
+		t.Errorf("temp = %v", n.Props["temp"])
+	}
+	if v, _ := n.Props["raw"].AsBytes(); !reflect.DeepEqual(v, []byte{1, 2}) {
+		t.Errorf("raw = %v", n.Props["raw"])
+	}
+
+	if err := cl.SetNodeProp(id, "age", neograph.Int(37)); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = cl.GetNode(id)
+	if v, _ := n.Props["age"].AsInt(); v != 37 {
+		t.Errorf("age after set = %v", n.Props["age"])
+	}
+	if err := cl.AddLabel(id, "Admin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RemoveLabel(id, "Person"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = cl.GetNode(id)
+	if !reflect.DeepEqual(n.Labels, []string{"Admin"}) {
+		t.Errorf("labels = %v", n.Labels)
+	}
+	if err := cl.DeleteNode(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.GetNode(id); !errors.Is(err, neograph.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound across the wire", err)
+	}
+}
+
+func TestRelationshipOps(t *testing.T) {
+	_, cl := startServer(t)
+	a, _ := cl.CreateNode(nil, nil)
+	b, _ := cl.CreateNode(nil, nil)
+	r, err := cl.CreateRel("KNOWS", a, b, neograph.Props{"w": neograph.Float(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.GetRel(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != "KNOWS" || got.Start != a || got.End != b {
+		t.Fatalf("rel = %+v", got)
+	}
+	rels, err := cl.Relationships(a, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 1 || rels[0].ID != r {
+		t.Fatalf("rels = %+v", rels)
+	}
+	nbrs, _ := cl.Neighbors(a, "both")
+	if !reflect.DeepEqual(nbrs, []neograph.NodeID{b}) {
+		t.Fatalf("neighbors = %v", nbrs)
+	}
+	if err := cl.SetRelProp(r, "w", neograph.Float(0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DeleteRel(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DetachDeleteNode(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitTransaction(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.Begin("si"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.CreateNode([]string{"Tx"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another session must not see the uncommitted node.
+	cl2, err := Dial(mustAddr(t, cl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if _, err := cl2.GetNode(id); !errors.Is(err, neograph.ErrNotFound) {
+		t.Fatalf("uncommitted node leaked: %v", err)
+	}
+	if err := cl.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl2.GetNode(id); err != nil {
+		t.Fatalf("committed node invisible: %v", err)
+	}
+}
+
+// mustAddr digs the server address back out of a client's connection.
+func mustAddr(t *testing.T, cl *Client) string {
+	t.Helper()
+	return cl.conn.RemoteAddr().String()
+}
+
+func TestAbortDiscardsAcrossWire(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.Begin(""); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := cl.CreateNode(nil, nil)
+	if err := cl.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.GetNode(id); !errors.Is(err, neograph.ErrNotFound) {
+		t.Fatalf("aborted node visible: %v", err)
+	}
+}
+
+func TestSnapshotAcrossSessions(t *testing.T) {
+	_, cl := startServer(t)
+	id, _ := cl.CreateNode(nil, neograph.Props{"v": neograph.Int(1)})
+
+	reader, err := Dial(mustAddr(t, cl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+	if err := reader.Begin("si"); err != nil {
+		t.Fatal(err)
+	}
+	n1, err := reader.GetNode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent write through the other session.
+	if err := cl.SetNodeProp(id, "v", neograph.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := reader.GetNode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := n1.Props["v"].AsInt()
+	v2, _ := n2.Props["v"].AsInt()
+	if v1 != v2 {
+		t.Fatalf("unrepeatable read across the wire: %d -> %d", v1, v2)
+	}
+	reader.Abort()
+}
+
+func TestWriteConflictOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	id, _ := cl.CreateNode(nil, neograph.Props{"v": neograph.Int(0)})
+
+	cl2, err := Dial(mustAddr(t, cl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if err := cl.Begin("si"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetNodeProp(id, "v", neograph.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Begin("si"); err != nil {
+		t.Fatal(err)
+	}
+	err = cl2.SetNodeProp(id, "v", neograph.Int(2))
+	if !errors.Is(err, neograph.ErrWriteConflict) {
+		t.Fatalf("err = %v, want ErrWriteConflict across the wire", err)
+	}
+	cl2.Abort()
+	if err := cl.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupsAndAdmin(t *testing.T) {
+	_, cl := startServer(t)
+	var want []neograph.NodeID
+	for i := 0; i < 3; i++ {
+		id, _ := cl.CreateNode([]string{"L"}, neograph.Props{"k": neograph.Int(7)})
+		want = append(want, id)
+	}
+	ids, err := cl.NodesByLabel("L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("by label = %v, want %v", ids, want)
+	}
+	ids, err = cl.NodesByProperty("k", neograph.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("by prop = %v", ids)
+	}
+	all, _ := cl.AllNodes()
+	if len(all) != 3 {
+		t.Fatalf("all = %v", all)
+	}
+	if _, err := cl.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	srv, cl := startServer(t)
+	seed, _ := cl.CreateNode(nil, neograph.Props{"n": neograph.Int(0)})
+	_ = seed
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				id, err := c.CreateNode([]string{"W"}, neograph.Props{"i": neograph.Int(int64(j))})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if _, err := c.GetNode(id); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	ids, _ := cl.NodesByLabel("W")
+	if len(ids) != 8*20 {
+		t.Fatalf("created = %d, want 160", len(ids))
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.Commit(); err == nil {
+		t.Fatal("commit without begin should fail")
+	}
+	if err := cl.Begin("banana"); err == nil {
+		t.Fatal("bad isolation accepted")
+	}
+	if err := cl.Begin("si"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Begin("si"); err == nil {
+		t.Fatal("double begin accepted")
+	}
+	cl.Abort()
+	if _, err := cl.Relationships(1, "sideways"); err == nil {
+		t.Fatal("bad direction accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Package store implements the persistent store of Figure 1: one record
+// file per entity kind (nodes, relationships, properties, dynamic data)
+// over the page cache, plus the token registry for label, relationship
+// type and property key names.
+//
+// Exactly one version of each entity — the most recent committed one — is
+// ever written here (paper §4); superseded versions exist only in the
+// object cache (internal/core).
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"neograph/internal/ids"
+	"neograph/internal/pagecache"
+)
+
+// recordFile is a fixed-size-record array over a page cache.
+type recordFile struct {
+	cache   *pagecache.Cache
+	size    int // record size in bytes
+	perPage int
+	alloc   *ids.Allocator
+	path    string // store file path (id file is path + ".id")
+}
+
+func openRecordFile(dir, name string, recSize, cachePages int) (*recordFile, error) {
+	path := filepath.Join(dir, name)
+	cache, err := pagecache.Open(path, cachePages)
+	if err != nil {
+		return nil, err
+	}
+	f := &recordFile{
+		cache:   cache,
+		size:    recSize,
+		perPage: pagecache.PageSize / recSize,
+		path:    path,
+	}
+	// Allocator state is rebuilt by scanning in-use flags rather than
+	// trusting a side file: after a crash, a persisted free list could
+	// hand out the ID of a record that became live since it was saved.
+	// Every record format keeps its in-use bit in byte 0, bit 0.
+	alloc := ids.NewAllocator()
+	var free []ids.ID
+	hw := ids.ID(0)
+	pages := cache.PageCount()
+	buf := make([]byte, recSize)
+	for id := ids.ID(0); id < pages*uint64(f.perPage); id++ {
+		if err := f.read(id, buf); err != nil {
+			cache.Close()
+			return nil, err
+		}
+		if buf[0]&1 != 0 { // record.FlagInUse
+			hw = id + 1
+		}
+	}
+	for id := ids.ID(0); id < hw; id++ {
+		if err := f.read(id, buf); err != nil {
+			cache.Close()
+			return nil, err
+		}
+		if buf[0]&1 == 0 {
+			free = append(free, id)
+		}
+	}
+	alloc.SetHighWater(hw)
+	for _, id := range free {
+		alloc.Release(id)
+	}
+	f.alloc = alloc
+	return f, nil
+}
+
+// read copies record id into buf (len >= f.size).
+func (f *recordFile) read(id ids.ID, buf []byte) error {
+	page, off := f.locate(id)
+	p, err := f.cache.Pin(page)
+	if err != nil {
+		return fmt.Errorf("store: read record %d of %s: %w", id, f.path, err)
+	}
+	copy(buf[:f.size], p.Data()[off:])
+	f.cache.Unpin(p, false)
+	return nil
+}
+
+// write copies buf (len >= f.size) into record id.
+func (f *recordFile) write(id ids.ID, buf []byte) error {
+	page, off := f.locate(id)
+	p, err := f.cache.Pin(page)
+	if err != nil {
+		return fmt.Errorf("store: write record %d of %s: %w", id, f.path, err)
+	}
+	copy(p.Data()[off:off+f.size], buf[:f.size])
+	f.cache.Unpin(p, true)
+	return nil
+}
+
+func (f *recordFile) locate(id ids.ID) (page uint64, off int) {
+	return id / uint64(f.perPage), int(id%uint64(f.perPage)) * f.size
+}
+
+// zero clears record id (marks it not-in-use on disk).
+func (f *recordFile) zero(id ids.ID) error {
+	return f.write(id, make([]byte, f.size))
+}
+
+func (f *recordFile) flush() error { return f.cache.Flush() }
+
+func (f *recordFile) close() error { return f.cache.Close() }

@@ -1,0 +1,218 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"neograph/internal/ids"
+	"neograph/internal/record"
+	"neograph/internal/value"
+)
+
+// NodeData is the persisted image of one node: the newest committed
+// version only. CommitTS is round-tripped through the reserved commit
+// timestamp property the paper adds to every entity.
+type NodeData struct {
+	ID        ids.ID
+	Labels    []string
+	Props     value.Map
+	CommitTS  uint64
+	Tombstone bool
+}
+
+// AllocNodeID hands out a fresh node ID. The engine allocates IDs at node
+// creation so cache IDs and store IDs coincide.
+func (s *Store) AllocNodeID() ids.ID { return s.nodes.alloc.Next() }
+
+// ReleaseNodeID returns an ID whose creating transaction aborted before
+// the node was ever persisted.
+func (s *Store) ReleaseNodeID(id ids.ID) { s.nodes.alloc.Release(id) }
+
+// NodeHighWater returns the lowest never-allocated node ID.
+func (s *Store) NodeHighWater() ids.ID { return s.nodes.alloc.HighWater() }
+
+// SetNodeHighWater raises the node allocator past IDs recovered from the
+// WAL that never reached the record file.
+func (s *Store) SetNodeHighWater(hw ids.ID) { s.nodes.alloc.SetHighWater(hw) }
+
+// PutNode persists a node image, replacing any previous image at the same
+// ID. Relationship chain pointers are preserved across rewrites — chains
+// are maintained by PutRel/RemoveRel.
+func (s *Store) PutNode(n NodeData) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putNodeLocked(n)
+}
+
+func (s *Store) putNodeLocked(n NodeData) error {
+	var buf [record.NodeSize]byte
+	if err := s.nodes.read(n.ID, buf[:]); err != nil {
+		return err
+	}
+	old, err := record.DecodeNode(buf[:])
+	if err != nil {
+		return err
+	}
+	firstRel := ids.NoID
+	if old.InUse {
+		firstRel = old.FirstRel
+		if err := s.freePropChain(old.FirstProp); err != nil {
+			return err
+		}
+		if err := s.freeDynChain(old.LabelRef); err != nil {
+			return err
+		}
+	}
+
+	props := n.Props.Clone()
+	props[CommitTSKeyName] = value.Int(int64(n.CommitTS))
+	propHead, err := s.writePropChain(props)
+	if err != nil {
+		return err
+	}
+	labelRef, err := s.writeLabelChain(n.Labels)
+	if err != nil {
+		return err
+	}
+	rec := record.NodeRecord{
+		InUse:     true,
+		Tombstone: n.Tombstone,
+		FirstRel:  firstRel,
+		FirstProp: propHead,
+		LabelRef:  labelRef,
+	}
+	record.EncodeNode(buf[:], &rec)
+	return s.nodes.write(n.ID, buf[:])
+}
+
+// GetNode loads the persisted image of node id. ErrNotFound if the record
+// is not in use.
+func (s *Store) GetNode(id ids.ID) (NodeData, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getNodeLocked(id)
+}
+
+func (s *Store) getNodeLocked(id ids.ID) (NodeData, error) {
+	if id >= s.nodes.alloc.HighWater() {
+		return NodeData{}, fmt.Errorf("%w: node %d", ErrNotFound, id)
+	}
+	var buf [record.NodeSize]byte
+	if err := s.nodes.read(id, buf[:]); err != nil {
+		return NodeData{}, err
+	}
+	rec, err := record.DecodeNode(buf[:])
+	if err != nil {
+		return NodeData{}, err
+	}
+	if !rec.InUse {
+		return NodeData{}, fmt.Errorf("%w: node %d", ErrNotFound, id)
+	}
+	props, err := s.readPropChain(rec.FirstProp)
+	if err != nil {
+		return NodeData{}, err
+	}
+	n := NodeData{ID: id, Tombstone: rec.Tombstone, Props: props}
+	if ctsVal, ok := props[CommitTSKeyName]; ok {
+		if cts, ok := ctsVal.AsInt(); ok {
+			n.CommitTS = uint64(cts)
+		}
+		delete(props, CommitTSKeyName)
+	}
+	if n.Labels, err = s.readLabelChain(rec.LabelRef); err != nil {
+		return NodeData{}, err
+	}
+	return n, nil
+}
+
+// RemoveNode erases the persisted image of node id and recycles the ID.
+// Any relationships must have been removed first; RemoveNode fails if the
+// relationship chain is non-empty.
+func (s *Store) RemoveNode(id ids.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf [record.NodeSize]byte
+	if err := s.nodes.read(id, buf[:]); err != nil {
+		return err
+	}
+	rec, err := record.DecodeNode(buf[:])
+	if err != nil {
+		return err
+	}
+	if !rec.InUse {
+		return fmt.Errorf("%w: node %d", ErrNotFound, id)
+	}
+	if rec.FirstRel != ids.NoID {
+		return fmt.Errorf("store: node %d still has relationships", id)
+	}
+	if err := s.freePropChain(rec.FirstProp); err != nil {
+		return err
+	}
+	if err := s.freeDynChain(rec.LabelRef); err != nil {
+		return err
+	}
+	if err := s.nodes.zero(id); err != nil {
+		return err
+	}
+	s.nodes.alloc.Release(id)
+	return nil
+}
+
+// ScanNodes calls fn for every in-use node image, in ID order. fn errors
+// abort the scan.
+func (s *Store) ScanNodes(fn func(NodeData) error) error {
+	hw := s.nodes.alloc.HighWater()
+	for id := ids.ID(0); id < hw; id++ {
+		s.mu.Lock()
+		n, err := s.getNodeLocked(id)
+		s.mu.Unlock()
+		if err != nil {
+			continue // not in use
+		}
+		if err := fn(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeLabelChain persists a label set as a dynamic chain of uint32 label
+// tokens. Caller holds s.mu.
+func (s *Store) writeLabelChain(labels []string) (ids.ID, error) {
+	if len(labels) == 0 {
+		return ids.NoID, nil
+	}
+	buf := make([]byte, 0, 4*len(labels))
+	for _, l := range labels {
+		tok, err := s.tokens.Get(TokenLabel, l)
+		if err != nil {
+			return ids.NoID, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, tok)
+	}
+	return s.writeDynChain(buf)
+}
+
+// readLabelChain loads a label set from a dynamic chain.
+func (s *Store) readLabelChain(ref ids.ID) ([]string, error) {
+	if ref == ids.NoID {
+		return nil, nil
+	}
+	raw, err := s.readDynChain(ref)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("store: label chain %d has odd length %d", ref, len(raw))
+	}
+	labels := make([]string, 0, len(raw)/4)
+	for off := 0; off < len(raw); off += 4 {
+		tok := binary.LittleEndian.Uint32(raw[off:])
+		name, ok := s.tokens.Name(TokenLabel, tok)
+		if !ok {
+			return nil, fmt.Errorf("store: unknown label token %d", tok)
+		}
+		labels = append(labels, name)
+	}
+	return labels, nil
+}

@@ -1,0 +1,346 @@
+package store
+
+import (
+	"fmt"
+
+	"neograph/internal/ids"
+	"neograph/internal/record"
+	"neograph/internal/value"
+)
+
+// RelData is the persisted image of one relationship: the newest committed
+// version only.
+type RelData struct {
+	ID        ids.ID
+	Type      string
+	StartNode ids.ID
+	EndNode   ids.ID
+	Props     value.Map
+	CommitTS  uint64
+	Tombstone bool
+}
+
+// AllocRelID hands out a fresh relationship ID.
+func (s *Store) AllocRelID() ids.ID { return s.rels.alloc.Next() }
+
+// ReleaseRelID returns an ID whose creating transaction aborted before the
+// relationship was ever persisted.
+func (s *Store) ReleaseRelID(id ids.ID) { s.rels.alloc.Release(id) }
+
+// RelHighWater returns the lowest never-allocated relationship ID.
+func (s *Store) RelHighWater() ids.ID { return s.rels.alloc.HighWater() }
+
+// SetRelHighWater raises the relationship allocator past IDs recovered
+// from the WAL that never reached the record file.
+func (s *Store) SetRelHighWater(hw ids.ID) { s.rels.alloc.SetHighWater(hw) }
+
+// PutRel persists a relationship image. On first write the record is
+// linked into the relationship chains of both endpoint nodes (which must
+// already be persisted); on rewrite the chain pointers are preserved and
+// only type, properties, commit timestamp and tombstone flag change.
+func (s *Store) PutRel(r RelData) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var buf [record.RelSize]byte
+	if err := s.rels.read(r.ID, buf[:]); err != nil {
+		return err
+	}
+	old, err := record.DecodeRel(buf[:])
+	if err != nil {
+		return err
+	}
+
+	tok, err := s.tokens.Get(TokenRelType, r.Type)
+	if err != nil {
+		return err
+	}
+	props := r.Props.Clone()
+	props[CommitTSKeyName] = value.Int(int64(r.CommitTS))
+
+	rec := record.RelRecord{
+		InUse:     true,
+		Tombstone: r.Tombstone,
+		Type:      tok,
+		StartNode: r.StartNode,
+		EndNode:   r.EndNode,
+		StartPrev: ids.NoID, StartNext: ids.NoID,
+		EndPrev: ids.NoID, EndNext: ids.NoID,
+	}
+
+	if old.InUse {
+		if old.StartNode != r.StartNode || old.EndNode != r.EndNode {
+			return fmt.Errorf("store: rel %d endpoints changed on rewrite", r.ID)
+		}
+		rec.StartPrev, rec.StartNext = old.StartPrev, old.StartNext
+		rec.EndPrev, rec.EndNext = old.EndPrev, old.EndNext
+		if err := s.freePropChain(old.FirstProp); err != nil {
+			return err
+		}
+	}
+
+	if rec.FirstProp, err = s.writePropChain(props); err != nil {
+		return err
+	}
+
+	if !old.InUse {
+		// Link at the head of the start node's chain, and (unless this is a
+		// self-loop, which appears once) the end node's chain.
+		if err := s.linkRelLocked(r.ID, &rec, r.StartNode, true); err != nil {
+			return err
+		}
+		if r.EndNode != r.StartNode {
+			if err := s.linkRelLocked(r.ID, &rec, r.EndNode, false); err != nil {
+				return err
+			}
+		}
+	}
+
+	record.EncodeRel(buf[:], &rec)
+	return s.rels.write(r.ID, buf[:])
+}
+
+// linkRelLocked pushes relationship relID to the head of node's chain,
+// updating rec's pointers in place (rec is written by the caller).
+func (s *Store) linkRelLocked(relID ids.ID, rec *record.RelRecord, node ids.ID, asStart bool) error {
+	var nbuf [record.NodeSize]byte
+	if err := s.nodes.read(node, nbuf[:]); err != nil {
+		return err
+	}
+	nrec, err := record.DecodeNode(nbuf[:])
+	if err != nil {
+		return err
+	}
+	if !nrec.InUse {
+		return fmt.Errorf("store: link rel %d to missing node %d", relID, node)
+	}
+	oldHead := nrec.FirstRel
+	if asStart {
+		rec.StartPrev, rec.StartNext = ids.NoID, oldHead
+	} else {
+		rec.EndPrev, rec.EndNext = ids.NoID, oldHead
+	}
+	if oldHead != ids.NoID {
+		if err := s.setRelPrevLocked(oldHead, node, relID); err != nil {
+			return err
+		}
+	}
+	nrec.FirstRel = relID
+	record.EncodeNode(nbuf[:], &nrec)
+	return s.nodes.write(node, nbuf[:])
+}
+
+// setRelPrevLocked sets the prev pointer of rel id relative to node.
+func (s *Store) setRelPrevLocked(id, node, prev ids.ID) error {
+	var buf [record.RelSize]byte
+	if err := s.rels.read(id, buf[:]); err != nil {
+		return err
+	}
+	rec, err := record.DecodeRel(buf[:])
+	if err != nil {
+		return err
+	}
+	if rec.StartNode == node {
+		rec.StartPrev = prev
+	} else if rec.EndNode == node {
+		rec.EndPrev = prev
+	} else {
+		return fmt.Errorf("store: rel %d not attached to node %d", id, node)
+	}
+	record.EncodeRel(buf[:], &rec)
+	return s.rels.write(id, buf[:])
+}
+
+// setRelNextLocked sets the next pointer of rel id relative to node.
+func (s *Store) setRelNextLocked(id, node, next ids.ID) error {
+	var buf [record.RelSize]byte
+	if err := s.rels.read(id, buf[:]); err != nil {
+		return err
+	}
+	rec, err := record.DecodeRel(buf[:])
+	if err != nil {
+		return err
+	}
+	if rec.StartNode == node {
+		rec.StartNext = next
+	} else if rec.EndNode == node {
+		rec.EndNext = next
+	} else {
+		return fmt.Errorf("store: rel %d not attached to node %d", id, node)
+	}
+	record.EncodeRel(buf[:], &rec)
+	return s.rels.write(id, buf[:])
+}
+
+// GetRel loads the persisted image of relationship id.
+func (s *Store) GetRel(id ids.ID) (RelData, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getRelLocked(id)
+}
+
+func (s *Store) getRelLocked(id ids.ID) (RelData, error) {
+	if id >= s.rels.alloc.HighWater() {
+		return RelData{}, fmt.Errorf("%w: rel %d", ErrNotFound, id)
+	}
+	var buf [record.RelSize]byte
+	if err := s.rels.read(id, buf[:]); err != nil {
+		return RelData{}, err
+	}
+	rec, err := record.DecodeRel(buf[:])
+	if err != nil {
+		return RelData{}, err
+	}
+	if !rec.InUse {
+		return RelData{}, fmt.Errorf("%w: rel %d", ErrNotFound, id)
+	}
+	typeName, ok := s.tokens.Name(TokenRelType, rec.Type)
+	if !ok {
+		return RelData{}, fmt.Errorf("store: rel %d has unknown type token %d", id, rec.Type)
+	}
+	props, err := s.readPropChain(rec.FirstProp)
+	if err != nil {
+		return RelData{}, err
+	}
+	r := RelData{
+		ID: id, Type: typeName,
+		StartNode: rec.StartNode, EndNode: rec.EndNode,
+		Tombstone: rec.Tombstone, Props: props,
+	}
+	if ctsVal, ok := props[CommitTSKeyName]; ok {
+		if cts, ok := ctsVal.AsInt(); ok {
+			r.CommitTS = uint64(cts)
+		}
+		delete(props, CommitTSKeyName)
+	}
+	return r, nil
+}
+
+// RemoveRel unlinks relationship id from both endpoint chains, erases its
+// record and recycles the ID.
+func (s *Store) RemoveRel(id ids.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var buf [record.RelSize]byte
+	if err := s.rels.read(id, buf[:]); err != nil {
+		return err
+	}
+	rec, err := record.DecodeRel(buf[:])
+	if err != nil {
+		return err
+	}
+	if !rec.InUse {
+		return fmt.Errorf("%w: rel %d", ErrNotFound, id)
+	}
+
+	if err := s.unlinkLocked(id, rec.StartNode, rec.StartPrev, rec.StartNext); err != nil {
+		return err
+	}
+	if rec.EndNode != rec.StartNode {
+		if err := s.unlinkLocked(id, rec.EndNode, rec.EndPrev, rec.EndNext); err != nil {
+			return err
+		}
+	}
+	if err := s.freePropChain(rec.FirstProp); err != nil {
+		return err
+	}
+	if err := s.rels.zero(id); err != nil {
+		return err
+	}
+	s.rels.alloc.Release(id)
+	return nil
+}
+
+// unlinkLocked removes rel id from node's chain given its prev/next there.
+func (s *Store) unlinkLocked(id, node, prev, next ids.ID) error {
+	if prev == ids.NoID {
+		// id was the head: point the node at next.
+		var nbuf [record.NodeSize]byte
+		if err := s.nodes.read(node, nbuf[:]); err != nil {
+			return err
+		}
+		nrec, err := record.DecodeNode(nbuf[:])
+		if err != nil {
+			return err
+		}
+		if nrec.FirstRel != id {
+			return fmt.Errorf("store: chain corruption: node %d head %d != rel %d", node, nrec.FirstRel, id)
+		}
+		nrec.FirstRel = next
+		record.EncodeNode(nbuf[:], &nrec)
+		if err := s.nodes.write(node, nbuf[:]); err != nil {
+			return err
+		}
+	} else {
+		if err := s.setRelNextLocked(prev, node, next); err != nil {
+			return err
+		}
+	}
+	if next != ids.NoID {
+		if err := s.setRelPrevLocked(next, node, prev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NodeRels returns the IDs of every relationship chained to node id, by
+// walking the node's doubly-linked relationship chain.
+func (s *Store) NodeRels(id ids.ID) ([]ids.ID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var nbuf [record.NodeSize]byte
+	if err := s.nodes.read(id, nbuf[:]); err != nil {
+		return nil, err
+	}
+	nrec, err := record.DecodeNode(nbuf[:])
+	if err != nil {
+		return nil, err
+	}
+	if !nrec.InUse {
+		return nil, fmt.Errorf("%w: node %d", ErrNotFound, id)
+	}
+	var out []ids.ID
+	var buf [record.RelSize]byte
+	for rid, hops := nrec.FirstRel, 0; rid != ids.NoID; hops++ {
+		if hops > 1<<24 {
+			return nil, fmt.Errorf("store: relationship chain cycle at node %d", id)
+		}
+		out = append(out, rid)
+		if err := s.rels.read(rid, buf[:]); err != nil {
+			return nil, err
+		}
+		rec, err := record.DecodeRel(buf[:])
+		if err != nil {
+			return nil, err
+		}
+		switch id {
+		case rec.StartNode:
+			rid = rec.StartNext
+		case rec.EndNode:
+			rid = rec.EndNext
+		default:
+			return nil, fmt.Errorf("store: rel %d in chain of node %d but not attached", rid, id)
+		}
+	}
+	return out, nil
+}
+
+// ScanRels calls fn for every in-use relationship image, in ID order.
+func (s *Store) ScanRels(fn func(RelData) error) error {
+	hw := s.rels.alloc.HighWater()
+	for id := ids.ID(0); id < hw; id++ {
+		s.mu.Lock()
+		r, err := s.getRelLocked(id)
+		s.mu.Unlock()
+		if err != nil {
+			continue // not in use
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"neograph/internal/ids"
+	"neograph/internal/record"
+	"neograph/internal/value"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound = errors.New("store: record not found")
+)
+
+// Options tune the store.
+type Options struct {
+	// CachePages is the page-cache capacity per record file. Zero means
+	// DefaultCachePages.
+	CachePages int
+}
+
+// DefaultCachePages is the per-file page cache capacity when unset.
+const DefaultCachePages = 1024
+
+// Store bundles the record files and token registry that together form the
+// persistent store of Figure 1.
+type Store struct {
+	mu     sync.Mutex // serialises structural (chain) updates
+	dir    string
+	nodes  *recordFile
+	rels   *recordFile
+	props  *recordFile
+	dyn    *recordFile
+	tokens *Tokens
+}
+
+// Open opens (creating if needed) the store in directory dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.CachePages <= 0 {
+		opts.CachePages = DefaultCachePages
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: mkdir %s: %w", dir, err)
+	}
+	s := &Store{dir: dir}
+	var err error
+	if s.nodes, err = openRecordFile(dir, "neostore.nodes.db", record.NodeSize, opts.CachePages); err != nil {
+		return nil, err
+	}
+	if s.rels, err = openRecordFile(dir, "neostore.rels.db", record.RelSize, opts.CachePages); err != nil {
+		s.closePartial()
+		return nil, err
+	}
+	if s.props, err = openRecordFile(dir, "neostore.props.db", record.PropSize, opts.CachePages); err != nil {
+		s.closePartial()
+		return nil, err
+	}
+	if s.dyn, err = openRecordFile(dir, "neostore.dyn.db", record.DynSize, opts.CachePages); err != nil {
+		s.closePartial()
+		return nil, err
+	}
+	if s.tokens, err = OpenTokens(dir + "/neostore.tokens.db"); err != nil {
+		s.closePartial()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) closePartial() {
+	for _, f := range []*recordFile{s.nodes, s.rels, s.props, s.dyn} {
+		if f != nil {
+			f.close()
+		}
+	}
+}
+
+// Tokens exposes the token registry.
+func (s *Store) Tokens() *Tokens { return s.tokens }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Flush writes all dirty pages of every record file to disk.
+func (s *Store) Flush() error {
+	for _, f := range []*recordFile{s.nodes, s.rels, s.props, s.dyn} {
+		if err := f.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every file.
+func (s *Store) Close() error {
+	var firstErr error
+	for _, f := range []*recordFile{s.nodes, s.rels, s.props, s.dyn} {
+		if err := f.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Crash closes every file without flushing dirty pages, simulating a
+// process crash. Only previously flushed/evicted pages survive on disk.
+// Test-support only.
+func (s *Store) Crash() error {
+	var firstErr error
+	for _, f := range []*recordFile{s.nodes, s.rels, s.props, s.dyn} {
+		if err := f.cache.Discard(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// FileSizes reports the byte size of each store file, for the F1 report.
+func (s *Store) FileSizes() (map[string]int64, error) {
+	out := make(map[string]int64, 4)
+	for name, f := range map[string]*recordFile{
+		"nodes": s.nodes, "rels": s.rels, "props": s.props, "dyn": s.dyn,
+	} {
+		st, err := os.Stat(f.path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				out[name] = 0
+				continue
+			}
+			return nil, err
+		}
+		out[name] = st.Size()
+	}
+	return out, nil
+}
+
+// ---- dynamic-store chains ----
+
+// writeDynChain stores data as a chain of dynamic records, returning the
+// head ID. Empty data returns ids.NoID. Caller holds s.mu.
+func (s *Store) writeDynChain(data []byte) (ids.ID, error) {
+	if len(data) == 0 {
+		return ids.NoID, nil
+	}
+	// Allocate all blocks first so Next pointers can be threaded forward.
+	n := (len(data) + record.DynPayload - 1) / record.DynPayload
+	blockIDs := make([]ids.ID, n)
+	for i := range blockIDs {
+		blockIDs[i] = s.dyn.alloc.Next()
+	}
+	var buf [record.DynSize]byte
+	for i := 0; i < n; i++ {
+		lo := i * record.DynPayload
+		hi := lo + record.DynPayload
+		if hi > len(data) {
+			hi = len(data)
+		}
+		next := ids.NoID
+		if i+1 < n {
+			next = blockIDs[i+1]
+		}
+		d := record.DynRecord{InUse: true, Payload: data[lo:hi], Next: next}
+		record.EncodeDyn(buf[:], &d)
+		if err := s.dyn.write(blockIDs[i], buf[:]); err != nil {
+			return ids.NoID, err
+		}
+	}
+	return blockIDs[0], nil
+}
+
+// readDynChain reads a whole dynamic chain starting at head.
+func (s *Store) readDynChain(head ids.ID) ([]byte, error) {
+	if head == ids.NoID {
+		return nil, nil
+	}
+	var out []byte
+	var buf [record.DynSize]byte
+	for id, hops := head, 0; id != ids.NoID; hops++ {
+		if hops > 1<<20 {
+			return nil, fmt.Errorf("store: dynamic chain cycle at %d", id)
+		}
+		if err := s.dyn.read(id, buf[:]); err != nil {
+			return nil, err
+		}
+		d, err := record.DecodeDyn(buf[:])
+		if err != nil {
+			return nil, err
+		}
+		if !d.InUse {
+			return nil, fmt.Errorf("%w: dynamic record %d", ErrNotFound, id)
+		}
+		out = append(out, d.Payload...)
+		id = d.Next
+	}
+	return out, nil
+}
+
+// freeDynChain releases every record of a dynamic chain. Caller holds s.mu.
+func (s *Store) freeDynChain(head ids.ID) error {
+	var buf [record.DynSize]byte
+	for id := head; id != ids.NoID; {
+		if err := s.dyn.read(id, buf[:]); err != nil {
+			return err
+		}
+		d, err := record.DecodeDyn(buf[:])
+		if err != nil {
+			return err
+		}
+		if err := s.dyn.zero(id); err != nil {
+			return err
+		}
+		s.dyn.alloc.Release(id)
+		id = d.Next
+	}
+	return nil
+}
+
+// ---- property chains ----
+
+// writePropChain persists a property map as a chain of property records,
+// returning the head ID. Keys are registered in the token registry.
+// Caller holds s.mu.
+func (s *Store) writePropChain(props value.Map) (ids.ID, error) {
+	if len(props) == 0 {
+		return ids.NoID, nil
+	}
+	keys := props.Keys()
+	recIDs := make([]ids.ID, len(keys))
+	for i := range recIDs {
+		recIDs[i] = s.props.alloc.Next()
+	}
+	var buf [record.PropSize]byte
+	for i, k := range keys {
+		tok, err := s.tokens.Get(TokenPropKey, k)
+		if err != nil {
+			return ids.NoID, err
+		}
+		enc := value.EncodeValue(props[k])
+		p := record.PropRecord{InUse: true, Key: tok, Next: ids.NoID}
+		if i+1 < len(keys) {
+			p.Next = recIDs[i+1]
+		}
+		if len(enc) <= record.PropInlineMax {
+			p.Inline = enc
+			p.SpillRef = ids.NoID
+		} else {
+			ref, err := s.writeDynChain(enc)
+			if err != nil {
+				return ids.NoID, err
+			}
+			p.Spilled = true
+			p.SpillRef = ref
+		}
+		record.EncodeProp(buf[:], &p)
+		if err := s.props.write(recIDs[i], buf[:]); err != nil {
+			return ids.NoID, err
+		}
+	}
+	return recIDs[0], nil
+}
+
+// readPropChain loads a property chain into a map.
+func (s *Store) readPropChain(head ids.ID) (value.Map, error) {
+	if head == ids.NoID {
+		return value.Map{}, nil
+	}
+	props := value.Map{}
+	var buf [record.PropSize]byte
+	for id, hops := head, 0; id != ids.NoID; hops++ {
+		if hops > 1<<20 {
+			return nil, fmt.Errorf("store: property chain cycle at %d", id)
+		}
+		if err := s.props.read(id, buf[:]); err != nil {
+			return nil, err
+		}
+		p, err := record.DecodeProp(buf[:])
+		if err != nil {
+			return nil, err
+		}
+		if !p.InUse {
+			return nil, fmt.Errorf("%w: property record %d", ErrNotFound, id)
+		}
+		name, ok := s.tokens.Name(TokenPropKey, p.Key)
+		if !ok {
+			return nil, fmt.Errorf("store: property record %d has unknown key token %d", id, p.Key)
+		}
+		enc := p.Inline
+		if p.Spilled {
+			if enc, err = s.readDynChain(p.SpillRef); err != nil {
+				return nil, err
+			}
+		}
+		v, _, err := value.DecodeValue(enc)
+		if err != nil {
+			return nil, fmt.Errorf("store: property record %d: %w", id, err)
+		}
+		props[name] = v
+		id = p.Next
+	}
+	return props, nil
+}
+
+// freePropChain releases a property chain and any spilled values.
+// Caller holds s.mu.
+func (s *Store) freePropChain(head ids.ID) error {
+	var buf [record.PropSize]byte
+	for id := head; id != ids.NoID; {
+		if err := s.props.read(id, buf[:]); err != nil {
+			return err
+		}
+		p, err := record.DecodeProp(buf[:])
+		if err != nil {
+			return err
+		}
+		if p.Spilled {
+			if err := s.freeDynChain(p.SpillRef); err != nil {
+				return err
+			}
+		}
+		if err := s.props.zero(id); err != nil {
+			return err
+		}
+		s.props.alloc.Release(id)
+		id = p.Next
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Token namespaces. Labels, relationship types and property keys each have
+// their own dense uint32 token space, as in Neo4j. Tokens are never
+// deleted (paper §4: "properties and labels are never deleted in Neo4j
+// even if no node/relationship is using them").
+type TokenKind uint8
+
+const (
+	TokenLabel TokenKind = iota
+	TokenRelType
+	TokenPropKey
+	tokenKinds
+)
+
+// Reserved property key tokens. CommitTSKey holds the commit timestamp the
+// paper attaches to every persisted entity (§4: "We have added an
+// additional property to both of them for keeping the commit timestamp").
+const (
+	CommitTSKeyName = "__neograph_cts"
+)
+
+// ErrBadTokenFile reports a corrupt token store file.
+var ErrBadTokenFile = errors.New("store: bad token file")
+
+var tokenMagic = [8]byte{'n', 'g', 't', 'k', 0, 0, 0, 1}
+
+// Tokens is the persistent registry mapping names to dense uint32 tokens,
+// one namespace per TokenKind. It is safe for concurrent use; writes are
+// append-only.
+type Tokens struct {
+	mu     sync.RWMutex
+	path   string
+	byName [tokenKinds]map[string]uint32
+	byID   [tokenKinds][]string
+}
+
+// OpenTokens loads (or creates) the token registry at path.
+func OpenTokens(path string) (*Tokens, error) {
+	t := &Tokens{path: path}
+	for k := range t.byName {
+		t.byName[k] = make(map[string]uint32)
+	}
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return t, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: open tokens %s: %w", path, err)
+	}
+	if len(buf) < 8 || string(buf[:8]) != string(tokenMagic[:]) {
+		return nil, fmt.Errorf("%w: %s", ErrBadTokenFile, path)
+	}
+	off := 8
+	for off < len(buf) {
+		if off+7 > len(buf) {
+			return nil, fmt.Errorf("%w: %s: truncated entry header", ErrBadTokenFile, path)
+		}
+		kind := TokenKind(buf[off])
+		if kind >= tokenKinds {
+			return nil, fmt.Errorf("%w: %s: bad kind %d", ErrBadTokenFile, path, kind)
+		}
+		id := binary.LittleEndian.Uint32(buf[off+1:])
+		nameLen := int(binary.LittleEndian.Uint16(buf[off+5:]))
+		off += 7
+		if off+nameLen > len(buf) {
+			return nil, fmt.Errorf("%w: %s: truncated name", ErrBadTokenFile, path)
+		}
+		name := string(buf[off : off+nameLen])
+		off += nameLen
+		if int(id) != len(t.byID[kind]) {
+			return nil, fmt.Errorf("%w: %s: non-dense token id %d", ErrBadTokenFile, path, id)
+		}
+		t.byName[kind][name] = id
+		t.byID[kind] = append(t.byID[kind], name)
+	}
+	return t, nil
+}
+
+// Get returns the token for name in the given namespace, creating and
+// persisting it if absent.
+func (t *Tokens) Get(kind TokenKind, name string) (uint32, error) {
+	t.mu.RLock()
+	id, ok := t.byName[kind][name]
+	t.mu.RUnlock()
+	if ok {
+		return id, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok = t.byName[kind][name]; ok { // raced
+		return id, nil
+	}
+	id = uint32(len(t.byID[kind]))
+	if err := t.appendEntry(kind, id, name); err != nil {
+		return 0, err
+	}
+	t.byName[kind][name] = id
+	t.byID[kind] = append(t.byID[kind], name)
+	return id, nil
+}
+
+// Lookup returns the token for name without creating it.
+func (t *Tokens) Lookup(kind TokenKind, name string) (uint32, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.byName[kind][name]
+	return id, ok
+}
+
+// Name returns the name of token id, or "" if unknown.
+func (t *Tokens) Name(kind TokenKind, id uint32) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(id) >= len(t.byID[kind]) {
+		return "", false
+	}
+	return t.byID[kind][id], true
+}
+
+// Count returns the number of tokens in a namespace.
+func (t *Tokens) Count(kind TokenKind) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.byID[kind])
+}
+
+// All returns all names in a namespace, indexed by token id.
+func (t *Tokens) All(kind TokenKind) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cp := make([]string, len(t.byID[kind]))
+	copy(cp, t.byID[kind])
+	return cp
+}
+
+// appendEntry persists one new token. Caller holds t.mu. The file is
+// rewritten append-only: on first write the magic header is added.
+func (t *Tokens) appendEntry(kind TokenKind, id uint32, name string) error {
+	f, err := os.OpenFile(t.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: append token: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: append token: %w", err)
+	}
+	var buf []byte
+	if st.Size() == 0 {
+		buf = append(buf, tokenMagic[:]...)
+	}
+	buf = append(buf, byte(kind))
+	buf = binary.LittleEndian.AppendUint32(buf, id)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	if _, err := f.Write(buf); err != nil {
+		return fmt.Errorf("store: append token: %w", err)
+	}
+	return f.Sync()
+}

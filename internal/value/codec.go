@@ -1,0 +1,176 @@
+package value
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary codec for values and property maps.
+//
+// The encoding is length-prefixed and self-describing:
+//
+//	value   := kind:u8 payload
+//	payload := ""                      (null)
+//	         | b:u8                    (bool, 0 or 1)
+//	         | i:varint                (int, zig-zag)
+//	         | f:u64le                 (float bits)
+//	         | len:uvarint bytes       (string | bytes)
+//	         | n:uvarint value*n       (list)
+//	map     := n:uvarint (klen:uvarint kbytes value)*n
+//
+// The codec is used by the property store, the WAL and the wire protocol;
+// it must remain stable across versions of the library.
+
+// Codec errors.
+var (
+	ErrCorrupt = errors.New("value: corrupt encoding")
+)
+
+// AppendValue appends the binary encoding of v to dst and returns the
+// extended slice.
+func AppendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindBool:
+		dst = append(dst, byte(v.num))
+	case KindInt:
+		dst = binary.AppendVarint(dst, int64(v.num))
+	case KindFloat:
+		dst = binary.LittleEndian.AppendUint64(dst, v.num)
+	case KindString, KindBytes:
+		dst = binary.AppendUvarint(dst, uint64(len(v.str)))
+		dst = append(dst, v.str...)
+	case KindList:
+		dst = binary.AppendUvarint(dst, uint64(len(v.list)))
+		for _, e := range v.list {
+			dst = AppendValue(dst, e)
+		}
+	}
+	return dst
+}
+
+// EncodeValue returns the binary encoding of v.
+func EncodeValue(v Value) []byte { return AppendValue(nil, v) }
+
+// DecodeValue decodes a value from the front of buf, returning the value
+// and the number of bytes consumed.
+func DecodeValue(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Null, 0, fmt.Errorf("%w: empty buffer", ErrCorrupt)
+	}
+	k := Kind(buf[0])
+	n := 1
+	switch k {
+	case KindNull:
+		return Null, n, nil
+	case KindBool:
+		if len(buf) < 2 {
+			return Null, 0, fmt.Errorf("%w: truncated bool", ErrCorrupt)
+		}
+		if buf[1] > 1 {
+			return Null, 0, fmt.Errorf("%w: bool byte %d", ErrCorrupt, buf[1])
+		}
+		return Bool(buf[1] == 1), 2, nil
+	case KindInt:
+		i, m := binary.Varint(buf[n:])
+		if m <= 0 {
+			return Null, 0, fmt.Errorf("%w: bad varint", ErrCorrupt)
+		}
+		return Int(i), n + m, nil
+	case KindFloat:
+		if len(buf) < n+8 {
+			return Null, 0, fmt.Errorf("%w: truncated float", ErrCorrupt)
+		}
+		bits := binary.LittleEndian.Uint64(buf[n:])
+		return Float(math.Float64frombits(bits)), n + 8, nil
+	case KindString, KindBytes:
+		l, m := binary.Uvarint(buf[n:])
+		if m <= 0 {
+			return Null, 0, fmt.Errorf("%w: bad length", ErrCorrupt)
+		}
+		n += m
+		if uint64(len(buf)-n) < l {
+			return Null, 0, fmt.Errorf("%w: truncated payload (want %d, have %d)", ErrCorrupt, l, len(buf)-n)
+		}
+		payload := string(buf[n : n+int(l)])
+		n += int(l)
+		if k == KindString {
+			return String(payload), n, nil
+		}
+		return Value{kind: KindBytes, str: payload}, n, nil
+	case KindList:
+		cnt, m := binary.Uvarint(buf[n:])
+		if m <= 0 {
+			return Null, 0, fmt.Errorf("%w: bad list count", ErrCorrupt)
+		}
+		if cnt > uint64(len(buf)) {
+			// Every element takes at least one byte; a count larger than the
+			// remaining buffer is certainly corrupt and would otherwise let a
+			// hostile input force a huge allocation.
+			return Null, 0, fmt.Errorf("%w: list count %d exceeds buffer", ErrCorrupt, cnt)
+		}
+		n += m
+		elems := make([]Value, 0, cnt)
+		for i := uint64(0); i < cnt; i++ {
+			e, m, err := DecodeValue(buf[n:])
+			if err != nil {
+				return Null, 0, err
+			}
+			elems = append(elems, e)
+			n += m
+		}
+		return Value{kind: KindList, list: elems}, n, nil
+	default:
+		return Null, 0, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, k)
+	}
+}
+
+// AppendMap appends the binary encoding of property map m to dst. Keys are
+// written in sorted order so the encoding is deterministic.
+func AppendMap(dst []byte, m Map) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m)))
+	for _, k := range m.Keys() {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = AppendValue(dst, m[k])
+	}
+	return dst
+}
+
+// EncodeMap returns the binary encoding of m.
+func EncodeMap(m Map) []byte { return AppendMap(nil, m) }
+
+// DecodeMap decodes a property map from the front of buf, returning the
+// map and the number of bytes consumed.
+func DecodeMap(buf []byte) (Map, int, error) {
+	cnt, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad map count", ErrCorrupt)
+	}
+	if cnt > uint64(len(buf)) {
+		return nil, 0, fmt.Errorf("%w: map count %d exceeds buffer", ErrCorrupt, cnt)
+	}
+	m := make(Map, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		klen, kn := binary.Uvarint(buf[n:])
+		if kn <= 0 {
+			return nil, 0, fmt.Errorf("%w: bad key length", ErrCorrupt)
+		}
+		n += kn
+		if uint64(len(buf)-n) < klen {
+			return nil, 0, fmt.Errorf("%w: truncated key", ErrCorrupt)
+		}
+		key := string(buf[n : n+int(klen)])
+		n += int(klen)
+		v, vn, err := DecodeValue(buf[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += vn
+		m[key] = v
+	}
+	return m, n, nil
+}

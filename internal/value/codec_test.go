@@ -1,0 +1,174 @@
+package value
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	cases := []Value{
+		Null,
+		Bool(true), Bool(false),
+		Int(0), Int(1), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(-2.5), Float(math.Inf(1)), Float(math.NaN()),
+		String(""), String("hello, 世界"),
+		Bytes(nil), Bytes([]byte{0, 1, 2, 255}),
+		List(), List(Int(1), String("x"), List(Bool(true))),
+	}
+	for _, v := range cases {
+		enc := EncodeValue(v)
+		got, n, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", v, err)
+		}
+		if n != len(enc) {
+			t.Errorf("decode(%v) consumed %d of %d bytes", v, n, len(enc))
+		}
+		if got.Compare(v) != 0 {
+			t.Errorf("round trip: got %v, want %v", got, v)
+		}
+	}
+}
+
+func TestValueCodecConcatenated(t *testing.T) {
+	var buf []byte
+	vals := []Value{Int(1), String("two"), Bool(true)}
+	for _, v := range vals {
+		buf = AppendValue(buf, v)
+	}
+	for _, want := range vals {
+		v, n, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Equal(want) {
+			t.Fatalf("got %v, want %v", v, want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}
+
+func TestValueCodecCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(KindBool)},           // truncated bool
+		{byte(KindBool), 2},        // invalid bool byte
+		{byte(KindInt)},            // missing varint
+		{byte(KindFloat), 1, 2, 3}, // truncated float
+		{byte(KindString)},         // missing length
+		{byte(KindString), 5, 'a'}, // truncated payload
+		{byte(KindList), 200, 1},   // absurd count
+		{99},                       // unknown kind
+		{byte(KindList), 1},        // truncated element
+		{byte(KindInt), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}, // overlong varint
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeValue(c); err == nil {
+			t.Errorf("case %d: expected error for % x", i, c)
+		}
+	}
+}
+
+func TestMapCodecRoundTrip(t *testing.T) {
+	cases := []Map{
+		nil,
+		{},
+		{"a": Int(1)},
+		{"name": String("ada"), "age": Int(36), "scores": List(Float(1.5), Float(2.5))},
+	}
+	for _, m := range cases {
+		enc := EncodeMap(m)
+		got, n, err := DecodeMap(enc)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", m, err)
+		}
+		if n != len(enc) {
+			t.Errorf("consumed %d of %d", n, len(enc))
+		}
+		if !got.Equal(m) {
+			t.Errorf("round trip: got %v, want %v", got, m)
+		}
+	}
+}
+
+func TestMapCodecDeterministic(t *testing.T) {
+	m := Map{"b": Int(2), "a": Int(1), "c": Int(3)}
+	first := EncodeMap(m)
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(EncodeMap(m.Clone()), first) {
+			t.Fatal("map encoding not deterministic")
+		}
+	}
+}
+
+func TestMapCodecCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{200},           // absurd count with no payload... (count 200 > len 1)
+		{1},             // missing key
+		{1, 5, 'a'},     // truncated key
+		{1, 1, 'k'},     // missing value
+		{1, 1, 'k', 99}, // bad value kind
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeMap(c); err == nil {
+			t.Errorf("case %d: expected error for % x", i, c)
+		}
+	}
+}
+
+func TestQuickValueCodec(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		enc := EncodeValue(v)
+		got, n, err := DecodeValue(enc)
+		return err == nil && n == len(enc) && got.Compare(v) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMapCodec(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := make(Map)
+		for i, n := 0, r.Intn(8); i < n; i++ {
+			key := make([]byte, 1+r.Intn(10))
+			r.Read(key)
+			m[string(key)] = randomValue(r, 2)
+		}
+		enc := EncodeMap(m)
+		got, n, err := DecodeMap(enc)
+		return err == nil && n == len(enc) && got.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeMap(b *testing.B) {
+	m := Map{"name": String("alice"), "age": Int(42), "score": Float(8.5)}
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = AppendMap(buf[:0], m)
+	}
+}
+
+func BenchmarkDecodeMap(b *testing.B) {
+	enc := EncodeMap(Map{"name": String("alice"), "age": Int(42), "score": Float(8.5)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeMap(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindBytes: "bytes", KindList: "list", Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Fatal("zero Value must be null")
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Error("Bool(true) round trip failed")
+	}
+	if b, ok := Bool(false).AsBool(); !ok || b {
+		t.Error("Bool(false) round trip failed")
+	}
+	if i, ok := Int(-42).AsInt(); !ok || i != -42 {
+		t.Error("Int round trip failed")
+	}
+	if f, ok := Float(3.5).AsFloat(); !ok || f != 3.5 {
+		t.Error("Float round trip failed")
+	}
+	if s, ok := String("hi").AsString(); !ok || s != "hi" {
+		t.Error("String round trip failed")
+	}
+	if bs, ok := Bytes([]byte{1, 2}).AsBytes(); !ok || !reflect.DeepEqual(bs, []byte{1, 2}) {
+		t.Error("Bytes round trip failed")
+	}
+	l, ok := List(Int(1), String("x")).AsList()
+	if !ok || len(l) != 2 || !l[0].Equal(Int(1)) || !l[1].Equal(String("x")) {
+		t.Error("List round trip failed")
+	}
+}
+
+func TestAccessorKindMismatch(t *testing.T) {
+	if _, ok := Int(1).AsBool(); ok {
+		t.Error("AsBool on int should fail")
+	}
+	if _, ok := Bool(true).AsInt(); ok {
+		t.Error("AsInt on bool should fail")
+	}
+	if _, ok := Int(1).AsFloat(); ok {
+		t.Error("AsFloat on int should fail")
+	}
+	if _, ok := Bytes(nil).AsString(); ok {
+		t.Error("AsString on bytes should fail")
+	}
+	if _, ok := String("").AsBytes(); ok {
+		t.Error("AsBytes on string should fail")
+	}
+	if _, ok := String("").AsList(); ok {
+		t.Error("AsList on string should fail")
+	}
+}
+
+func TestBytesCopied(t *testing.T) {
+	src := []byte{1, 2, 3}
+	v := Bytes(src)
+	src[0] = 9
+	got, _ := v.AsBytes()
+	if got[0] != 1 {
+		t.Error("Bytes must copy its input")
+	}
+	got[1] = 9
+	got2, _ := v.AsBytes()
+	if got2[1] != 2 {
+		t.Error("AsBytes must return a copy")
+	}
+}
+
+func TestListCopied(t *testing.T) {
+	src := []Value{Int(1)}
+	v := List(src...)
+	src[0] = Int(9)
+	l, _ := v.AsList()
+	if !l[0].Equal(Int(1)) {
+		t.Error("List must copy its input")
+	}
+}
+
+func TestOf(t *testing.T) {
+	cases := []struct {
+		in   any
+		want Value
+	}{
+		{nil, Null},
+		{true, Bool(true)},
+		{int(3), Int(3)},
+		{int8(-3), Int(-3)},
+		{int16(300), Int(300)},
+		{int32(1 << 20), Int(1 << 20)},
+		{int64(-1 << 40), Int(-1 << 40)},
+		{uint(7), Int(7)},
+		{uint8(255), Int(255)},
+		{uint16(65535), Int(65535)},
+		{uint32(1 << 30), Int(1 << 30)},
+		{uint64(1 << 50), Int(1 << 50)},
+		{float32(0.5), Float(0.5)},
+		{float64(2.25), Float(2.25)},
+		{"s", String("s")},
+		{[]byte{7}, Bytes([]byte{7})},
+		{[]Value{Int(1)}, List(Int(1))},
+		{Int(5), Int(5)},
+	}
+	for _, c := range cases {
+		if got := Of(c.in); !got.Equal(c.want) {
+			t.Errorf("Of(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOfPanics(t *testing.T) {
+	for _, bad := range []any{uint64(math.MaxUint64), struct{}{}, map[string]int{}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Of(%T) should panic", bad)
+				}
+			}()
+			Of(bad)
+		}()
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	if f, ok := Int(4).Numeric(); !ok || f != 4 {
+		t.Error("Int.Numeric failed")
+	}
+	if f, ok := Float(2.5).Numeric(); !ok || f != 2.5 {
+		t.Error("Float.Numeric failed")
+	}
+	if _, ok := String("4").Numeric(); ok {
+		t.Error("String.Numeric should fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "null"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(-7), "-7"},
+		{Float(1.5), "1.5"},
+		{String(`a"b`), `"a\"b"`},
+		{Bytes([]byte{0xab, 0xcd}), "0xabcd"},
+		{List(Int(1), String("x")), `[1, "x"]`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// Ordered sample covering kind order and intra-kind order.
+	ordered := []Value{
+		Null,
+		Bool(false), Bool(true),
+		Int(-5), Int(0), Int(5),
+		Float(math.NaN()), Float(math.Inf(-1)), Float(-1), Float(0), Float(math.Inf(1)),
+		String(""), String("a"), String("ab"), String("b"),
+		Bytes(nil), Bytes([]byte{1}), Bytes([]byte{1, 2}),
+		List(), List(Int(1)), List(Int(1), Int(2)), List(Int(2)),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestEqualStrictKinds(t *testing.T) {
+	if Int(1).Equal(Float(1)) {
+		t.Error("Int(1) must not equal Float(1)")
+	}
+	if String("a").Equal(Bytes([]byte("a"))) {
+		t.Error("String must not equal Bytes")
+	}
+}
+
+func TestHashEqualValuesHashEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(42), Int(42)},
+		{String("abc"), String("abc")},
+		{Float(math.NaN()), Float(math.Float64frombits(math.Float64bits(math.NaN()) ^ 1<<62))},
+		{List(Int(1), String("x")), List(Int(1), String("x"))},
+	}
+	for _, p := range pairs {
+		if p[0].Compare(p[1]) == 0 && p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values %v and %v hash differently", p[0], p[1])
+		}
+	}
+	if Int(1).Hash() == Int(2).Hash() && Int(1).Hash() == Int(3).Hash() {
+		t.Error("suspiciously colliding hashes")
+	}
+}
+
+func TestMapCloneAndEqual(t *testing.T) {
+	m := Map{"a": Int(1), "b": String("x")}
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c["a"] = Int(2)
+	if m.Equal(c) {
+		t.Fatal("clone mutation leaked")
+	}
+	if !Map(nil).Equal(Map{}) {
+		t.Error("nil map should equal empty map")
+	}
+	if (Map{"a": Int(1)}).Equal(Map{"a": Int(2)}) {
+		t.Error("different values should not be equal")
+	}
+	if (Map{"a": Int(1)}).Equal(Map{"b": Int(1)}) {
+		t.Error("different keys should not be equal")
+	}
+}
+
+func TestMapKeysSorted(t *testing.T) {
+	m := Map{"z": Null, "a": Null, "m": Null}
+	ks := m.Keys()
+	if !sort.StringsAreSorted(ks) || len(ks) != 3 {
+		t.Errorf("Keys() = %v, want sorted 3 keys", ks)
+	}
+}
+
+func TestMapString(t *testing.T) {
+	m := Map{"b": Int(2), "a": Int(1)}
+	if got, want := m.String(), "{a: 1, b: 2}"; got != want {
+		t.Errorf("Map.String() = %q, want %q", got, want)
+	}
+}
+
+func TestSizePositive(t *testing.T) {
+	for _, v := range []Value{Null, Int(1), String("hello"), List(Int(1), Int(2))} {
+		if v.Size() <= 0 {
+			t.Errorf("Size(%v) = %d, want > 0", v, v.Size())
+		}
+	}
+	if (Map{"k": String("vvv")}).Size() <= 0 {
+		t.Error("Map.Size must be positive")
+	}
+}
+
+// randomValue builds an arbitrary value with bounded depth for
+// property-based tests.
+func randomValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(7)
+	if depth <= 0 && k == int(KindList) {
+		k = int(KindInt)
+	}
+	switch Kind(k) {
+	case KindNull:
+		return Null
+	case KindBool:
+		return Bool(r.Intn(2) == 0)
+	case KindInt:
+		return Int(r.Int63() - r.Int63())
+	case KindFloat:
+		return Float(r.NormFloat64() * 1e6)
+	case KindString:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return String(string(b))
+	case KindBytes:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return Bytes(b)
+	default:
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(r, depth-1)
+		}
+		return List(elems...)
+	}
+}
+
+func TestQuickCompareReflexiveAntisymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b, c := randomValue(rr, 2), randomValue(rr, 2), randomValue(rr, 2)
+		if a.Compare(a) != 0 {
+			return false
+		}
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// Transitivity spot check: sort three and verify pairwise order.
+		vs := []Value{a, b, c}
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+		return vs[0].Compare(vs[2]) <= 0 && vs[0].Compare(vs[1]) <= 0 && vs[1].Compare(vs[2]) <= 0
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,366 @@
+// Package wal implements the write-ahead log that makes commits durable.
+// The paper's design persists only the newest committed version of each
+// entity, written back lazily by a checkpointer; the WAL is what makes a
+// commit durable in the window between commit and checkpoint.
+//
+// The log is a sequence of segment files, each named by the log sequence
+// number (LSN) of its first record. A record is framed as
+//
+//	length:u32le  crc:u32le(castagnoli, over payload)  payload
+//
+// and an LSN is the global byte offset of a record's frame. Replay stops
+// at the first torn or corrupt frame — everything before it was durable,
+// everything after it never acknowledged.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Options tune the log.
+type Options struct {
+	// SegmentSize is the byte size at which the active segment rotates.
+	// Zero means DefaultSegmentSize.
+	SegmentSize int64
+	// NoSync disables fsync on Sync() calls — useful for benchmarks that
+	// measure CPU cost rather than disk latency. Durability is lost.
+	NoSync bool
+}
+
+// DefaultSegmentSize rotates segments at 16 MiB.
+const DefaultSegmentSize = 16 << 20
+
+const frameHeader = 8 // length + crc
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors.
+var (
+	ErrClosed    = errors.New("wal: closed")
+	ErrTooLarge  = errors.New("wal: record exceeds segment size")
+	errBadHeader = errors.New("wal: bad segment file name")
+)
+
+// WAL is an append-only segmented log. It is safe for concurrent use.
+type WAL struct {
+	mu      sync.Mutex
+	dir     string
+	opts    Options
+	active  *os.File
+	start   uint64 // LSN of the active segment's first byte
+	size    int64  // bytes written to the active segment
+	nextLSN uint64
+	closed  bool
+}
+
+// Open opens (creating if needed) the log in dir. Existing segments are
+// scanned to find the next LSN; a trailing torn record is truncated away.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := w.rotateLocked(0); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	// Validate the last segment and truncate any torn tail.
+	last := segs[len(segs)-1]
+	validLen, err := validLength(filepath.Join(dir, segmentName(last)))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(last)), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.active = f
+	w.start = last
+	w.size = validLen
+	w.nextLSN = last + uint64(validLen)
+	return w, nil
+}
+
+// segmentName renders the canonical file name for a segment starting at lsn.
+func segmentName(lsn uint64) string { return fmt.Sprintf("wal-%020d.log", lsn) }
+
+// parseSegmentName extracts the starting LSN from a segment file name.
+func parseSegmentName(name string) (uint64, error) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, errBadHeader
+	}
+	n, err := strconv.ParseUint(name[4:len(name)-4], 10, 64)
+	if err != nil {
+		return 0, errBadHeader
+	}
+	return n, nil
+}
+
+// listSegments returns the starting LSNs of all segments in dir, sorted.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: readdir: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if lsn, err := parseSegmentName(e.Name()); err == nil {
+			segs = append(segs, lsn)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// validLength scans a segment and returns the byte length of its valid
+// prefix (up to but excluding the first torn/corrupt frame).
+func validLength(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: scan %s: %w", path, err)
+	}
+	off := int64(0)
+	for {
+		if int64(len(data))-off < frameHeader {
+			return off, nil
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		end := off + frameHeader + int64(length)
+		if end > int64(len(data)) {
+			return off, nil
+		}
+		if crc32.Checksum(data[off+frameHeader:end], castagnoli) != crc {
+			return off, nil
+		}
+		off = end
+	}
+}
+
+// rotateLocked opens a fresh segment starting at lsn. Caller holds w.mu
+// (or is the constructor).
+func (w *WAL) rotateLocked(lsn uint64) error {
+	if w.active != nil {
+		if !w.opts.NoSync {
+			if err := w.active.Sync(); err != nil {
+				return err
+			}
+		}
+		if err := w.active.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(lsn)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	w.active = f
+	w.start = lsn
+	w.size = 0
+	w.nextLSN = lsn
+	return nil
+}
+
+// Append writes one record and returns its LSN. The record is durable
+// only after a subsequent Sync (or if the OS flushes sooner).
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	frame := int64(frameHeader + len(payload))
+	if frame > w.opts.SegmentSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	if w.size+frame > w.opts.SegmentSize {
+		if err := w.rotateLocked(w.nextLSN); err != nil {
+			return 0, err
+		}
+	}
+	lsn := w.nextLSN
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.active.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := w.active.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	w.size += frame
+	w.nextLSN += uint64(frame)
+	return lsn, nil
+}
+
+// Sync makes all appended records durable.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.opts.NoSync {
+		return nil
+	}
+	return w.active.Sync()
+}
+
+// NextLSN returns the LSN the next Append will receive.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// ForEach replays every record in LSN order, calling fn(lsn, payload).
+// The payload slice is only valid during the call. Iteration stops early
+// if fn returns an error, which is propagated.
+func (w *WAL) ForEach(fn func(lsn uint64, payload []byte) error) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if !w.opts.NoSync {
+		// Make sure buffered appends are visible to the reader below.
+		if err := w.active.Sync(); err != nil {
+			w.mu.Unlock()
+			return err
+		}
+	}
+	segs, err := listSegments(w.dir)
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, start := range segs {
+		data, err := os.ReadFile(filepath.Join(w.dir, segmentName(start)))
+		if err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		off := int64(0)
+		for {
+			if int64(len(data))-off < frameHeader {
+				break
+			}
+			length := binary.LittleEndian.Uint32(data[off:])
+			crc := binary.LittleEndian.Uint32(data[off+4:])
+			end := off + frameHeader + int64(length)
+			if end > int64(len(data)) || crc32.Checksum(data[off+frameHeader:end], castagnoli) != crc {
+				break // torn tail
+			}
+			if err := fn(start+uint64(off), data[off+frameHeader:end]); err != nil {
+				return err
+			}
+			off = end
+		}
+	}
+	return nil
+}
+
+// Rotate closes the active segment and starts a fresh one at the current
+// LSN. Checkpoints rotate before truncating so the segment holding
+// pre-checkpoint records becomes removable.
+func (w *WAL) Rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.size == 0 {
+		return nil // fresh segment already
+	}
+	return w.rotateLocked(w.nextLSN)
+}
+
+// TruncateBefore removes whole segments that end at or before lsn —
+// called after a checkpoint has made their contents redundant. The
+// segment containing lsn is kept.
+func (w *WAL) TruncateBefore(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for i, start := range segs {
+		// A segment may be removed if the next segment starts at or before
+		// lsn (so this whole segment is < lsn) and it is not active.
+		if i+1 >= len(segs) || segs[i+1] > lsn || start == w.start {
+			continue
+		}
+		if err := os.Remove(filepath.Join(w.dir, segmentName(start))); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	return nil
+}
+
+// Size returns the total byte size of all live segments.
+func (w *WAL) Size() (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, s := range segs {
+		st, err := os.Stat(filepath.Join(w.dir, segmentName(s)))
+		if err != nil {
+			return 0, err
+		}
+		total += st.Size()
+	}
+	return total, nil
+}
+
+// Close syncs and closes the active segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	w.closed = true
+	if !w.opts.NoSync {
+		if err := w.active.Sync(); err != nil {
+			w.active.Close()
+			return err
+		}
+	}
+	return w.active.Close()
+}

@@ -1,0 +1,260 @@
+// Package wire defines the client/server protocol: newline-delimited JSON
+// request/response pairs over TCP. Graph databases execute whole queries
+// engine-side to avoid chatty client round trips (paper §1); accordingly
+// the protocol exposes traversal operations (relationships, neighbors,
+// label/property lookups), not just point reads.
+//
+// Property values are tagged on the wire so the typed value model
+// round-trips exactly (JSON numbers alone cannot distinguish int from
+// float):
+//
+//	{"i": "123"}   int64 (string to survive JSON float precision)
+//	{"f": "1.5"}   float64 (string so ±Inf and NaN survive)
+//	{"s": "x"}     string (valid UTF-8)
+//	{"sx": "00ff"} string with non-UTF-8 bytes (hex)
+//	{"b": true}    bool
+//	{"x": "0aff"}  bytes (hex)
+//	{"l": [...]}   list
+package wire
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"unicode/utf8"
+
+	"neograph/internal/value"
+)
+
+// Op names.
+const (
+	OpPing         = "ping"
+	OpBegin        = "begin"
+	OpCommit       = "commit"
+	OpAbort        = "abort"
+	OpCreateNode   = "create_node"
+	OpGetNode      = "get_node"
+	OpSetNodeProp  = "set_node_prop"
+	OpAddLabel     = "add_label"
+	OpRemoveLabel  = "remove_label"
+	OpDeleteNode   = "delete_node"
+	OpDetachDelete = "detach_delete_node"
+	OpCreateRel    = "create_rel"
+	OpGetRel       = "get_rel"
+	OpSetRelProp   = "set_rel_prop"
+	OpDeleteRel    = "delete_rel"
+	OpRels         = "relationships"
+	OpNeighbors    = "neighbors"
+	OpNodesByLabel = "nodes_by_label"
+	OpNodesByProp  = "nodes_by_prop"
+	OpAllNodes     = "all_nodes"
+	OpStats        = "stats"
+	OpGC           = "gc"
+	OpCheckpoint   = "checkpoint"
+)
+
+// Request is one client command.
+type Request struct {
+	Op        string          `json:"op"`
+	Isolation string          `json:"iso,omitempty"` // "si" | "rc" for begin
+	ID        uint64          `json:"id,omitempty"`
+	Labels    []string        `json:"labels,omitempty"`
+	Label     string          `json:"label,omitempty"`
+	Key       string          `json:"key,omitempty"`
+	Value     json.RawMessage `json:"value,omitempty"` // tagged value
+	Props     json.RawMessage `json:"props,omitempty"` // tagged value map
+	Type      string          `json:"type,omitempty"`
+	Types     []string        `json:"types,omitempty"`
+	Start     uint64          `json:"start,omitempty"`
+	End       uint64          `json:"end,omitempty"`
+	Dir       string          `json:"dir,omitempty"` // "out" | "in" | "both"
+}
+
+// NodeJSON is a node snapshot on the wire.
+type NodeJSON struct {
+	ID     uint64          `json:"id"`
+	Labels []string        `json:"labels,omitempty"`
+	Props  json.RawMessage `json:"props,omitempty"`
+}
+
+// RelJSON is a relationship snapshot on the wire.
+type RelJSON struct {
+	ID    uint64          `json:"id"`
+	Type  string          `json:"type"`
+	Start uint64          `json:"start"`
+	End   uint64          `json:"end"`
+	Props json.RawMessage `json:"props,omitempty"`
+}
+
+// Response is the server's reply.
+type Response struct {
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	ID    uint64          `json:"id,omitempty"`
+	Node  *NodeJSON       `json:"node,omitempty"`
+	Rel   *RelJSON        `json:"rel,omitempty"`
+	Rels  []RelJSON       `json:"rels,omitempty"`
+	IDs   []uint64        `json:"ids,omitempty"`
+	Info  json.RawMessage `json:"info,omitempty"` // stats / gc reports
+}
+
+// EncodeValue renders a value in the tagged JSON form.
+func EncodeValue(v value.Value) (json.RawMessage, error) {
+	switch v.Kind() {
+	case value.KindNull:
+		return json.RawMessage("null"), nil
+	case value.KindBool:
+		b, _ := v.AsBool()
+		return json.Marshal(map[string]bool{"b": b})
+	case value.KindInt:
+		i, _ := v.AsInt()
+		return json.Marshal(map[string]string{"i": strconv.FormatInt(i, 10)})
+	case value.KindFloat:
+		f, _ := v.AsFloat()
+		return json.Marshal(map[string]string{"f": strconv.FormatFloat(f, 'g', -1, 64)})
+	case value.KindString:
+		s, _ := v.AsString()
+		if !utf8.ValidString(s) {
+			return json.Marshal(map[string]string{"sx": hex.EncodeToString([]byte(s))})
+		}
+		return json.Marshal(map[string]string{"s": s})
+	case value.KindBytes:
+		b, _ := v.AsBytes()
+		return json.Marshal(map[string]string{"x": hex.EncodeToString(b)})
+	case value.KindList:
+		l, _ := v.AsList()
+		elems := make([]json.RawMessage, len(l))
+		for i, e := range l {
+			var err error
+			if elems[i], err = EncodeValue(e); err != nil {
+				return nil, err
+			}
+		}
+		return json.Marshal(map[string][]json.RawMessage{"l": elems})
+	default:
+		return nil, fmt.Errorf("wire: unsupported kind %v", v.Kind())
+	}
+}
+
+// DecodeValue parses the tagged JSON form.
+func DecodeValue(raw json.RawMessage) (value.Value, error) {
+	if len(raw) == 0 || string(raw) == "null" {
+		return value.Null, nil
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return value.Null, fmt.Errorf("wire: bad value: %w", err)
+	}
+	if len(m) != 1 {
+		return value.Null, fmt.Errorf("wire: value must have exactly one tag, got %d", len(m))
+	}
+	for tag, payload := range m {
+		switch tag {
+		case "b":
+			var b bool
+			if err := json.Unmarshal(payload, &b); err != nil {
+				return value.Null, err
+			}
+			return value.Bool(b), nil
+		case "i":
+			var s string
+			if err := json.Unmarshal(payload, &s); err != nil {
+				return value.Null, err
+			}
+			i, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return value.Null, fmt.Errorf("wire: bad int %q: %w", s, err)
+			}
+			return value.Int(i), nil
+		case "f":
+			var s string
+			if err := json.Unmarshal(payload, &s); err != nil {
+				return value.Null, err
+			}
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return value.Null, fmt.Errorf("wire: bad float %q: %w", s, err)
+			}
+			return value.Float(f), nil
+		case "s":
+			var s string
+			if err := json.Unmarshal(payload, &s); err != nil {
+				return value.Null, err
+			}
+			return value.String(s), nil
+		case "sx":
+			var s string
+			if err := json.Unmarshal(payload, &s); err != nil {
+				return value.Null, err
+			}
+			b, err := hex.DecodeString(s)
+			if err != nil {
+				return value.Null, fmt.Errorf("wire: bad hex string: %w", err)
+			}
+			return value.String(string(b)), nil
+		case "x":
+			var s string
+			if err := json.Unmarshal(payload, &s); err != nil {
+				return value.Null, err
+			}
+			b, err := hex.DecodeString(s)
+			if err != nil {
+				return value.Null, fmt.Errorf("wire: bad hex: %w", err)
+			}
+			return value.Bytes(b), nil
+		case "l":
+			var elems []json.RawMessage
+			if err := json.Unmarshal(payload, &elems); err != nil {
+				return value.Null, err
+			}
+			vs := make([]value.Value, len(elems))
+			for i, e := range elems {
+				var err error
+				if vs[i], err = DecodeValue(e); err != nil {
+					return value.Null, err
+				}
+			}
+			return value.List(vs...), nil
+		default:
+			return value.Null, fmt.Errorf("wire: unknown value tag %q", tag)
+		}
+	}
+	return value.Null, nil
+}
+
+// EncodeProps renders a property map.
+func EncodeProps(m value.Map) (json.RawMessage, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]json.RawMessage, len(m))
+	for k, v := range m {
+		enc, err := EncodeValue(v)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = enc
+	}
+	return json.Marshal(out)
+}
+
+// DecodeProps parses a property map.
+func DecodeProps(raw json.RawMessage) (value.Map, error) {
+	if len(raw) == 0 || string(raw) == "null" {
+		return nil, nil
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("wire: bad props: %w", err)
+	}
+	out := make(value.Map, len(m))
+	for k, e := range m {
+		v, err := DecodeValue(e)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neograph/internal/value"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	cases := []value.Value{
+		value.Null,
+		value.Bool(true), value.Bool(false),
+		value.Int(0), value.Int(math.MaxInt64), value.Int(math.MinInt64),
+		value.Float(1.5), value.Float(math.Inf(-1)),
+		value.String(""), value.String("héllo"),
+		value.Bytes(nil), value.Bytes([]byte{0, 255}),
+		value.List(value.Int(1), value.List(value.String("x"))),
+	}
+	for _, v := range cases {
+		raw, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		got, err := DecodeValue(raw)
+		if err != nil {
+			t.Fatalf("decode %s: %v", raw, err)
+		}
+		if got.Compare(v) != 0 {
+			t.Errorf("round trip %v -> %s -> %v", v, raw, got)
+		}
+	}
+}
+
+func TestIntPrecisionPreserved(t *testing.T) {
+	// 2^53+1 is not representable as float64; the tagged string form must
+	// survive.
+	v := value.Int(1<<53 + 1)
+	raw, _ := EncodeValue(v)
+	got, err := DecodeValue(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := got.AsInt(); i != 1<<53+1 {
+		t.Fatalf("precision lost: %d", i)
+	}
+}
+
+func TestPropsRoundTrip(t *testing.T) {
+	m := value.Map{"a": value.Int(1), "b": value.String("x"), "c": value.Float(2.5)}
+	raw, err := EncodeProps(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeProps(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("round trip: %v", got)
+	}
+	// Empty map encodes as nil and decodes as nil.
+	raw, _ = EncodeProps(nil)
+	if raw != nil {
+		t.Fatalf("nil props encoded as %s", raw)
+	}
+	got, err = DecodeProps(nil)
+	if err != nil || got != nil {
+		t.Fatalf("nil decode: %v, %v", got, err)
+	}
+}
+
+func TestDecodeValueErrors(t *testing.T) {
+	cases := []string{
+		`{"i": "notanumber"}`,
+		`{"x": "zz"}`,
+		`{"q": 1}`,
+		`{"i": "1", "f": 2}`,
+		`[1,2]`,
+		`{"b": "yes"}`,
+	}
+	for _, c := range cases {
+		if _, err := DecodeValue(json.RawMessage(c)); err == nil {
+			t.Errorf("DecodeValue(%s) succeeded", c)
+		}
+	}
+	if _, err := DecodeProps(json.RawMessage(`42`)); err == nil {
+		t.Error("DecodeProps(42) succeeded")
+	}
+}
+
+func TestRequestJSONShape(t *testing.T) {
+	req := Request{Op: OpCreateNode, Labels: []string{"A"}}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Request
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Op != OpCreateNode || len(back.Labels) != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestQuickValueWire(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomWireValue(r, 2)
+		raw, err := EncodeValue(v)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeValue(raw)
+		return err == nil && got.Compare(v) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomWireValue(r *rand.Rand, depth int) value.Value {
+	k := r.Intn(7)
+	if depth <= 0 && k == 6 {
+		k = 2
+	}
+	switch k {
+	case 0:
+		return value.Null
+	case 1:
+		return value.Bool(r.Intn(2) == 0)
+	case 2:
+		return value.Int(r.Int63() - r.Int63())
+	case 3:
+		return value.Float(r.NormFloat64())
+	case 4:
+		b := make([]byte, r.Intn(12))
+		r.Read(b)
+		return value.String(string(b))
+	case 5:
+		b := make([]byte, r.Intn(12))
+		r.Read(b)
+		return value.Bytes(b)
+	default:
+		n := r.Intn(3)
+		elems := make([]value.Value, n)
+		for i := range elems {
+			elems[i] = randomWireValue(r, depth-1)
+		}
+		return value.List(elems...)
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+
+	"neograph"
+)
+
+func TestBuildSocial(t *testing.T) {
+	db, err := neograph.Open(neograph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildSocial(db, SocialConfig{People: 200, AvgFriends: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.People) != 200 {
+		t.Fatalf("people = %d", len(g.People))
+	}
+	if len(g.Rels) == 0 {
+		t.Fatal("no relationships generated")
+	}
+	db.View(func(tx *neograph.Tx) error {
+		people, err := tx.NodesByLabel(LabelPerson)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(people) != 200 {
+			t.Fatalf("indexed people = %d", len(people))
+		}
+		// Spot-check a node's shape.
+		n, err := tx.GetNode(g.People[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := n.Props["balance"].AsInt(); !ok {
+			t.Fatalf("missing balance: %v", n.Props)
+		}
+		return nil
+	})
+}
+
+func TestBuildSocialDeterministic(t *testing.T) {
+	count := func() int {
+		db, _ := neograph.Open(neograph.Options{})
+		g, err := BuildSocial(db, SocialConfig{People: 100, AvgFriends: 2, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(g.Rels)
+	}
+	if a, b := count(), count(); a != b {
+		t.Fatalf("non-deterministic generation: %d vs %d rels", a, b)
+	}
+}
+
+func TestBuildSocialValidation(t *testing.T) {
+	db, _ := neograph.Open(neograph.Options{})
+	if _, err := BuildSocial(db, SocialConfig{People: 0}); err == nil {
+		t.Fatal("People=0 accepted")
+	}
+}
+
+func TestPickerUniform(t *testing.T) {
+	p := NewPicker(10, 0, 1)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		idx := p.Pick()
+		if idx < 0 || idx >= 10 {
+			t.Fatalf("out of range: %d", idx)
+		}
+		seen[idx]++
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i] < 500 { // expect ~1000 each
+			t.Fatalf("uniform picker skewed: %v", seen)
+		}
+	}
+}
+
+func TestPickerZipfSkew(t *testing.T) {
+	p := NewPicker(1000, 0.9, 1)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		seen[p.Pick()]++
+	}
+	// The hottest key should take a disproportionate share.
+	if seen[0] < 1000 {
+		t.Fatalf("zipf head count = %d, want heavy skew", seen[0])
+	}
+}

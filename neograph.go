@@ -1,0 +1,201 @@
+// Package neograph is an embedded graph database with snapshot isolation,
+// reproducing "Snapshot Isolation for Neo4j" (Patiño-Martínez et al.,
+// EDBT 2016).
+//
+// The data model is Neo4j's: nodes and relationships (edges) with typed
+// properties; nodes additionally carry labels. Transactions run under
+// snapshot isolation by default — every read observes the committed state
+// as of the transaction's start, writes are private until commit, and
+// write-write conflicts between concurrent transactions abort the second
+// updater (first-updater-wins). Neo4j's native read committed level is
+// available as a baseline, as is a first-committer-wins conflict policy.
+//
+// Quick start:
+//
+//	db, err := neograph.Open(neograph.Options{Dir: "/tmp/mygraph"})
+//	if err != nil { ... }
+//	defer db.Close()
+//
+//	tx := db.Begin()
+//	alice, _ := tx.CreateNode([]string{"Person"}, neograph.Props{"name": neograph.String("alice")})
+//	bob, _ := tx.CreateNode([]string{"Person"}, neograph.Props{"name": neograph.String("bob")})
+//	tx.CreateRel("KNOWS", alice, bob, nil)
+//	if err := tx.Commit(); err != nil { ... }
+//
+// Opening with an empty Dir gives a purely in-memory database (no WAL, no
+// store files) — useful for tests and benchmarks.
+package neograph
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"neograph/internal/core"
+)
+
+// Isolation levels for transactions.
+const (
+	// SnapshotIsolation (default): reads from a stable snapshot, no read
+	// locks, first-updater-wins write-write conflict detection.
+	SnapshotIsolation = core.SnapshotIsolation
+	// ReadCommitted: Neo4j's native level — short read locks, long write
+	// locks, no snapshot. Exhibits unrepeatable and phantom reads.
+	ReadCommitted = core.ReadCommitted
+)
+
+// Conflict policies for snapshot isolation.
+const (
+	// FirstUpdaterWins aborts the second concurrent updater immediately.
+	FirstUpdaterWins = core.FirstUpdaterWins
+	// FirstCommitterWins aborts the conflicting transaction at commit.
+	FirstCommitterWins = core.FirstCommitterWins
+)
+
+// Garbage collector modes.
+const (
+	// GCThreaded collects through the global timestamp-sorted version
+	// list: cost proportional to garbage (the paper's design).
+	GCThreaded = core.GCThreaded
+	// GCVacuum scans all version chains (the PostgreSQL-style baseline).
+	GCVacuum = core.GCVacuum
+)
+
+// Errors. Use errors.Is: operations wrap these with context.
+var (
+	ErrNotFound      = core.ErrNotFound
+	ErrWriteConflict = core.ErrWriteConflict
+	ErrDeadlock      = core.ErrDeadlock
+	ErrTxDone        = core.ErrTxDone
+	ErrHasRels       = core.ErrHasRels
+	ErrClosed        = core.ErrClosed
+)
+
+// NodeID identifies a node; RelID a relationship.
+type (
+	NodeID = uint64
+	RelID  = uint64
+)
+
+// Options configure Open.
+type Options struct {
+	// Dir is the on-disk location of the database. Empty means in-memory.
+	Dir string
+	// Isolation is the default level for Begin. Zero value is
+	// SnapshotIsolation.
+	Isolation core.IsolationLevel
+	// Conflict selects the SI write-conflict policy. Zero value is
+	// FirstUpdaterWins.
+	Conflict core.ConflictPolicy
+	// DisableSyncCommits skips the per-commit WAL fsync (durability traded
+	// for throughput; the default is durable).
+	DisableSyncCommits bool
+	// GCMode selects the version collector. Zero value is GCThreaded.
+	GCMode core.GCMode
+	// GCInterval runs the collector periodically; zero means GC runs only
+	// via RunGC.
+	GCInterval time.Duration
+	// CheckpointInterval drives background write-back of committed
+	// versions to the store; zero means Checkpoint must be called.
+	CheckpointInterval time.Duration
+	// CachePages is the page-cache capacity per store file (advanced).
+	CachePages int
+}
+
+// DB is a neograph database handle, safe for concurrent use.
+type DB struct {
+	e *core.Engine
+}
+
+// Open opens (creating or recovering as needed) a database.
+func Open(opts Options) (*DB, error) {
+	e, err := core.Open(core.Options{
+		Dir:              opts.Dir,
+		DefaultIsolation: opts.Isolation,
+		Conflict:         opts.Conflict,
+		NoSyncCommits:    opts.DisableSyncCommits,
+		GCMode:           opts.GCMode,
+		GCEvery:          opts.GCInterval,
+		CheckpointEvery:  opts.CheckpointInterval,
+		StoreCachePages:  opts.CachePages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{e: e}, nil
+}
+
+// Close checkpoints and closes the database.
+func (db *DB) Close() error { return db.e.Close() }
+
+// Begin starts a transaction at the database's default isolation level.
+func (db *DB) Begin() *Tx { return &Tx{t: db.e.Begin()} }
+
+// BeginIsolation starts a transaction at an explicit isolation level.
+func (db *DB) BeginIsolation(level core.IsolationLevel) *Tx {
+	return &Tx{t: db.e.BeginWith(core.TxOptions{Isolation: level})}
+}
+
+// Update runs fn in a transaction, committing on nil and aborting on
+// error. Write-write conflicts and deadlocks are retried up to maxRetries
+// times with jittered exponential backoff — the canonical SI usage
+// pattern: the aborted loser is simply re-run on a fresh snapshot.
+func (db *DB) Update(maxRetries int, fn func(*Tx) error) error {
+	backoff := 50 * time.Microsecond
+	for attempt := 0; ; attempt++ {
+		tx := db.Begin()
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+			if err == nil {
+				return nil
+			}
+		} else {
+			tx.Abort()
+		}
+		if !errors.Is(err, ErrWriteConflict) && !errors.Is(err, ErrDeadlock) {
+			return err
+		}
+		if attempt >= maxRetries {
+			return err
+		}
+		time.Sleep(time.Duration(rand.Int63n(int64(backoff))) + backoff/2)
+		if backoff < 10*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// View runs fn in a read-only snapshot transaction (always aborted — a
+// snapshot read has nothing to commit).
+func (db *DB) View(fn func(*Tx) error) error {
+	tx := db.Begin()
+	defer tx.Abort()
+	return fn(tx)
+}
+
+// RunGC performs one garbage collection cycle and returns its report.
+func (db *DB) RunGC() core.GCReport { return db.e.RunGC() }
+
+// Checkpoint writes the newest committed versions back to the store and
+// prunes the WAL.
+func (db *DB) Checkpoint() error { return db.e.Checkpoint() }
+
+// Stats returns cumulative engine counters.
+func (db *DB) Stats() core.Stats { return db.e.Stats() }
+
+// VersionCount reports (versions, entities) held in the object cache.
+func (db *DB) VersionCount() (int, int) { return db.e.VersionCount() }
+
+// VersionBytes estimates the memory held by version payloads.
+func (db *DB) VersionBytes() int { return db.e.VersionBytes() }
+
+// GCBacklog reports versions awaiting threaded collection.
+func (db *DB) GCBacklog() int { return db.e.GCBacklog() }
+
+// Watermark returns the newest stable commit timestamp.
+func (db *DB) Watermark() uint64 { return db.e.Watermark() }
+
+// Engine exposes the underlying engine for advanced uses (the bench
+// harness reads store file sizes through it).
+func (db *DB) Engine() *core.Engine { return db.e }

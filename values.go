@@ -1,0 +1,50 @@
+package neograph
+
+import "neograph/internal/value"
+
+// Value is a typed property value: null, bool, int64, float64, string,
+// bytes, or a list of values. Values are immutable.
+type Value = value.Value
+
+// Props is a property map from key name to value.
+type Props = value.Map
+
+// Kind enumerates value types.
+type Kind = value.Kind
+
+// Value kinds.
+const (
+	KindNull   = value.KindNull
+	KindBool   = value.KindBool
+	KindInt    = value.KindInt
+	KindFloat  = value.KindFloat
+	KindString = value.KindString
+	KindBytes  = value.KindBytes
+	KindList   = value.KindList
+)
+
+// Null is the absent value; assigning it through SetNodeProps removes the
+// key.
+var Null = value.Null
+
+// Bool wraps a boolean.
+func Bool(b bool) Value { return value.Bool(b) }
+
+// Int wraps a 64-bit integer.
+func Int(i int64) Value { return value.Int(i) }
+
+// Float wraps a 64-bit float.
+func Float(f float64) Value { return value.Float(f) }
+
+// String wraps a string.
+func String(s string) Value { return value.String(s) }
+
+// Bytes wraps (a copy of) a byte slice.
+func Bytes(b []byte) Value { return value.Bytes(b) }
+
+// List wraps (a copy of) a value list.
+func List(vs ...Value) Value { return value.List(vs...) }
+
+// Of converts a native Go value (bool, integers, floats, string, []byte,
+// []Value, nil) to a Value; it panics on unsupported types.
+func Of(v any) Value { return value.Of(v) }
