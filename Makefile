@@ -1,0 +1,41 @@
+# Canonical build/test entry points — CI (.github/workflows/ci.yml) and
+# the ROADMAP tier-1 command run these same targets.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke lint fmt clean
+
+all: build test
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: the tier-1 gate (build + full test suite)
+test: build
+	$(GO) test ./...
+
+## race: full test suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## bench: the full experiment suite (minutes)
+bench: build
+	$(GO) run ./cmd/neograph-bench -json bench-results.json
+
+## bench-smoke: quick experiment pass; writes bench-results.json
+bench-smoke: build
+	$(GO) run ./cmd/neograph-bench -quick -json bench-results.json
+
+## lint: go vet + gofmt diff check
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+## fmt: rewrite sources with gofmt
+fmt:
+	gofmt -w .
+
+clean:
+	rm -f bench-results.json

@@ -6,9 +6,11 @@
 //	neograph-bench                 # run everything at full size
 //	neograph-bench -exp E4         # one experiment
 //	neograph-bench -quick          # small, fast configurations
+//	neograph-bench -json out.json  # also write structured results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +22,10 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: E1..E8, F1 or all")
-		quick = flag.Bool("quick", false, "small configurations (seconds, not minutes)")
-		seed  = flag.Int64("seed", 42, "workload seed")
+		exp      = flag.String("exp", "all", "experiment to run: E1..E8, E2d, F1 or all")
+		quick    = flag.Bool("quick", false, "small configurations (seconds, not minutes)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		jsonPath = flag.String("json", "", "write structured results to this file")
 	)
 	flag.Parse()
 
@@ -40,98 +43,135 @@ func main() {
 		return full
 	}
 
-	run := func(id string, fn func() error) {
+	// report accumulates each experiment's structured rows for -json.
+	report := map[string]any{
+		"quick": *quick,
+		"seed":  *seed,
+	}
+	matched := 0
+	run := func(id string, fn func() (any, error)) {
 		if *exp != "all" && !strings.EqualFold(*exp, id) {
 			return
 		}
+		matched++
 		t0 := time.Now()
-		if err := fn(); err != nil {
+		rows, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(w, "(%s completed in %v)\n", id, time.Since(t0).Round(time.Millisecond))
+		elapsed := time.Since(t0).Round(time.Millisecond)
+		if rows != nil {
+			report[id] = rows
+		}
+		fmt.Fprintf(w, "(%s completed in %v)\n", id, elapsed)
 	}
 
-	run("E1", func() error {
-		_, err := bench.RunE1(w, bench.E1Config{
+	run("E1", func() (any, error) {
+		return bench.RunE1(w, bench.E1Config{
 			People:  scale(2000, 300),
 			Writers: 8, Checkers: 4,
 			Duration: dur(5*time.Second, 700*time.Millisecond),
 			Seed:     *seed,
 		})
-		return err
 	})
-	run("E2", func() error {
+	run("E2", func() (any, error) {
 		clients := []int{1, 2, 4, 8, 16, 32, 64}
 		if *quick {
 			clients = []int{1, 4, 16}
 		}
-		_, err := bench.RunE2(w, bench.E2Config{
+		return bench.RunE2(w, bench.E2Config{
 			People:   scale(5000, 500),
 			Clients:  clients,
 			Duration: dur(2*time.Second, 200*time.Millisecond),
 			Seed:     *seed,
 		})
-		return err
 	})
-	run("E3", func() error {
-		_, err := bench.RunE3(w, bench.E3Config{
+	run("E2d", func() (any, error) {
+		clients := []int{1, 2, 8, 16, 32}
+		if *quick {
+			clients = []int{1, 8}
+		}
+		return bench.RunE2Durable(w, bench.E2DurableConfig{
+			People:   scale(2000, 500),
+			Clients:  clients,
+			Duration: dur(2*time.Second, 500*time.Millisecond),
+			Seed:     *seed,
+		})
+	})
+	run("E3", func() (any, error) {
+		return bench.RunE3(w, bench.E3Config{
 			People:   scale(2000, 300),
 			Clients:  16,
 			Thetas:   []float64{0, 0.6, 0.9, 1.2},
 			Duration: dur(2*time.Second, 300*time.Millisecond),
 			Seed:     *seed,
 		})
-		return err
 	})
-	run("E4", func() error {
+	run("E4", func() (any, error) {
 		live := []int{10_000, 100_000, 1_000_000}
 		if *quick {
 			live = []int{2_000, 20_000}
 		}
-		_, err := bench.RunE4(w, bench.E4Config{
+		return bench.RunE4(w, bench.E4Config{
 			LiveEntities:    live,
 			GarbageVersions: scale(20_000, 2_000),
 			Seed:            *seed,
 		})
-		return err
 	})
-	run("E5", func() error {
-		_, err := bench.RunE5(w, bench.E5Config{
+	run("E5", func() (any, error) {
+		return bench.RunE5(w, bench.E5Config{
 			HotNodes:       scale(500, 100),
 			UpdatesPerStep: scale(10_000, 500),
 			Steps:          5,
 			Seed:           *seed,
 		})
-		return err
 	})
-	run("E6", func() error {
-		_, err := bench.RunE6(w, bench.E6Config{
+	run("E6", func() (any, error) {
+		return bench.RunE6(w, bench.E6Config{
 			Nodes:         scale(100_000, 10_000),
 			Selectivities: []float64{0.001, 0.01, 0.1, 0.5},
 			Lookups:       scale(50, 10),
 			Seed:          *seed,
 		})
-		return err
 	})
-	run("E7", func() error {
-		_, err := bench.RunE7(w, bench.E7Config{
+	run("E7", func() (any, error) {
+		return bench.RunE7(w, bench.E7Config{
 			BaseNodes:     scale(50_000, 2_000),
 			WriteSetSizes: []int{0, 10, 100, 1_000, 10_000},
 			Lookups:       scale(50, 10),
 			Seed:          *seed,
 		})
-		return err
 	})
-	run("E8", func() error {
-		_, err := bench.RunE8(w, bench.E8Config{
-			Entities:       scale(20_000, 1_000),
-			UpdatesPerNode: 5,
-			Seed:           *seed,
+	run("E8", func() (any, error) {
+		return bench.RunE8(w, bench.E8Config{
+			Entities:               scale(20_000, 1_000),
+			UpdatesPerNode:         5,
+			Seed:                   *seed,
+			SyncedWriters:          8,
+			SyncedCommitsPerWriter: scale(100, 25),
 		})
-		return err
 	})
-	run("F1", func() error {
-		return bench.RunF1(w, scale(5_000, 500), *seed)
+	run("F1", func() (any, error) {
+		return nil, bench.RunF1(w, scale(5_000, 500), *seed)
 	})
+
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E8, E2d, F1 or all)\n", *exp)
+		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "(results written to %s)\n", *jsonPath)
+	}
 }

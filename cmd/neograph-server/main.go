@@ -28,7 +28,10 @@ func main() {
 		dir      = flag.String("dir", "", "database directory (empty = in-memory)")
 		rc       = flag.Bool("read-committed", false, "default to read committed instead of snapshot isolation")
 		fcw      = flag.Bool("first-committer-wins", false, "use first-committer-wins conflict policy")
-		noSync   = flag.Bool("no-sync", false, "disable per-commit WAL fsync")
+		noSync   = flag.Bool("no-sync", false, "disable commit WAL fsync entirely")
+		noGroup  = flag.Bool("no-group-commit", false, "one fsync per commit instead of batched group commit")
+		maxBatch = flag.Int("commit-max-batch", 0, "queued committers at which a lingering group-commit leader flushes early (0 = default)")
+		maxDelay = flag.Duration("commit-max-delay", 0, "how long a group-commit leader waits for more committers (0 = flush immediately)")
 		gcEvery  = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
 		ckpEvery = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
 	)
@@ -37,6 +40,9 @@ func main() {
 	opts := neograph.Options{
 		Dir:                *dir,
 		DisableSyncCommits: *noSync,
+		DisableGroupCommit: *noGroup,
+		CommitMaxBatch:     *maxBatch,
+		CommitMaxDelay:     *maxDelay,
 		GCInterval:         *gcEvery,
 		CheckpointInterval: *ckpEvery,
 	}

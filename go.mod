@@ -1,0 +1,3 @@
+module neograph
+
+go 1.24

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"time"
 
 	"neograph"
@@ -112,6 +113,123 @@ func RunE2(w io.Writer, cfg E2Config) ([]E2Row, error) {
 		}
 		t.Print(w)
 		fmt.Fprintln(w, "expected shape: SI >= RC, gap widening with write fraction and clients")
+	}
+	return rows, nil
+}
+
+// E2DurableConfig parameterises the synced-commit throughput comparison.
+type E2DurableConfig struct {
+	People   int
+	Clients  []int // client counts to sweep
+	Duration time.Duration
+	Seed     int64
+	// Dir is the working directory for the durable stores (a temp dir per
+	// cell when empty). Throughput here is disk-flush-bound, so the
+	// filesystem under Dir is part of what is measured.
+	Dir string
+}
+
+// E2DurableRow is one measured cell of the fsync comparison.
+type E2DurableRow struct {
+	Mode    string // "group" (batched fsync) or "per-commit" (baseline)
+	Clients int
+	Result  Result
+	// Flushes and SyncedCommits are the engine's group-commit counters;
+	// MeanBatch = SyncedCommits/Flushes is the realised group size.
+	Flushes       uint64
+	SyncedCommits uint64
+	MeanBatch     float64
+}
+
+// RunE2Durable measures committed-transactions-per-second with the WAL
+// fsync enabled, group commit versus the per-commit-fsync baseline. With
+// one client both modes pay one fsync per commit; as writers are added the
+// baseline stays serialised on the disk flush while group commit amortises
+// one fsync over the whole batch.
+func RunE2Durable(w io.Writer, cfg E2DurableConfig) ([]E2DurableRow, error) {
+	if cfg.People <= 0 {
+		cfg.People = 1000
+	}
+	if len(cfg.Clients) == 0 {
+		cfg.Clients = []int{1, 8, 32}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 500 * time.Millisecond
+	}
+
+	var rows []E2DurableRow
+	for _, clients := range cfg.Clients {
+		for _, mode := range []struct {
+			name    string
+			noGroup bool
+		}{
+			{"per-commit", true},
+			{"group", false},
+		} {
+			dir, err := os.MkdirTemp(cfg.Dir, "neograph-e2d-*")
+			if err != nil {
+				return nil, err
+			}
+			db, err := neograph.Open(neograph.Options{Dir: dir, DisableGroupCommit: mode.noGroup})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			g, err := workload.BuildSocial(db, workload.SocialConfig{People: cfg.People, AvgFriends: 3, Seed: cfg.Seed})
+			if err != nil {
+				db.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			op := func(c int, r *rand.Rand) error {
+				// Write transaction: one property update, committed durably.
+				tx := db.Begin()
+				if err := tx.SetNodeProp(g.People[r.Intn(len(g.People))], "balance", neograph.Int(r.Int63n(1<<20))); err != nil {
+					tx.Abort()
+					return err
+				}
+				return tx.Commit()
+			}
+			st0 := db.Stats() // exclude BuildSocial's setup commits
+			res := (&Runner{Clients: clients, Duration: cfg.Duration, Seed: cfg.Seed, Op: op}).
+				Run(fmt.Sprintf("durable/%d/%s", clients, mode.name))
+			st := db.Stats()
+			row := E2DurableRow{
+				Mode: mode.name, Clients: clients, Result: res,
+				Flushes:       st.WALFlushes - st0.WALFlushes,
+				SyncedCommits: st.WALSyncedCommits - st0.WALSyncedCommits,
+			}
+			if row.Flushes > 0 {
+				row.MeanBatch = float64(row.SyncedCommits) / float64(row.Flushes)
+			}
+			rows = append(rows, row)
+			db.Close()
+			os.RemoveAll(dir)
+		}
+	}
+
+	if w != nil {
+		section(w, "E2d", "synced commit throughput, group commit vs per-commit fsync")
+		t := &Table{Headers: []string{"clients", "mode", "commit/s", "mean batch", "p50", "p95", "speedup"}}
+		base := map[int]float64{}
+		for _, r := range rows {
+			if r.Mode == "per-commit" {
+				base[r.Clients] = r.Result.Throughput()
+			}
+		}
+		for _, r := range rows {
+			speedup := "-"
+			if r.Mode == "group" && base[r.Clients] > 0 {
+				speedup = fmt.Sprintf("%.2fx", r.Result.Throughput()/base[r.Clients])
+			}
+			mean := "-"
+			if r.MeanBatch > 0 {
+				mean = fmt.Sprintf("%.1f", r.MeanBatch)
+			}
+			t.Add(r.Clients, r.Mode, r.Result.Throughput(), mean, r.Result.P50, r.Result.P95, speedup)
+		}
+		t.Print(w)
+		fmt.Fprintln(w, "expected shape: parity at 1 client; group >= 2x per-commit by 8+ clients")
 	}
 	return rows, nil
 }

@@ -22,6 +22,22 @@ type mutation struct {
 
 // Commit makes the transaction's writes visible atomically at a fresh
 // commit timestamp and durable through the WAL.
+//
+// The durable commit path is a group-commit pipeline: the redo record is
+// appended to the WAL (a buffered write) before installation, but the
+// fsync that makes it durable is deferred to the wal.Batcher and awaited
+// only after every latch has been released — so N concurrent committers
+// share ~1 fsync, and the first-committer-wins latch is held only for
+// validation+install, never across disk I/O. A transaction that read
+// another's installed-but-not-yet-synced writes necessarily appends a
+// later WAL record, so any fsync that covers it covers its dependency.
+//
+// Early visibility is a deliberate tradeoff (standard for early-lock-
+// release group commit): between install and the batched fsync, readers
+// can observe a commit that a crash would erase. Dependent *writers* are
+// safe by the LSN argument above; a pure reader that must not act on
+// unsynced state needs read-gating on the durable LSN (future work, see
+// ROADMAP).
 func (t *Tx) Commit() error {
 	if err := t.check(); err != nil {
 		return err
@@ -37,10 +53,19 @@ func (t *Tx) Commit() error {
 
 	// First-committer-wins validation: under the commit latch, every
 	// non-created write must still derive from the chain head — any newer
-	// committed version means a concurrent updater won.
+	// committed version means a concurrent updater won. The latch covers
+	// validation through install; it is dropped before the durability wait.
+	fcwLatched := false
+	unlatch := func() {
+		if fcwLatched {
+			fcwLatched = false
+			t.e.commitMu.Unlock()
+		}
+	}
 	if t.iso == SnapshotIsolation && t.e.opts.Conflict == FirstCommitterWins {
 		t.e.commitMu.Lock()
-		defer t.e.commitMu.Unlock()
+		fcwLatched = true
+		defer unlatch()
 		for _, w := range t.writes {
 			if w.created {
 				// Relationship creations validate endpoint liveness.
@@ -68,16 +93,22 @@ func (t *Tx) Commit() error {
 	cts := t.e.oracle.BeginCommit()
 
 	// Durability: the redo record precedes installation (write-ahead).
+	var commitLSN uint64
 	if t.e.store != nil {
 		t.e.commitGate.RLock()
 		payload := encodeCommit(cts, muts)
-		if _, err := t.e.wal.Append(payload); err != nil {
+		lsn, err := t.e.wal.Append(payload)
+		if err != nil {
 			t.e.commitGate.RUnlock()
 			t.e.oracle.AbortCommit(cts)
 			t.abortStaged()
 			return fmt.Errorf("core: wal append: %w", err)
 		}
-		if !t.e.opts.NoSyncCommits {
+		commitLSN = lsn
+		if t.e.batcher == nil && !t.e.opts.NoSyncCommits {
+			// Per-commit fsync baseline (Options.NoGroupCommit): the record
+			// is made durable before install, so a failed sync can still
+			// abort the transaction cleanly.
 			if err := t.e.wal.Sync(); err != nil {
 				t.e.commitGate.RUnlock()
 				t.e.oracle.AbortCommit(cts)
@@ -98,6 +129,18 @@ func (t *Tx) Commit() error {
 	}
 
 	t.e.oracle.FinishCommit(cts)
+	unlatch()
+
+	// Group commit: park until a batched fsync covers our record. Runs
+	// outside commitMu and commitGate so validation and installs proceed
+	// while the disk works. A failed fsync cannot be rolled back — the
+	// versions are already installed — so it poisons the batcher and every
+	// durable commit from here on fails loudly.
+	if t.e.batcher != nil {
+		if err := t.e.batcher.WaitDurable(commitLSN); err != nil {
+			return fmt.Errorf("core: commit %d installed but not durable: %w", cts, err)
+		}
+	}
 	t.commitTS = cts
 	t.e.stats.committed.Add(1)
 	return nil

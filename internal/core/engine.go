@@ -116,10 +116,26 @@ type Options struct {
 	DefaultIsolation IsolationLevel
 	// Conflict selects FUW (default) or FCW for SI transactions.
 	Conflict ConflictPolicy
-	// NoSyncCommits disables the per-commit WAL fsync (the zero Options
-	// value is durable). Benchmarks measuring CPU cost rather than disk
-	// latency set this.
+	// NoSyncCommits disables the commit WAL fsync entirely (the zero
+	// Options value is durable). Benchmarks measuring CPU cost rather than
+	// disk latency set this. It also bypasses the group-commit batcher.
 	NoSyncCommits bool
+	// NoGroupCommit reverts to one fsync per committing transaction — the
+	// pre-group-commit behaviour, kept as the before/after baseline for the
+	// throughput benchmarks. The default pipelines commits through a
+	// batched-fsync group commit.
+	NoGroupCommit bool
+	// CommitMaxBatch is the group-commit linger cutoff: a flush leader
+	// stops waiting out CommitMaxDelay once this many committers are
+	// queued. Zero means wal.DefaultMaxBatch; it has no effect when
+	// CommitMaxDelay is zero (a fsync always covers every record appended
+	// before it — coverage itself cannot be capped).
+	CommitMaxBatch int
+	// CommitMaxDelay lets the group-commit flush leader linger this long to
+	// absorb more concurrent committers before issuing the fsync. Zero
+	// flushes immediately (commits arriving during an in-flight fsync still
+	// coalesce into the next one).
+	CommitMaxDelay time.Duration
 	// GCMode selects the collector. Default GCThreaded.
 	GCMode GCMode
 	// GCEvery runs the collector periodically; zero means manual RunGC.
@@ -144,6 +160,11 @@ type Stats struct {
 	Checkpoints     uint64
 	CheckpointPuts  uint64 // entity images written back
 	CheckpointBytes uint64 // approximate bytes written back
+	// WALFlushes / WALSyncedCommits measure group commit: the number of
+	// commit fsyncs issued and the number of synced commits they covered.
+	// SyncedCommits/Flushes is the mean group size.
+	WALFlushes       uint64
+	WALSyncedCommits uint64
 }
 
 // entKey identifies an entity across the node/relationship namespaces.
@@ -178,13 +199,14 @@ type RelState struct {
 
 // Engine is the database engine.
 type Engine struct {
-	opts   Options
-	store  *store.Store // nil in memory-only mode
-	wal    *wal.WAL     // nil in memory-only mode
-	oracle *mvcc.Oracle
-	active *mvcc.ActiveTable
-	locks  *lock.Manager
-	gcList *mvcc.GCList
+	opts    Options
+	store   *store.Store // nil in memory-only mode
+	wal     *wal.WAL     // nil in memory-only mode
+	batcher *wal.Batcher // group-commit fsync batcher; nil when commits are unsynced or NoGroupCommit
+	oracle  *mvcc.Oracle
+	active  *mvcc.ActiveTable
+	locks   *lock.Manager
+	gcList  *mvcc.GCList
 
 	mu         sync.RWMutex // guards the maps below
 	nodes      map[ids.ID]*object
@@ -203,7 +225,9 @@ type Engine struct {
 	// memAlloc is used in memory-only mode in place of store allocators.
 	memNodeAlloc, memRelAlloc *ids.Allocator
 
-	// commitMu serialises first-committer-wins validation+install.
+	// commitMu serialises first-committer-wins validation+install. It is
+	// never held across the commit fsync — durability is awaited through
+	// the group-commit batcher after the latch drops.
 	commitMu sync.Mutex
 	// commitGate is held (shared) by every commit from WAL append through
 	// dirty marking; the checkpointer takes it exclusively to cut a
@@ -269,6 +293,12 @@ func Open(opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e.store, e.wal = st, w
+	if !opts.NoSyncCommits && !opts.NoGroupCommit {
+		e.batcher = wal.NewBatcher(w, wal.BatcherOptions{
+			MaxBatch: opts.CommitMaxBatch,
+			MaxDelay: opts.CommitMaxDelay,
+		})
+	}
 	if err := e.recover(); err != nil {
 		w.Close()
 		st.Close()
@@ -320,19 +350,26 @@ func (e *Engine) startBackground() {
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
+	var flushes, syncedCommits uint64
+	if e.batcher != nil {
+		bs := e.batcher.Stats()
+		flushes, syncedCommits = bs.Flushes, bs.SyncedCommits
+	}
 	return Stats{
-		Begun:           e.stats.begun.Load(),
-		Committed:       e.stats.committed.Load(),
-		Aborted:         e.stats.aborted.Load(),
-		WriteConflicts:  e.stats.conflicts.Load(),
-		Deadlocks:       e.stats.deadlocks.Load(),
-		GCRuns:          e.stats.gcRuns.Load(),
-		GCCollected:     e.stats.gcCollected.Load(),
-		GCScanned:       e.stats.gcScanned.Load(),
-		EntitiesDead:    e.stats.dead.Load(),
-		Checkpoints:     e.stats.checkpoints.Load(),
-		CheckpointPuts:  e.stats.checkpointPuts.Load(),
-		CheckpointBytes: e.stats.checkpointBytes.Load(),
+		WALFlushes:       flushes,
+		WALSyncedCommits: syncedCommits,
+		Begun:            e.stats.begun.Load(),
+		Committed:        e.stats.committed.Load(),
+		Aborted:          e.stats.aborted.Load(),
+		WriteConflicts:   e.stats.conflicts.Load(),
+		Deadlocks:        e.stats.deadlocks.Load(),
+		GCRuns:           e.stats.gcRuns.Load(),
+		GCCollected:      e.stats.gcCollected.Load(),
+		GCScanned:        e.stats.gcScanned.Load(),
+		EntitiesDead:     e.stats.dead.Load(),
+		Checkpoints:      e.stats.checkpoints.Load(),
+		CheckpointPuts:   e.stats.checkpointPuts.Load(),
+		CheckpointBytes:  e.stats.checkpointBytes.Load(),
 	}
 }
 
@@ -476,6 +513,9 @@ func (e *Engine) Close() error {
 		if err := e.checkpointLocked(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		if e.batcher != nil {
+			e.batcher.Close()
+		}
 		if err := e.wal.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -497,6 +537,9 @@ func (e *Engine) Crash() error {
 	e.bg.Wait()
 	if e.store == nil {
 		return nil
+	}
+	if e.batcher != nil {
+		e.batcher.Close()
 	}
 	// The WAL writes through to the OS on Append; Close without sync is
 	// closest to a crash (synced bytes survive; this process wrote them

@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Syncer is the slice of WAL the batcher drives: it needs to know how far
+// the log has been appended and how to make those appends durable. *WAL
+// satisfies it; tests substitute fakes to inject fsync failures.
+type Syncer interface {
+	// NextLSN returns the LSN one past the last appended record.
+	NextLSN() uint64
+	// Sync makes every record appended before the call durable.
+	Sync() error
+}
+
+// BatcherOptions tune group commit.
+type BatcherOptions struct {
+	// MaxBatch is the linger cutoff: once at least MaxBatch committers
+	// are queued the flush leader stops waiting out MaxDelay and syncs
+	// immediately. It does not bound how many commits one fsync covers —
+	// an fsync always covers the whole appended prefix of the log. Zero
+	// means DefaultMaxBatch; irrelevant when MaxDelay is zero.
+	MaxBatch int
+	// MaxDelay is how long a flush leader lingers to let more committers
+	// join its batch. Zero means flush immediately — concurrent commits
+	// still coalesce naturally, because appends that land while a flush
+	// is in flight are all covered by the next flush. Negative is treated
+	// as zero.
+	MaxDelay time.Duration
+}
+
+// DefaultMaxBatch is the default linger cutoff: a leader stops waiting
+// once 256 committers are queued.
+const DefaultMaxBatch = 256
+
+// BatcherStats counts flush activity. SyncedCommits/Flushes is the mean
+// group size — the factor by which batching divides the fsync rate.
+type BatcherStats struct {
+	// Flushes is the number of fsyncs issued.
+	Flushes uint64
+	// SyncedCommits is the number of WaitDurable calls satisfied.
+	SyncedCommits uint64
+}
+
+// Batcher turns per-commit fsyncs into group commit. Committers append
+// their redo record to the WAL (cheap, buffered) and then call
+// WaitDurable(lsn). The first waiter becomes the flush leader: it issues
+// one Sync covering every record appended so far and wakes every waiter
+// that record range satisfies, so N concurrent committers pay ~1 fsync
+// instead of N.
+//
+// A failed fsync poisons the batcher permanently: after a sync error the
+// kernel may have dropped the unwritten pages, so no later fsync can
+// retroactively make the lost records durable. Every current and future
+// waiter gets the error.
+type Batcher struct {
+	s    Syncer
+	opts BatcherOptions
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	durable  uint64 // LSNs below this are durable
+	waiting  int    // committers parked in WaitDurable
+	flushing bool   // a leader is between Sync start and wakeup
+	draining bool   // Close in progress: cut lingers short
+	err      error  // sticky fsync failure
+	closed   bool
+
+	flushes atomic.Uint64
+	synced  atomic.Uint64
+}
+
+// NewBatcher creates a group-commit batcher over s.
+func NewBatcher(s Syncer, opts BatcherOptions) *Batcher {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.MaxDelay < 0 {
+		opts.MaxDelay = 0
+	}
+	b := &Batcher{s: s, opts: opts}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// WaitDurable blocks until every record below lsn+1 is durable — i.e.
+// until a sync that started after the caller's Append has completed.
+// Callers must have already appended the record for lsn; the typical
+// sequence is lsn, _ := w.Append(p); err := b.WaitDurable(lsn).
+func (b *Batcher) WaitDurable(lsn uint64) error {
+	b.mu.Lock()
+	b.waiting++
+	for {
+		switch {
+		case b.err != nil:
+			b.waiting--
+			err := b.err
+			b.mu.Unlock()
+			return err
+		case b.durable > lsn:
+			b.waiting--
+			b.synced.Add(1)
+			b.mu.Unlock()
+			return nil
+		case b.closed && !b.flushing:
+			// An in-flight flush may still cover this waiter — only give
+			// up on Close once no flush is running.
+			b.waiting--
+			b.mu.Unlock()
+			return ErrClosed
+		case !b.flushing:
+			b.flushLocked()
+			// Loop: re-check durable/err, which flushLocked updated.
+		default:
+			b.cond.Wait()
+		}
+	}
+}
+
+// flushLocked runs one flush with the caller as leader. Called with b.mu
+// held; returns with b.mu held.
+func (b *Batcher) flushLocked() {
+	b.flushing = true
+	if b.opts.MaxDelay > 0 && b.waiting < b.opts.MaxBatch {
+		// Linger so concurrent committers can append and join this batch.
+		// Sleep in short slices so a full batch or Close cuts the wait off.
+		slice := b.opts.MaxDelay / 8
+		if slice > time.Millisecond {
+			slice = time.Millisecond
+		}
+		b.mu.Unlock()
+		deadline := time.Now().Add(b.opts.MaxDelay)
+		for {
+			time.Sleep(slice)
+			b.mu.Lock()
+			if b.waiting >= b.opts.MaxBatch || b.closed || b.draining || !time.Now().Before(deadline) {
+				break
+			}
+			b.mu.Unlock()
+		}
+		b.mu.Unlock()
+	} else {
+		b.mu.Unlock()
+	}
+
+	// Let committers that are already runnable slip their appends in
+	// before the target is captured — one scheduler yield is enough to
+	// grow the batch noticeably on loaded machines and costs ~µs.
+	runtime.Gosched()
+
+	// Everything appended up to here rides this fsync.
+	target := b.s.NextLSN()
+	err := b.s.Sync()
+
+	b.mu.Lock()
+	b.flushing = false
+	if err != nil {
+		b.err = fmt.Errorf("wal: group commit fsync: %w", err)
+	} else {
+		b.flushes.Add(1)
+		if target > b.durable {
+			b.durable = target
+		}
+	}
+	b.cond.Broadcast()
+}
+
+// Stats snapshots flush counters.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{Flushes: b.flushes.Load(), SyncedCommits: b.synced.Load()}
+}
+
+// Err returns the sticky fsync failure, if any.
+func (b *Batcher) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// Close drains the batcher and then rejects future waits. Committers
+// already parked in WaitDurable are not abandoned: any in-flight flush is
+// waited out and one final flush covers the remaining appends, so a
+// commit that raced a clean shutdown is acknowledged rather than failed
+// spuriously (its record is durable — wal.Close seals the segment too).
+// It does not close the underlying WAL.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.draining = true // cuts a lingering leader short
+	for b.flushing {
+		b.cond.Wait()
+	}
+	if b.err == nil && b.waiting > 0 {
+		b.flushLocked()
+	}
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	return nil
+}

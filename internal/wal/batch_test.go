@@ -1,0 +1,245 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBatcherGroupsConcurrentCommits drives many concurrent committers
+// through Append+WaitDurable and checks that (a) every record is durable
+// and replayable afterwards and (b) the batcher issued far fewer fsyncs
+// than there were commits.
+func TestBatcherGroupsConcurrentCommits(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(w, BatcherOptions{})
+
+	const writers = 16
+	const perWriter = 25
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				lsn, err := w.Append([]byte(fmt.Sprintf("w%d-%d", i, j)))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if err := b.WaitDurable(lsn); err != nil {
+					t.Errorf("wait durable: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := b.Stats()
+	if st.SyncedCommits != writers*perWriter {
+		t.Fatalf("synced commits = %d, want %d", st.SyncedCommits, writers*perWriter)
+	}
+	if st.Flushes == 0 || st.Flushes >= st.SyncedCommits {
+		t.Fatalf("flushes = %d for %d commits; want batching (0 < flushes < commits)", st.Flushes, st.SyncedCommits)
+	}
+	t.Logf("%d commits in %d flushes (mean batch %.1f)",
+		st.SyncedCommits, st.Flushes, float64(st.SyncedCommits)/float64(st.Flushes))
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-replay: reopen and count records.
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	n := 0
+	if err := w2.ForEach(func(_ uint64, _ []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", n, writers*perWriter)
+	}
+}
+
+// TestBatcherMaxDelayCoalesces checks that a lingering leader absorbs
+// followers that arrive within MaxDelay.
+func TestBatcherMaxDelayCoalesces(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	b := NewBatcher(w, BatcherOptions{MaxDelay: 20 * time.Millisecond})
+
+	const writers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Stagger arrivals inside the linger window.
+			time.Sleep(time.Duration(i) * time.Millisecond)
+			lsn, err := w.Append([]byte{byte(i)})
+			if err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+			if err := b.WaitDurable(lsn); err != nil {
+				t.Errorf("wait durable: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Flushes > writers/2 {
+		t.Fatalf("flushes = %d for %d staggered commits; linger should coalesce them", st.Flushes, writers)
+	}
+}
+
+// TestBatcherMaxBatchFlushesEarly checks that a full batch flushes without
+// waiting out MaxDelay.
+func TestBatcherMaxBatchFlushesEarly(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	b := NewBatcher(w, BatcherOptions{MaxBatch: 2, MaxDelay: 10 * time.Second})
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := w.Append([]byte{byte(i)})
+			if err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+			if err := b.WaitDurable(lsn); err != nil {
+				t.Errorf("wait durable: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("full batch took %v; should flush well before the 10s MaxDelay", elapsed)
+	}
+}
+
+// failingSyncer fails every Sync after the first `okUntil` calls.
+type failingSyncer struct {
+	next    atomic.Uint64
+	calls   atomic.Uint64
+	okUntil uint64
+}
+
+func (f *failingSyncer) NextLSN() uint64 { return f.next.Load() }
+func (f *failingSyncer) Sync() error {
+	if f.calls.Add(1) > f.okUntil {
+		return errors.New("injected fsync failure")
+	}
+	return nil
+}
+
+// TestBatcherFsyncFailurePropagates checks that a leader's failed fsync is
+// reported to every waiter in the batch, and that the batcher stays
+// poisoned afterwards (no later commit can claim durability).
+func TestBatcherFsyncFailurePropagates(t *testing.T) {
+	f := &failingSyncer{}
+	b := NewBatcher(f, BatcherOptions{MaxDelay: 10 * time.Millisecond})
+
+	const waiters = 8
+	errs := make(chan error, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn := f.next.Add(8) - 8 // simulate an append
+			errs <- b.WaitDurable(lsn)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("a waiter observed durability despite the fsync failing")
+		}
+	}
+	// Poisoned: a fresh waiter fails immediately even without a new flush.
+	if err := b.WaitDurable(f.next.Add(8) - 8); err == nil {
+		t.Fatal("batcher accepted a commit after a failed fsync")
+	}
+	if b.Err() == nil {
+		t.Fatal("Err() should report the sticky failure")
+	}
+}
+
+// TestBatcherCloseWakesWaiters checks Close unblocks parked committers.
+func TestBatcherCloseWakesWaiters(t *testing.T) {
+	f := &failingSyncer{okUntil: 1 << 62} // syncs always succeed
+	b := NewBatcher(f, BatcherOptions{MaxDelay: time.Hour})
+
+	done := make(chan error, 1)
+	go func() {
+		lsn := f.next.Add(8) - 8
+		done <- b.WaitDurable(lsn)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		// Either the flush completed first (nil) or Close cut it off.
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still parked after Close")
+	}
+}
+
+// TestBatcherDurableAcrossRotation checks that records sealed into a
+// rotated segment still count as durable (rotation syncs the old file).
+func TestBatcherDurableAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(w, BatcherOptions{})
+	for i := 0; i < 20; i++ { // small segment: forces several rotations
+		lsn, err := w.Append([]byte("0123456789abcdef"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotations, got %d segment(s) in %s", len(segs), filepath.Join(dir))
+	}
+}

@@ -11,6 +11,11 @@
 // and an LSN is the global byte offset of a record's frame. Replay stops
 // at the first torn or corrupt frame — everything before it was durable,
 // everything after it never acknowledged.
+//
+// Commit durability is pipelined through the Batcher (group commit):
+// committers append their record and park in WaitDurable until one shared
+// fsync — issued by whichever committer leads the flush — covers their
+// LSN, so N concurrent committers pay ~1 fsync instead of N.
 package wal
 
 import (
@@ -60,6 +65,21 @@ type WAL struct {
 	size    int64  // bytes written to the active segment
 	nextLSN uint64
 	closed  bool
+	// syncMu serialises Sync's fsync+bookkeeping (lock order: syncMu then
+	// mu). The kernel reports a writeback error once per fd, so two
+	// overlapping fsyncs would race on who observes it — serialised,
+	// non-overlapping fsyncs make a nil result trustworthy: a clean fsync
+	// covers everything appended before it started, and any concurrent
+	// seal fsync (rotation/Close, under mu) publishes failErr before this
+	// caller's bookkeeping can run. Appends never take syncMu, so the log
+	// keeps filling while a flush is in flight.
+	syncMu sync.Mutex
+	// failErr is a sticky fsync failure (from Sync, rotation, or Close's
+	// seal sync). The kernel reports a writeback error once per fd and may
+	// drop the dirty pages, so after any failed fsync no later fsync can
+	// be trusted to mean the earlier records are durable: the log is
+	// poisoned and every subsequent Append/Sync fails with this error.
+	failErr error
 }
 
 // Open opens (creating if needed) the log in dir. Existing segments are
@@ -172,6 +192,7 @@ func (w *WAL) rotateLocked(lsn uint64) error {
 	if w.active != nil {
 		if !w.opts.NoSync {
 			if err := w.active.Sync(); err != nil {
+				w.failErr = err
 				return err
 			}
 		}
@@ -198,6 +219,9 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	if w.closed {
 		return 0, ErrClosed
 	}
+	if w.failErr != nil {
+		return 0, fmt.Errorf("wal: log poisoned by earlier fsync failure: %w", w.failErr)
+	}
 	frame := int64(frameHeader + len(payload))
 	if frame > w.opts.SegmentSize {
 		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
@@ -222,17 +246,54 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	return lsn, nil
 }
 
-// Sync makes all appended records durable.
+// Sync makes all records appended before the call durable. The fsync runs
+// outside the log mutex so concurrent Appends proceed while the disk
+// works — this is what lets group commit accumulate a batch during the
+// in-flight flush.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed {
+		w.mu.Unlock()
 		return ErrClosed
 	}
+	if w.failErr != nil {
+		err := w.failErr
+		w.mu.Unlock()
+		return fmt.Errorf("wal: log poisoned by earlier fsync failure: %w", err)
+	}
 	if w.opts.NoSync {
+		w.mu.Unlock()
 		return nil
 	}
-	return w.active.Sync()
+	f := w.active
+	w.mu.Unlock()
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	err := f.Sync()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err == nil {
+		// A concurrent seal fsync (rotation/Close) may have consumed the
+		// kernel's once-per-fd writeback error and set failErr while we
+		// were syncing — our nil then proves nothing about those records.
+		if w.failErr != nil {
+			return fmt.Errorf("wal: log poisoned by earlier fsync failure: %w", w.failErr)
+		}
+		return nil
+	}
+	// The segment may have been sealed while we synced: rotation and Close
+	// both fsync the active file before closing it, so a "file already
+	// closed" failure on a no-longer-active handle means the records are
+	// already durable — unless that seal fsync itself failed (failErr), in
+	// which case durability was lost and the error must surface.
+	if (w.active != f || w.closed) && w.failErr == nil && errors.Is(err, os.ErrClosed) {
+		return nil
+	}
+	if w.failErr != nil {
+		return fmt.Errorf("wal: log poisoned by earlier fsync failure: %w", w.failErr)
+	}
+	w.failErr = err
+	return err
 }
 
 // NextLSN returns the LSN the next Append will receive.
@@ -358,6 +419,7 @@ func (w *WAL) Close() error {
 	w.closed = true
 	if !w.opts.NoSync {
 		if err := w.active.Sync(); err != nil {
+			w.failErr = err
 			w.active.Close()
 			return err
 		}

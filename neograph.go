@@ -24,6 +24,15 @@
 //
 // Opening with an empty Dir gives a purely in-memory database (no WAL, no
 // store files) — useful for tests and benchmarks.
+//
+// # Durability
+//
+// A nil return from Commit means the transaction's redo record has been
+// fsynced to the write-ahead log (unless DisableSyncCommits is set) and
+// will be replayed after a crash. Concurrent committers share fsyncs
+// through a group-commit batcher — see Options.CommitMaxBatch,
+// Options.CommitMaxDelay and Options.DisableGroupCommit — so multi-writer
+// commit throughput is not bounded by one disk flush per transaction.
 package neograph
 
 import (
@@ -87,9 +96,24 @@ type Options struct {
 	// Conflict selects the SI write-conflict policy. Zero value is
 	// FirstUpdaterWins.
 	Conflict core.ConflictPolicy
-	// DisableSyncCommits skips the per-commit WAL fsync (durability traded
-	// for throughput; the default is durable).
+	// DisableSyncCommits skips the commit WAL fsync entirely (durability
+	// traded for throughput; the default is durable). This also bypasses
+	// the group-commit batcher.
 	DisableSyncCommits bool
+	// DisableGroupCommit reverts to one fsync per committing transaction
+	// instead of the default batched group commit — the before/after
+	// baseline for throughput comparisons.
+	DisableGroupCommit bool
+	// CommitMaxBatch is the group-commit linger cutoff: the flush leader
+	// stops waiting out CommitMaxDelay once this many committers are
+	// queued. Zero picks the default (256); no effect when CommitMaxDelay
+	// is zero.
+	CommitMaxBatch int
+	// CommitMaxDelay lets the group-commit flush leader wait this long for
+	// more committers to join its batch before issuing the fsync. Zero
+	// flushes immediately; commits arriving during an in-flight fsync
+	// still coalesce into the next one.
+	CommitMaxDelay time.Duration
 	// GCMode selects the version collector. Zero value is GCThreaded.
 	GCMode core.GCMode
 	// GCInterval runs the collector periodically; zero means GC runs only
@@ -114,6 +138,9 @@ func Open(opts Options) (*DB, error) {
 		DefaultIsolation: opts.Isolation,
 		Conflict:         opts.Conflict,
 		NoSyncCommits:    opts.DisableSyncCommits,
+		NoGroupCommit:    opts.DisableGroupCommit,
+		CommitMaxBatch:   opts.CommitMaxBatch,
+		CommitMaxDelay:   opts.CommitMaxDelay,
 		GCMode:           opts.GCMode,
 		GCEvery:          opts.GCInterval,
 		CheckpointEvery:  opts.CheckpointInterval,
