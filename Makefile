@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke lint fmt clean
+.PHONY: all build test race race-repl bench bench-smoke lint fmt clean
 
 all: build test
 
@@ -18,6 +18,10 @@ test: build
 ## race: full test suite under the race detector
 race:
 	$(GO) test -race ./...
+
+## race-repl: the primary+replica integration tests, twice, under race
+race-repl:
+	$(GO) test -race -count=2 -run 'TestReplica|TestReplication|TestShipper|TestReadYourWrites|TestBehindHorizon' ./internal/repl/... ./internal/server/...
 
 ## bench: the full experiment suite (minutes)
 bench: build

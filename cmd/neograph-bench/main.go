@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: E1..E8, E2d, F1 or all")
+		exp      = flag.String("exp", "all", "experiment to run: E1..E9, E2d, F1 or all")
 		quick    = flag.Bool("quick", false, "small configurations (seconds, not minutes)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonPath = flag.String("json", "", "write structured results to this file")
@@ -152,12 +152,21 @@ func main() {
 			SyncedCommitsPerWriter: scale(100, 25),
 		})
 	})
+	run("E9", func() (any, error) {
+		return bench.RunE9(w, bench.E9Config{
+			Nodes:    scale(2_000, 400),
+			Writers:  2,
+			Replicas: []int{0, 1, 2},
+			Duration: dur(2*time.Second, 500*time.Millisecond),
+			Seed:     *seed,
+		})
+	})
 	run("F1", func() (any, error) {
 		return nil, bench.RunF1(w, scale(5_000, 500), *seed)
 	})
 
 	if matched == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E8, E2d, F1 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9, E2d, F1 or all)\n", *exp)
 		os.Exit(2)
 	}
 

@@ -7,6 +7,14 @@
 // An empty -dir runs fully in memory. The server checkpoints and runs
 // the version garbage collector in the background, and shuts down
 // cleanly on SIGINT/SIGTERM.
+//
+// Replication: a primary additionally listens for replicas with
+// -repl-addr; a replica points -replica-of at that address, streams the
+// primary's WAL, and serves snapshot-isolated reads at its applied
+// position (writes are redirected to the primary):
+//
+//	neograph-server -dir /var/lib/ng  -addr :7475 -repl-addr :7476
+//	neograph-server -dir /var/lib/ng2 -addr :7575 -replica-of primary:7476
 package main
 
 import (
@@ -24,16 +32,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7475", "listen address")
-		dir      = flag.String("dir", "", "database directory (empty = in-memory)")
-		rc       = flag.Bool("read-committed", false, "default to read committed instead of snapshot isolation")
-		fcw      = flag.Bool("first-committer-wins", false, "use first-committer-wins conflict policy")
-		noSync   = flag.Bool("no-sync", false, "disable commit WAL fsync entirely")
-		noGroup  = flag.Bool("no-group-commit", false, "one fsync per commit instead of batched group commit")
-		maxBatch = flag.Int("commit-max-batch", 0, "queued committers at which a lingering group-commit leader flushes early (0 = default)")
-		maxDelay = flag.Duration("commit-max-delay", 0, "how long a group-commit leader waits for more committers (0 = flush immediately)")
-		gcEvery  = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
-		ckpEvery = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
+		addr      = flag.String("addr", "127.0.0.1:7475", "listen address")
+		dir       = flag.String("dir", "", "database directory (empty = in-memory)")
+		rc        = flag.Bool("read-committed", false, "default to read committed instead of snapshot isolation")
+		fcw       = flag.Bool("first-committer-wins", false, "use first-committer-wins conflict policy")
+		noSync    = flag.Bool("no-sync", false, "disable commit WAL fsync entirely")
+		noGroup   = flag.Bool("no-group-commit", false, "one fsync per commit instead of batched group commit")
+		maxBatch  = flag.Int("commit-max-batch", 0, "queued committers at which a lingering group-commit leader flushes early (0 = default)")
+		maxDelay  = flag.Duration("commit-max-delay", 0, "how long a group-commit leader waits for more committers (0 = flush immediately)")
+		gcEvery   = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
+		ckpEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
+		replAddr  = flag.String("repl-addr", "", "primary: stream the WAL to replicas on this address")
+		replicaOf = flag.String("replica-of", "", "replica: stream the WAL from this primary replication address (read-only)")
 	)
 	flag.Parse()
 
@@ -45,6 +55,8 @@ func main() {
 		CommitMaxDelay:     *maxDelay,
 		GCInterval:         *gcEvery,
 		CheckpointInterval: *ckpEvery,
+		ReplicationAddr:    *replAddr,
+		ReplicaOf:          *replicaOf,
 	}
 	if *rc {
 		opts.Isolation = neograph.ReadCommitted
@@ -66,6 +78,12 @@ func main() {
 	}
 	fmt.Printf("neograph-server listening on %s (store: %s, isolation: %v, conflict: %v)\n",
 		srv.Addr(), mode, opts.Isolation, opts.Conflict)
+	switch {
+	case db.IsReplica():
+		fmt.Printf("replica of %s (read-only; writes are redirected)\n", *replicaOf)
+	case *replAddr != "":
+		fmt.Printf("shipping WAL to replicas on %s\n", db.ReplicationAddress())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is instrumenting this test
+// binary: per-operation CPU cost is several times higher, which starves
+// timing-sensitive shape assertions on small machines.
+const raceEnabled = true

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"neograph/internal/lock"
+	"neograph/internal/mvcc"
+	"neograph/internal/wal"
+)
+
+// This file is the redo-apply path shared by crash recovery and
+// replication: both replay the primary's WAL commit records into the
+// object cache, adjacency, indexes and GC bookkeeping through
+// applyCommit. Recovery drives it from ForEach over the local log;
+// a replica's applier drives it record-by-record from the network
+// stream via ApplyReplicated.
+
+// applyCommit redo-applies one decoded commit record at its original
+// commit timestamp and returns the keys it installed. Application is
+// idempotent per entity: a chain whose head is already at or past cts
+// (installed by an earlier replay, or persisted by a checkpoint) is left
+// alone.
+func (e *Engine) applyCommit(cts mvcc.TS, muts []mutation) []entKey {
+	var keys []entKey
+	for _, m := range muts {
+		if o := e.getObject(m.key); o != nil {
+			if head := o.chain.Head(); head != nil && head.CommitTS >= cts {
+				continue // already installed at or past this commit
+			}
+		}
+		e.install(m, cts)
+		keys = append(keys, m.key)
+	}
+	return keys
+}
+
+// ApplyReplicated appends one record of the primary's WAL stream to the
+// local log and redo-applies its effects. The record must arrive exactly
+// at the local log's next position — the replica's WAL is a byte-exact
+// prefix of the primary's, which is what lets a restarted replica resume
+// the stream from its own recovered log end.
+//
+// The caller (the replication applier) is the replica's only log writer:
+// local write commits are rejected with ErrReadOnlyReplica and replica
+// checkpoints skip their marker record. Applies take the commit gate
+// shared with the checkpointer so every record below a checkpoint's WAL
+// cut is reflected in the dirty set, exactly as primary commits do.
+//
+// The oracle watermark advances only after the install completes, so a
+// snapshot read begun on the replica can never observe half of a
+// replicated commit — replica reads are snapshot-isolated at the applied
+// position.
+func (e *Engine) ApplyReplicated(lsn uint64, payload []byte) error {
+	if !e.opts.Replica {
+		return errors.New("core: ApplyReplicated on a non-replica engine")
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if e.wal == nil {
+		return errors.New("core: replica mode requires a persistent store")
+	}
+	// Decode before touching the log: a corrupt record must not be
+	// appended (the local WAL only ever holds verified prefix bytes).
+	var cts mvcc.TS
+	var muts []mutation
+	isCommit := false
+	if len(payload) == 0 {
+		return fmt.Errorf("core: empty replicated record at lsn %d", lsn)
+	}
+	switch payload[0] {
+	case recCheckpoint:
+		// The primary's checkpoint markers are no-ops on redo but still
+		// occupy log bytes — append them to keep positions aligned.
+	case recCommit:
+		var err error
+		cts, muts, err = decodeCommit(payload)
+		if err != nil {
+			return err
+		}
+		isCommit = true
+	default:
+		return fmt.Errorf("core: unknown WAL record tag %q at lsn %d", payload[0], lsn)
+	}
+
+	e.commitGate.RLock()
+	if next := e.wal.NextLSN(); next != lsn {
+		e.commitGate.RUnlock()
+		return fmt.Errorf("core: replication stream desync: record at %d, local log at %d", lsn, next)
+	}
+	if _, err := e.wal.Append(payload); err != nil {
+		e.commitGate.RUnlock()
+		return fmt.Errorf("core: replica wal append: %w", err)
+	}
+	if isCommit {
+		keys := e.applyCommit(cts, muts)
+		e.markDirty(keys)
+		e.raiseHighWater(muts)
+	}
+	e.commitGate.RUnlock()
+	if isCommit {
+		e.oracle.ObserveCommit(cts)
+	}
+	return nil
+}
+
+// raiseHighWater keeps the store's ID allocators ahead of replicated
+// entities, so a replica promoted to accept writes never reuses an ID the
+// stream already assigned. Recovery does the same in bulk.
+func (e *Engine) raiseHighWater(muts []mutation) {
+	if e.store == nil {
+		return
+	}
+	for _, m := range muts {
+		if m.key.kind == lock.KindNode {
+			if e.store.NodeHighWater() <= m.key.id {
+				e.store.SetNodeHighWater(m.key.id + 1)
+			}
+		} else if e.store.RelHighWater() <= m.key.id {
+			e.store.SetRelHighWater(m.key.id + 1)
+		}
+	}
+}
+
+// CommitRecordEnd computes the end position of a WAL record appended at
+// lsn with the given payload length (the framing overhead is the wal
+// package's).
+func CommitRecordEnd(lsn uint64, payloadLen int) uint64 {
+	return lsn + wal.FrameOverhead + uint64(payloadLen)
+}

@@ -109,13 +109,24 @@ func (e *Engine) checkpointLocked() error {
 	if err := e.store.Flush(); err != nil {
 		return err
 	}
-	if _, err := e.wal.Append(encodeCheckpoint(e.oracle.Watermark())); err != nil {
-		return err
+	// A replica's WAL must stay a byte-exact prefix of the primary's, so
+	// it never appends its own checkpoint marker — the stream contains
+	// the primary's markers already.
+	if !e.opts.Replica {
+		if _, err := e.wal.Append(encodeCheckpoint(e.oracle.Watermark())); err != nil {
+			return err
+		}
 	}
 	if err := e.wal.Sync(); err != nil {
 		return err
 	}
-	if err := e.wal.TruncateBefore(walCut); err != nil {
+	// The replication shipper can hold truncation below the cut so
+	// connected replicas still catching up keep their backlog readable.
+	cut := walCut
+	if retain, ok := e.walRetainPos(); ok && retain < cut {
+		cut = retain
+	}
+	if err := e.wal.TruncateBefore(cut); err != nil {
 		return err
 	}
 	e.stats.checkpoints.Add(1)

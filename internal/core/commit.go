@@ -36,8 +36,9 @@ type mutation struct {
 // release group commit): between install and the batched fsync, readers
 // can observe a commit that a crash would erase. Dependent *writers* are
 // safe by the LSN argument above; a pure reader that must not act on
-// unsynced state needs read-gating on the durable LSN (future work, see
-// ROADMAP).
+// unsynced state opts in to read-gating: Engine.WaitDurable at the
+// commit's Tx.CommitLSN token blocks until the durability horizon covers
+// it.
 func (t *Tx) Commit() error {
 	if err := t.check(); err != nil {
 		return err
@@ -49,6 +50,14 @@ func (t *Tx) Commit() error {
 	if len(muts) == 0 {
 		t.e.stats.committed.Add(1)
 		return nil
+	}
+	if t.e.opts.Replica {
+		// Replicas apply the primary's stream and nothing else; local
+		// writes would fork the log. The server layer redirects writers
+		// to the primary before they get this far.
+		t.abortStaged()
+		t.e.stats.aborted.Add(1)
+		return fmt.Errorf("%w: %d staged writes rejected", ErrReadOnlyReplica, len(muts))
 	}
 
 	// First-committer-wins validation: under the commit latch, every
@@ -105,6 +114,7 @@ func (t *Tx) Commit() error {
 			return fmt.Errorf("core: wal append: %w", err)
 		}
 		commitLSN = lsn
+		t.commitEnd = CommitRecordEnd(lsn, len(payload))
 		if t.e.batcher == nil && !t.e.opts.NoSyncCommits {
 			// Per-commit fsync baseline (Options.NoGroupCommit): the record
 			// is made durable before install, so a failed sync can still

@@ -101,6 +101,10 @@ var (
 	ErrTxDone        = errors.New("core: transaction already finished")
 	ErrHasRels       = errors.New("core: node still has relationships")
 	ErrClosed        = errors.New("core: engine closed")
+	// ErrReadOnlyReplica rejects write commits on an engine opened in
+	// replica mode: the only writer of a replica is its replication
+	// applier, which redo-applies the primary's WAL stream.
+	ErrReadOnlyReplica = errors.New("core: read-only replica")
 	// ErrDeadlock re-exports the lock manager's deadlock error for the
 	// read-committed baseline's blocking locks.
 	ErrDeadlock = lock.ErrDeadlock
@@ -144,6 +148,14 @@ type Options struct {
 	CheckpointEvery time.Duration
 	// StoreCachePages is the page-cache capacity per store file.
 	StoreCachePages int
+	// Replica opens the engine read-only for local transactions: write
+	// commits fail with ErrReadOnlyReplica, and the WAL receives records
+	// exclusively through ApplyReplicated so it stays a byte-exact prefix
+	// of the primary's log (checkpoints skip their marker record too).
+	Replica bool
+	// WALSegmentSize overrides the WAL segment rotation size (testing and
+	// replication experiments). Zero means the wal package default.
+	WALSegmentSize int64
 }
 
 // Stats are cumulative engine counters.
@@ -238,6 +250,12 @@ type Engine struct {
 	dirtyMu sync.Mutex
 	dirty   map[entKey]struct{} // committed entities awaiting checkpoint
 
+	// retainMu guards retainWAL, a hook installed by the replication
+	// shipper: checkpoints keep WAL segments at or above the returned
+	// position so connected replicas can still be served their backlog.
+	retainMu  sync.Mutex
+	retainWAL func() (uint64, bool)
+
 	txnSeq  atomic.Uint64
 	stats   statsCounters
 	closed  atomic.Bool
@@ -287,7 +305,10 @@ func Open(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := wal.Open(opts.Dir+"/wal", wal.Options{NoSync: opts.NoSyncCommits})
+	w, err := wal.Open(opts.Dir+"/wal", wal.Options{
+		NoSync:      opts.NoSyncCommits,
+		SegmentSize: opts.WALSegmentSize,
+	})
 	if err != nil {
 		st.Close()
 		return nil, err
@@ -399,6 +420,88 @@ func (e *Engine) GCBacklog() int { return e.gcList.Len() }
 // Store exposes the underlying persistent store (nil in memory mode), for
 // the F1 architecture report.
 func (e *Engine) Store() *store.Store { return e.store }
+
+// WAL exposes the write-ahead log (nil in memory mode) for the
+// replication shipper, which reads sealed segments and the live tail.
+func (e *Engine) WAL() *wal.WAL { return e.wal }
+
+// IsReplica reports whether the engine was opened in replica mode.
+func (e *Engine) IsReplica() bool { return e.opts.Replica }
+
+// DurableLSN returns the WAL durability horizon as an end position: the
+// log's bytes below it are fsynced. Zero in memory mode.
+func (e *Engine) DurableLSN() uint64 {
+	if e.wal == nil {
+		return 0
+	}
+	return e.wal.DurableLSN()
+}
+
+// AppliedLSN returns the position one past the last WAL record this
+// engine holds — on a replica, how much of the primary's log has been
+// applied. Zero in memory mode.
+func (e *Engine) AppliedLSN() uint64 {
+	if e.wal == nil {
+		return 0
+	}
+	return e.wal.NextLSN()
+}
+
+// WaitDurable blocks until the WAL's durability horizon reaches pos (an
+// end position, e.g. Tx.CommitLSN). It is the opt-in read gate for
+// callers that must not act on commits a crash could still erase: commits
+// are visible at install but durable only at the batched fsync. Returns
+// immediately in memory mode or with fsync disabled.
+func (e *Engine) WaitDurable(pos uint64) error {
+	if e.wal == nil || pos == 0 || e.opts.NoSyncCommits {
+		return nil
+	}
+	if e.wal.DurableLSN() >= pos {
+		return nil
+	}
+	if next := e.wal.NextLSN(); pos > next {
+		// A bogus token (beyond the log end) would otherwise spin flushes
+		// forever waiting for a record that was never appended.
+		return fmt.Errorf("core: wait durable: position %d beyond log end %d", pos, next)
+	}
+	if e.batcher != nil {
+		// WaitDurable(lsn) waits for durable > lsn; durable >= pos is
+		// exactly durable > pos-1.
+		return e.batcher.WaitDurable(pos - 1)
+	}
+	// Per-commit fsync mode: one explicit sync covers everything appended.
+	return e.wal.Sync()
+}
+
+// SyncWAL forces an fsync of the WAL (replication applier's periodic
+// durability point on replicas, where no commit path runs).
+func (e *Engine) SyncWAL() error {
+	if e.wal == nil {
+		return nil
+	}
+	return e.wal.Sync()
+}
+
+// SetWALRetain installs (or clears, with nil) the checkpointer's WAL
+// retention hook. When set and returning ok, segments at or above the
+// returned position survive checkpoint truncation — the replication
+// shipper holds this at the minimum position of its connected replicas.
+func (e *Engine) SetWALRetain(fn func() (uint64, bool)) {
+	e.retainMu.Lock()
+	e.retainWAL = fn
+	e.retainMu.Unlock()
+}
+
+// walRetainPos resolves the retention hook.
+func (e *Engine) walRetainPos() (uint64, bool) {
+	e.retainMu.Lock()
+	fn := e.retainWAL
+	e.retainMu.Unlock()
+	if fn == nil {
+		return 0, false
+	}
+	return fn()
+}
 
 // allocNodeID allocates a node ID from the store (or memory) allocator.
 func (e *Engine) allocNodeID() ids.ID {

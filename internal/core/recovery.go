@@ -65,9 +65,10 @@ func (e *Engine) recover() error {
 		return fmt.Errorf("core: recover rels: %w", err)
 	}
 
-	// Replay the WAL tail. Records whose effects are already persisted
-	// (head commit TS >= record TS) are skipped per entity, making replay
-	// idempotent.
+	// Replay the WAL tail through the same redo-apply path the
+	// replication applier uses. Records whose effects are already
+	// persisted (head commit TS >= record TS) are skipped per entity,
+	// making replay idempotent.
 	var replayed []entKey
 	err = e.wal.ForEach(func(lsn uint64, payload []byte) error {
 		if len(payload) == 0 {
@@ -84,16 +85,7 @@ func (e *Engine) recover() error {
 			if cts > maxTS {
 				maxTS = cts
 			}
-			for _, m := range muts {
-				o := e.getObject(m.key)
-				if o != nil {
-					if head := o.chain.Head(); head != nil && head.CommitTS >= cts {
-						continue // already persisted at or past this commit
-					}
-				}
-				e.install(m, cts)
-				replayed = append(replayed, m.key)
-			}
+			replayed = append(replayed, e.applyCommit(cts, muts)...)
 			return nil
 		default:
 			return fmt.Errorf("core: unknown WAL record tag %q", payload[0])

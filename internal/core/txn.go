@@ -40,10 +40,14 @@ type Tx struct {
 	id       uint64
 	startTS  mvcc.TS
 	commitTS mvcc.TS // set by a successful Commit
-	iso      IsolationLevel
-	writes   map[entKey]*writeEntry
-	order    []entKey // staging order, for deterministic install
-	done     bool
+	// commitEnd is the end position of the commit's WAL record — the
+	// read-your-writes token a client hands to a replica (wait until the
+	// applied position reaches it) or to WaitDurable.
+	commitEnd uint64
+	iso       IsolationLevel
+	writes    map[entKey]*writeEntry
+	order     []entKey // staging order, for deterministic install
+	done      bool
 }
 
 // Begin starts a transaction at the engine's default isolation level.
@@ -77,6 +81,13 @@ func (t *Tx) StartTS() mvcc.TS { return t.startTS }
 // timestamp is the transaction's position in the serialisation order
 // (§3).
 func (t *Tx) CommitTS() mvcc.TS { return t.commitTS }
+
+// CommitLSN returns the end position of the transaction's WAL commit
+// record (0 for read-only transactions, in-memory engines, or before
+// Commit). It is the read-your-writes token: a replica whose applied
+// position has reached it serves this transaction's writes; WaitDurable
+// at it guarantees the commit survives a crash.
+func (t *Tx) CommitLSN() uint64 { return t.commitEnd }
 
 // Isolation returns the transaction's isolation level.
 func (t *Tx) Isolation() IsolationLevel { return t.iso }

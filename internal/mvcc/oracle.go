@@ -76,6 +76,20 @@ func (o *Oracle) advanceLocked() {
 	}
 }
 
+// ObserveCommit folds in a commit timestamp applied from a replication
+// stream. The replica has no local committers, so an observed commit is
+// fully installed by the time this is called and the watermark may
+// advance to it (subject to any pending local commits, of which a replica
+// has none).
+func (o *Oracle) ObserveCommit(ts TS) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if ts > o.lastCommit {
+		o.lastCommit = ts
+	}
+	o.advanceLocked()
+}
+
 // Watermark returns the current commit watermark.
 func (o *Oracle) Watermark() TS {
 	o.mu.Lock()

@@ -1,0 +1,302 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neograph/internal/core"
+)
+
+// ApplierOptions tune the replica side.
+type ApplierOptions struct {
+	// RetryMin/RetryMax bound the reconnect backoff. Zero means
+	// 50ms / 2s.
+	RetryMin, RetryMax time.Duration
+	// DialTimeout bounds one connection attempt. Zero means 5s.
+	DialTimeout time.Duration
+	// ReadTimeout is how long the applier waits for any frame before
+	// declaring the connection dead; the primary heartbeats far more
+	// often. Zero means 30s.
+	ReadTimeout time.Duration
+	// SyncEvery rate-limits the replica's own WAL fsyncs: the applied
+	// tail is made durable at most this often (heartbeats arrive once per
+	// shipped batch, far too often to fsync each). A replica crash only
+	// re-fetches the unsynced tail from the primary, so the window trades
+	// re-fetch volume, not correctness. Zero means 200ms.
+	SyncEvery time.Duration
+}
+
+// ApplierStatus snapshots the replica's replication state.
+type ApplierStatus struct {
+	PrimaryAddr string `json:"primary_addr"`
+	Connected   bool   `json:"connected"`
+	// AppliedPos is the position one past the last applied record.
+	AppliedPos uint64 `json:"applied_pos"`
+	// PrimaryDurable is the primary's durability horizon from the last
+	// heartbeat; PrimaryDurable - AppliedPos is the byte lag.
+	PrimaryDurable uint64 `json:"primary_durable"`
+	LastError      string `json:"last_error,omitempty"`
+}
+
+// ErrApplierClosed reports a wait cut off by Close.
+var ErrApplierClosed = errors.New("repl: applier closed")
+
+// Applier maintains the replica's connection to its primary: it dials,
+// resumes the stream from the local log end, redo-applies every record
+// through the engine's recovery apply path, and reconnects with backoff
+// after any failure. One Applier is the sole writer of its engine's WAL.
+type Applier struct {
+	e       *core.Engine
+	primary string
+	opts    ApplierOptions
+
+	applied atomic.Uint64
+
+	mu             sync.Mutex
+	conn           net.Conn // live connection, for Close to sever
+	connected      bool
+	primaryDurable uint64
+	lastErr        error
+	notifyC        chan struct{} // closed when applied advances
+	closed         bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewApplier creates (but does not start) an applier feeding e, which
+// must be open in replica mode, from the primary's shipper address.
+func NewApplier(e *core.Engine, primaryAddr string, opts ApplierOptions) (*Applier, error) {
+	if !e.IsReplica() {
+		return nil, errors.New("repl: applier requires an engine in replica mode")
+	}
+	if opts.RetryMin <= 0 {
+		opts.RetryMin = 50 * time.Millisecond
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = 2 * time.Second
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.ReadTimeout <= 0 {
+		opts.ReadTimeout = 30 * time.Second
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 200 * time.Millisecond
+	}
+	a := &Applier{e: e, primary: primaryAddr, opts: opts, stop: make(chan struct{})}
+	a.applied.Store(e.AppliedLSN())
+	return a, nil
+}
+
+// Start launches the connect/apply/reconnect loop.
+func (a *Applier) Start() {
+	a.wg.Add(1)
+	go a.run()
+}
+
+// Close severs the connection and stops reconnecting. Waiters in
+// WaitApplied are released with ErrApplierClosed.
+func (a *Applier) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	if a.conn != nil {
+		a.conn.Close()
+	}
+	a.mu.Unlock()
+	close(a.stop)
+	a.wg.Wait()
+	a.mu.Lock()
+	a.wakeLocked()
+	a.mu.Unlock()
+}
+
+// AppliedLSN returns the position one past the last applied record.
+func (a *Applier) AppliedLSN() uint64 { return a.applied.Load() }
+
+// Status snapshots the replication state.
+func (a *Applier) Status() ApplierStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := ApplierStatus{
+		PrimaryAddr:    a.primary,
+		Connected:      a.connected,
+		AppliedPos:     a.applied.Load(),
+		PrimaryDurable: a.primaryDurable,
+	}
+	if a.lastErr != nil {
+		st.LastError = a.lastErr.Error()
+	}
+	return st
+}
+
+// WaitApplied blocks until the applied position reaches pos — the
+// read-your-writes gate: pos is the commit-LSN token the primary
+// returned for the write the caller must observe. A zero timeout waits
+// indefinitely (until Close).
+func (a *Applier) WaitApplied(pos uint64, timeout time.Duration) error {
+	if a.applied.Load() >= pos {
+		return nil
+	}
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timerC = t.C
+	}
+	for {
+		a.mu.Lock()
+		if a.applied.Load() >= pos {
+			a.mu.Unlock()
+			return nil
+		}
+		if a.closed {
+			a.mu.Unlock()
+			return ErrApplierClosed
+		}
+		if a.notifyC == nil {
+			a.notifyC = make(chan struct{})
+		}
+		c := a.notifyC
+		a.mu.Unlock()
+		select {
+		case <-c:
+		case <-timerC:
+			return fmt.Errorf("repl: timed out waiting for position %d (applied %d)", pos, a.applied.Load())
+		case <-a.stop:
+			return ErrApplierClosed
+		}
+	}
+}
+
+// wakeLocked releases WaitApplied callers. Caller holds a.mu.
+func (a *Applier) wakeLocked() {
+	if a.notifyC != nil {
+		close(a.notifyC)
+		a.notifyC = nil
+	}
+}
+
+// run is the reconnect loop: stream until failure, back off, retry.
+func (a *Applier) run() {
+	defer a.wg.Done()
+	backoff := a.opts.RetryMin
+	for {
+		select {
+		case <-a.stop:
+			return
+		default:
+		}
+		start := time.Now()
+		err := a.streamOnce()
+		a.mu.Lock()
+		a.lastErr = err
+		a.mu.Unlock()
+		if time.Since(start) > 5*time.Second {
+			backoff = a.opts.RetryMin // the session was healthy; reset
+		}
+		select {
+		case <-a.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > a.opts.RetryMax {
+			backoff = a.opts.RetryMax
+		}
+	}
+}
+
+// streamOnce runs one replication session: handshake from the local log
+// end, then apply frames until the connection dies.
+func (a *Applier) streamOnce() error {
+	conn, err := net.DialTimeout("tcp", a.primary, a.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("repl: dial primary: %w", err)
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		conn.Close()
+		return ErrApplierClosed
+	}
+	a.conn = conn
+	a.connected = true
+	a.mu.Unlock()
+	defer func() {
+		conn.Close()
+		a.mu.Lock()
+		a.conn = nil
+		a.connected = false
+		a.mu.Unlock()
+	}()
+
+	from := a.e.AppliedLSN()
+	conn.SetWriteDeadline(time.Now().Add(a.opts.DialTimeout))
+	if err := writeHandshake(conn, from); err != nil {
+		return fmt.Errorf("repl: handshake: %w", err)
+	}
+	conn.SetWriteDeadline(time.Time{})
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriter(conn)
+	buf := make([]byte, 32<<10)
+	lastSync := time.Now()
+	for {
+		conn.SetReadDeadline(time.Now().Add(a.opts.ReadTimeout))
+		typ, lsn, payload, err := readFrame(br, buf)
+		if err != nil {
+			return fmt.Errorf("repl: stream: %w", err)
+		}
+		switch typ {
+		case frameRecord:
+			if err := a.e.ApplyReplicated(lsn, payload); err != nil {
+				return err
+			}
+			a.advanceApplied(a.e.AppliedLSN())
+		case frameHeartbeat:
+			a.mu.Lock()
+			a.primaryDurable = lsn
+			a.mu.Unlock()
+			// Heartbeats close every shipped batch — far too often to pay
+			// an fsync each, so local durability is rate-limited. The ack
+			// reports the locally *durable* position: it is the WAL
+			// retention floor on the primary, and a crashed replica
+			// resumes from its durable log end.
+			if time.Since(lastSync) >= a.opts.SyncEvery {
+				if err := a.e.SyncWAL(); err != nil {
+					return fmt.Errorf("repl: replica wal sync: %w", err)
+				}
+				lastSync = time.Now()
+			}
+			conn.SetWriteDeadline(time.Now().Add(a.opts.ReadTimeout))
+			if err := writeFrame(bw, frameAck, a.e.DurableLSN(), nil); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case frameError:
+			return fmt.Errorf("repl: primary refused stream: %s", payload)
+		default:
+			return fmt.Errorf("repl: unknown frame type %q", typ)
+		}
+	}
+}
+
+// advanceApplied publishes a new applied position and wakes waiters.
+func (a *Applier) advanceApplied(pos uint64) {
+	a.applied.Store(pos)
+	a.mu.Lock()
+	a.wakeLocked()
+	a.mu.Unlock()
+}

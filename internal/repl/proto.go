@@ -1,0 +1,129 @@
+// Package repl implements WAL-shipping replication: a primary-side
+// Shipper that streams the write-ahead log over TCP — sealed segments
+// for catch-up, then the live tail as records become durable — and a
+// replica-side Applier that redo-applies the stream into its own engine,
+// so the replica serves fully snapshot-isolated reads at its applied
+// position.
+//
+// The consistency contract is prefix consistency: a replica's state is
+// always the primary's state as of some durable log prefix, applied in
+// order. Only records at or below the primary's durability horizon are
+// shipped, so a replica can never be ahead of what the primary would
+// recover to after a crash — which is what lets a reconnecting replica
+// resume the stream from its own log end without reconciliation. Clients
+// that need read-your-writes carry the commit's end position (the LSN
+// token returned by the primary) and wait until the replica has applied
+// past it.
+//
+// Stream layout: the replica opens a TCP connection, sends a fixed
+// handshake naming the position it wants the stream to resume from, and
+// the primary replies with a sequence of frames:
+//
+//	handshake  magic "NGRP"  version:u16le  from:u64le
+//	frame      type:u8  lsn:u64le  len:u32le  payload
+//
+// Frame types: 'r' carries one WAL record (lsn = record start position,
+// payload = record bytes); 'h' is a heartbeat (lsn = primary durability
+// horizon, no payload) emitted after every shipped batch and on an idle
+// timer; 'e' carries a terminal error message. The replica sends 'a'
+// acknowledgement frames (lsn = its applied position) back on the same
+// connection; the primary uses them for status reporting, and the
+// positions of connected replicas hold back WAL truncation so their
+// backlog stays readable.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	magic        = "NGRP"
+	protoVersion = 1
+
+	// maxFramePayload bounds one frame's payload. WAL records are capped
+	// by the segment size (16 MiB default); anything larger is a corrupt
+	// or hostile stream.
+	maxFramePayload = 64 << 20
+
+	frameRecord    = 'r' // primary -> replica: one WAL record
+	frameHeartbeat = 'h' // primary -> replica: durability horizon
+	frameError     = 'e' // primary -> replica: terminal error, then close
+	frameAck       = 'a' // replica -> primary: applied position
+)
+
+const handshakeLen = 4 + 2 + 8
+
+// writeHandshake sends the stream-resume request.
+func writeHandshake(w io.Writer, from uint64) error {
+	var buf [handshakeLen]byte
+	copy(buf[:4], magic)
+	binary.LittleEndian.PutUint16(buf[4:], protoVersion)
+	binary.LittleEndian.PutUint64(buf[6:], from)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readHandshake validates the magic and version and returns the resume
+// position.
+func readHandshake(r io.Reader) (uint64, error) {
+	var buf [handshakeLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("repl: read handshake: %w", err)
+	}
+	if string(buf[:4]) != magic {
+		return 0, fmt.Errorf("repl: bad handshake magic %q", buf[:4])
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:]); v != protoVersion {
+		return 0, fmt.Errorf("repl: protocol version %d, want %d", v, protoVersion)
+	}
+	return binary.LittleEndian.Uint64(buf[6:]), nil
+}
+
+const frameHeaderLen = 1 + 8 + 4
+
+// writeFrame appends one frame to w (the caller flushes).
+func writeFrame(w *bufio.Writer, typ byte, lsn uint64, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint64(hdr[1:], lsn)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, reusing buf for the payload when it fits.
+// The returned payload is only valid until the next call.
+func readFrame(r *bufio.Reader, buf []byte) (typ byte, lsn uint64, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	typ = hdr[0]
+	lsn = binary.LittleEndian.Uint64(hdr[1:])
+	n := binary.LittleEndian.Uint32(hdr[9:])
+	if n > maxFramePayload {
+		return 0, 0, nil, fmt.Errorf("repl: frame payload %d bytes exceeds limit", n)
+	}
+	if n == 0 {
+		return typ, lsn, nil, nil
+	}
+	if int(n) <= cap(buf) {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, fmt.Errorf("repl: read frame payload: %w", err)
+	}
+	return typ, lsn, payload, nil
+}

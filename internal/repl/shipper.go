@@ -1,0 +1,255 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neograph/internal/core"
+	"neograph/internal/wal"
+)
+
+// ShipperOptions tune the primary side.
+type ShipperOptions struct {
+	// HeartbeatEvery is the idle heartbeat interval (also the cadence at
+	// which replica acknowledgements are solicited). Zero means 100ms.
+	HeartbeatEvery time.Duration
+	// WriteTimeout bounds one write batch to a replica; a replica that
+	// cannot drain the stream this long is disconnected rather than
+	// allowed to wedge the shipper. Zero means 30s.
+	WriteTimeout time.Duration
+}
+
+// ReplicaInfo describes one connected replica for status reporting.
+type ReplicaInfo struct {
+	Addr string `json:"addr"`
+	// ShippedPos is the position up to which the stream has been sent.
+	ShippedPos uint64 `json:"shipped_pos"`
+	// AckedPos is the replica's last acknowledged applied position.
+	AckedPos uint64 `json:"acked_pos"`
+}
+
+// shipConn is one replica connection's state.
+type shipConn struct {
+	conn net.Conn
+	// pos is the next position to ship — the WAL retention floor for
+	// this replica.
+	pos   atomic.Uint64
+	acked atomic.Uint64
+}
+
+// Shipper streams the engine's WAL to any number of replicas. It ships
+// only durable records (group-commit fsyncs drive the tail forward), and
+// holds checkpoint truncation of the WAL below the position of the
+// slowest connected replica.
+type Shipper struct {
+	e    *core.Engine
+	ln   net.Listener
+	opts ShipperOptions
+
+	mu     sync.Mutex
+	conns  map[*shipConn]struct{}
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewShipper starts serving the engine's WAL on addr (":0" picks a port).
+func NewShipper(e *core.Engine, addr string, opts ShipperOptions) (*Shipper, error) {
+	if e.WAL() == nil {
+		return nil, errors.New("repl: replication requires a persistent store")
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = 100 * time.Millisecond
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("repl: listen: %w", err)
+	}
+	s := &Shipper{
+		e:     e,
+		ln:    ln,
+		opts:  opts,
+		conns: make(map[*shipConn]struct{}),
+		stop:  make(chan struct{}),
+	}
+	e.SetWALRetain(s.retainPos)
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound replication address.
+func (s *Shipper) Addr() string { return s.ln.Addr().String() }
+
+// Replicas snapshots the connected replicas.
+func (s *Shipper) Replicas() []ReplicaInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ReplicaInfo, 0, len(s.conns))
+	for c := range s.conns {
+		out = append(out, ReplicaInfo{
+			Addr:       c.conn.RemoteAddr().String(),
+			ShippedPos: c.pos.Load(),
+			AckedPos:   c.acked.Load(),
+		})
+	}
+	return out
+}
+
+// retainPos is the checkpointer's WAL retention hook: keep segments from
+// the slowest connected replica's *acknowledged* position on. Shipped
+// bytes sitting unapplied in a replica's socket buffer don't count — a
+// replica that dies there reconnects from its applied position and needs
+// those segments again.
+func (s *Shipper) retainPos() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var min uint64
+	ok := false
+	for c := range s.conns {
+		if p := c.acked.Load(); !ok || p < min {
+			min, ok = p, true
+		}
+	}
+	return min, ok
+}
+
+// Close stops accepting, disconnects every replica, and releases the
+// WAL retention hold.
+func (s *Shipper) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.e.SetWALRetain(nil)
+	close(s.stop)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Shipper) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// handle serves one replica: catch-up from whatever segments hold its
+// resume position, then the live tail as records become durable.
+func (s *Shipper) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	from, err := readHandshake(conn)
+	if err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	c := &shipConn{conn: conn}
+	c.pos.Store(from)
+	c.acked.Store(from)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	w := s.e.WAL()
+
+	sendErr := func(msg string) {
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		writeFrame(bw, frameError, 0, []byte(msg))
+		bw.Flush()
+	}
+	if from > w.DurableLSN() {
+		// A replica ahead of the primary's durable log is from a
+		// different history (e.g. it applied records a crashed primary
+		// never recovered — impossible while shipping only durable
+		// records, so the replica must be re-seeded).
+		sendErr(fmt.Sprintf("repl: replica position %d ahead of primary durable log %d; re-seed required", from, w.DurableLSN()))
+		return
+	}
+
+	// Drain acknowledgements; a read error closes the connection and so
+	// unblocks any in-flight write.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		for {
+			typ, lsn, _, err := readFrame(br, nil)
+			if err != nil || typ != frameAck {
+				return
+			}
+			c.acked.Store(lsn)
+		}
+	}()
+
+	pos := from
+	for {
+		horizon, err := w.WaitShippable(pos, s.opts.HeartbeatEvery, s.stop)
+		if err != nil {
+			if !errors.Is(err, wal.ErrCanceled) && !errors.Is(err, wal.ErrClosed) {
+				sendErr(err.Error())
+			}
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		if horizon > pos {
+			err := w.ReadRange(pos, horizon, func(lsn uint64, payload []byte) error {
+				c.pos.Store(lsn)
+				return writeFrame(bw, frameRecord, lsn, payload)
+			})
+			if err != nil {
+				if errors.Is(err, wal.ErrTruncated) {
+					sendErr(err.Error())
+				}
+				return
+			}
+			pos = horizon
+			c.pos.Store(pos)
+		}
+		// Heartbeat after every batch and on idle: carries the durability
+		// horizon so replicas can report lag even when nothing ships.
+		if err := writeFrame(bw, frameHeartbeat, s.e.DurableLSN(), nil); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}

@@ -19,6 +19,11 @@ type Client struct {
 	conn net.Conn
 	dec  *json.Decoder
 	enc  *json.Encoder
+	// lastLSN is the commit position of the newest write acknowledged on
+	// this client — the token for read-your-writes against a replica.
+	lastLSN uint64
+	// readAfter, when set, is attached to every request as WaitLSN.
+	readAfter uint64
 }
 
 // Dial connects to a server.
@@ -35,6 +40,9 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip sends req and reads the response, converting protocol errors.
 func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	if req.WaitLSN == 0 {
+		req.WaitLSN = c.readAfter
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("client: send: %w", err)
 	}
@@ -45,15 +53,30 @@ func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
 	if !resp.OK {
 		return nil, remoteError(resp.Error)
 	}
+	if resp.LSN != 0 {
+		c.lastLSN = resp.LSN
+	}
 	return &resp, nil
 }
+
+// LastCommitLSN returns the commit position of the newest write this
+// client has had acknowledged (explicit commit or auto-committed write).
+// Hand it to another client's ReadAfter to read your writes from a
+// replica.
+func (c *Client) LastCommitLSN() uint64 { return c.lastLSN }
+
+// ReadAfter gates every subsequent request on the server having reached
+// pos: a replica waits until it has applied the primary's log that far
+// (read-your-writes), a primary until the position is durable. Zero
+// clears the gate.
+func (c *Client) ReadAfter(pos uint64) { c.readAfter = pos }
 
 // remoteError maps well-known engine errors back to their sentinel values
 // so errors.Is works across the wire.
 func remoteError(msg string) error {
 	for _, sentinel := range []error{
 		neograph.ErrNotFound, neograph.ErrWriteConflict, neograph.ErrDeadlock,
-		neograph.ErrTxDone, neograph.ErrHasRels,
+		neograph.ErrTxDone, neograph.ErrHasRels, neograph.ErrReadOnlyReplica,
 	} {
 		if strings.Contains(msg, sentinel.Error()) {
 			return fmt.Errorf("%w (remote: %s)", sentinel, msg)
@@ -270,4 +293,14 @@ func (c *Client) GC() (json.RawMessage, error) {
 func (c *Client) Checkpoint() error {
 	_, err := c.roundTrip(&wire.Request{Op: wire.OpCheckpoint})
 	return err
+}
+
+// ReplStatus returns the server's replication status as raw JSON (role,
+// applied/durable positions, connected replicas).
+func (c *Client) ReplStatus() (json.RawMessage, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpReplStatus})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, nil
 }

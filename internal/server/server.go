@@ -10,12 +10,24 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"neograph"
 	"neograph/internal/wire"
 )
+
+// maxRequestBytes bounds one request frame. A session streaming a larger
+// request is cut off mid-decode and closed — an oversized payload must
+// not buffer unboundedly or wedge the server.
+const maxRequestBytes = 8 << 20
+
+// waitLSNTimeout bounds Request.WaitLSN gating: a replica that cannot
+// catch up to the requested position in this window fails the read
+// instead of holding the session forever.
+const waitLSNTimeout = 10 * time.Second
 
 // Server serves one DB over a listener.
 type Server struct {
@@ -86,6 +98,9 @@ func (s *Server) acceptLoop() {
 type session struct {
 	db *neograph.DB
 	tx *neograph.Tx // open explicit transaction, nil otherwise
+	// lastLSN is the commit position of the most recent auto-committed
+	// write, attached to that write's response as the RYW token.
+	lastLSN uint64
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -102,12 +117,16 @@ func (s *Server) handle(conn net.Conn) {
 			sess.tx.Abort()
 		}
 	}()
-	dec := json.NewDecoder(conn)
+	lr := &io.LimitedReader{R: conn, N: maxRequestBytes}
+	dec := json.NewDecoder(lr)
 	enc := json.NewEncoder(conn)
 	for {
+		// Reset the budget per request; a single frame larger than the
+		// limit starves the decoder mid-value and closes the session.
+		lr.N = maxRequestBytes
 		var req wire.Request
 		if err := dec.Decode(&req); err != nil {
-			return // disconnect or garbage
+			return // disconnect, garbage, or oversized frame
 		}
 		resp := sess.dispatch(&req)
 		if err := enc.Encode(resp); err != nil {
@@ -127,9 +146,45 @@ func (sess *session) inTx(write bool, fn func(tx *neograph.Tx) error) error {
 		return err
 	}
 	if write {
-		return tx.Commit()
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		sess.lastLSN = tx.CommitLSN()
+		return nil
 	}
 	return tx.Abort()
+}
+
+// writeOps are the operations a read-only replica redirects to its
+// primary — rejected up front so clients get the redirect before any
+// staging happens, whether auto-committed or inside an open transaction.
+var writeOps = map[string]bool{
+	wire.OpCreateNode: true, wire.OpSetNodeProp: true,
+	wire.OpAddLabel: true, wire.OpRemoveLabel: true,
+	wire.OpDeleteNode: true, wire.OpDetachDelete: true,
+	wire.OpCreateRel: true, wire.OpSetRelProp: true, wire.OpDeleteRel: true,
+}
+
+// dispatch guards replica/read-gating concerns, then executes the op and
+// stamps write responses with their commit position (the RYW token).
+func (sess *session) dispatch(req *wire.Request) *wire.Response {
+	if writeOps[req.Op] && sess.db.IsReplica() {
+		return fail(fmt.Errorf("%w: writes must go to the primary at %s",
+			neograph.ErrReadOnlyReplica, sess.db.PrimaryAddr()))
+	}
+	if req.WaitLSN > 0 {
+		// Read-your-writes on replicas (wait for the position to apply);
+		// durable-read gating on primaries (wait for it to fsync).
+		if err := sess.db.WaitApplied(req.WaitLSN, waitLSNTimeout); err != nil {
+			return fail(err)
+		}
+	}
+	sess.lastLSN = 0
+	resp := sess.dispatchOp(req)
+	if resp.OK && resp.LSN == 0 {
+		resp.LSN = sess.lastLSN
+	}
+	return resp
 }
 
 func fail(err error) *wire.Response { return &wire.Response{Error: err.Error()} }
@@ -147,7 +202,7 @@ func parseDir(d string) (neograph.Direction, error) {
 	}
 }
 
-func (sess *session) dispatch(req *wire.Request) *wire.Response {
+func (sess *session) dispatchOp(req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpPing:
 		return &wire.Response{OK: true}
@@ -170,12 +225,12 @@ func (sess *session) dispatch(req *wire.Request) *wire.Response {
 		if sess.tx == nil {
 			return fail(errors.New("server: no open transaction"))
 		}
-		err := sess.tx.Commit()
+		tx := sess.tx
 		sess.tx = nil
-		if err != nil {
+		if err := tx.Commit(); err != nil {
 			return fail(err)
 		}
-		return &wire.Response{OK: true}
+		return &wire.Response{OK: true, LSN: tx.CommitLSN()}
 
 	case wire.OpAbort:
 		if sess.tx == nil {
@@ -419,6 +474,13 @@ func (sess *session) dispatch(req *wire.Request) *wire.Response {
 			return fail(err)
 		}
 		return &wire.Response{OK: true}
+
+	case wire.OpReplStatus:
+		info, err := json.Marshal(sess.db.ReplStatus())
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, Info: info}
 
 	default:
 		return fail(fmt.Errorf("server: unknown op %q", req.Op))

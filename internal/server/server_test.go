@@ -1,10 +1,16 @@
 package server
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
+	"net"
+	"os"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"neograph"
 )
@@ -328,5 +334,286 @@ func TestProtocolErrors(t *testing.T) {
 	cl.Abort()
 	if _, err := cl.Relationships(1, "sideways"); err == nil {
 		t.Fatal("bad direction accepted")
+	}
+}
+
+// ---- replication over the wire ----
+
+// startReplicatedPair spins up a persistent primary shipping its WAL and
+// a replica server streaming it, returning clients for both.
+func startReplicatedPair(t *testing.T) (primary, replica *Client, pdb, rdb *neograph.DB) {
+	t.Helper()
+	pdb, err := neograph.Open(neograph.Options{Dir: t.TempDir(), ReplicationAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv, err := New(pdb, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { psrv.Close(); pdb.Close() })
+	rdb, err = neograph.Open(neograph.Options{Dir: t.TempDir(), ReplicaOf: pdb.ReplicationAddress()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv, err := New(rdb, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rsrv.Close(); rdb.Close() })
+	primary, err = Dial(psrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primary.Close() })
+	replica, err = Dial(rsrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { replica.Close() })
+	return primary, replica, pdb, rdb
+}
+
+func TestReplicaRedirectsWrites(t *testing.T) {
+	_, replica, _, _ := startReplicatedPair(t)
+	_, err := replica.CreateNode([]string{"X"}, nil)
+	if !errors.Is(err, neograph.ErrReadOnlyReplica) {
+		t.Fatalf("err = %v, want ErrReadOnlyReplica", err)
+	}
+	if !strings.Contains(err.Error(), "primary at") {
+		t.Fatalf("redirect error does not name the primary: %v", err)
+	}
+	// Write ops inside an explicit transaction are rejected too.
+	if err := replica.Begin("si"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.SetNodeProp(1, "k", neograph.Int(1)); !errors.Is(err, neograph.ErrReadOnlyReplica) {
+		t.Fatalf("staged write err = %v, want ErrReadOnlyReplica", err)
+	}
+	if err := replica.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadYourWritesAcrossReplica(t *testing.T) {
+	primary, replica, _, _ := startReplicatedPair(t)
+	id, err := primary.CreateNode([]string{"RYW"}, neograph.Props{"v": neograph.Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := primary.LastCommitLSN()
+	if token == 0 {
+		t.Fatal("write response carried no LSN token")
+	}
+	// Gate replica reads on the token: the read must observe the write.
+	replica.ReadAfter(token)
+	n, err := replica.GetNode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := n.Props["v"].AsInt(); v != 7 {
+		t.Fatalf("replica read v=%v", n.Props["v"])
+	}
+}
+
+func TestExplicitCommitReturnsLSN(t *testing.T) {
+	primary, replica, _, _ := startReplicatedPair(t)
+	if err := primary.Begin("si"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := primary.CreateNode(nil, neograph.Props{"v": neograph.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := primary.LastCommitLSN()
+	if err := primary.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	token := primary.LastCommitLSN()
+	if token == 0 || token == before {
+		t.Fatalf("commit token = %d (before %d)", token, before)
+	}
+	replica.ReadAfter(token)
+	if _, err := replica.GetNode(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplStatusOp(t *testing.T) {
+	primary, replica, _, _ := startReplicatedPair(t)
+	// Commit something so positions are non-zero, then gate a replica
+	// read to ensure it is connected and caught up before asserting.
+	if _, err := primary.CreateNode(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	replica.ReadAfter(primary.LastCommitLSN())
+	if _, err := replica.AllNodes(); err != nil {
+		t.Fatal(err)
+	}
+	var pst, rst neograph.ReplStatus
+	raw, err := primary.ReplStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &pst); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = replica.ReplStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rst); err != nil {
+		t.Fatal(err)
+	}
+	if pst.Role != "primary" || len(pst.Replicas) != 1 {
+		t.Fatalf("primary status = %+v", pst)
+	}
+	if rst.Role != "replica" || !rst.Connected || rst.AppliedLSN < pst.DurableLSN {
+		t.Fatalf("replica status = %+v (primary durable %d)", rst, pst.DurableLSN)
+	}
+}
+
+func TestWaitLSNBogusTokenFails(t *testing.T) {
+	_, cl := startServerPersistent(t)
+	if _, err := cl.CreateNode(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A token far beyond the log end must error, not hang or spin.
+	cl.ReadAfter(1 << 40)
+	if _, err := cl.AllNodes(); err == nil {
+		t.Fatal("bogus WaitLSN token succeeded")
+	}
+	cl.ReadAfter(0)
+	if _, err := cl.AllNodes(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startServerPersistent is startServer with a durable store (WaitLSN
+// gating needs a WAL).
+func startServerPersistent(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	db, err := neograph.Open(neograph.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); db.Close() })
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return srv, cl
+}
+
+// ---- wire-protocol error paths (the server must shed broken sessions
+// without wedging) ----
+
+// rawConn dials the server for protocol-level abuse.
+func rawConn(t *testing.T, srv *Server) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// expectClosed asserts the server hangs up on the connection.
+func expectClosed(t *testing.T, conn net.Conn) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 4096)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				t.Fatal("server kept the session open")
+			}
+			return
+		}
+	}
+}
+
+// expectAlive asserts the server still accepts and serves new sessions.
+func expectAlive(t *testing.T, srv *Server) {
+	t.Helper()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("server wedged: %v", err)
+	}
+}
+
+func TestMalformedFrameClosesSessionOnly(t *testing.T) {
+	srv, _ := startServer(t)
+	conn := rawConn(t, srv)
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn)
+	expectAlive(t, srv)
+}
+
+func TestOversizedPayloadClosesSessionOnly(t *testing.T) {
+	srv, _ := startServer(t)
+	conn := rawConn(t, srv)
+	// Stream a single request frame larger than maxRequestBytes. The
+	// server must cut it off rather than buffer it all.
+	w := bufio.NewWriterSize(conn, 1<<16)
+	w.WriteString(`{"op":"ping","key":"`)
+	chunk := strings.Repeat("x", 1<<16)
+	written := 0
+	for written < maxRequestBytes+(1<<20) {
+		if _, err := w.WriteString(chunk); err != nil {
+			break // server already hung up mid-stream: exactly the point
+		}
+		written += len(chunk)
+	}
+	w.WriteString(`"}`)
+	w.Flush()
+	expectClosed(t, conn)
+	expectAlive(t, srv)
+}
+
+func TestMidRequestDisconnectDoesNotWedge(t *testing.T) {
+	srv, _ := startServer(t)
+	conn := rawConn(t, srv)
+	// Half a JSON object, then vanish.
+	if _, err := conn.Write([]byte(`{"op":"create_node","labels":["Per`)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	expectAlive(t, srv)
+}
+
+func TestOpenTxAbortedOnDisconnect(t *testing.T) {
+	srv, cl := startServer(t)
+	if err := cl.Begin("si"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CreateNode([]string{"Orphan"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close() // mid-transaction disconnect
+	// The staged write must not leak into committed state.
+	cl2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	ids, err := cl2.NodesByLabel("Orphan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("disconnected transaction committed %d nodes", len(ids))
 	}
 }

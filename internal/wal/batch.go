@@ -70,6 +70,9 @@ type Batcher struct {
 	draining bool   // Close in progress: cut lingers short
 	err      error  // sticky fsync failure
 	closed   bool
+	// lingerC is non-nil while a flush leader lingers waiting for more
+	// committers; closing it cuts the linger short (batch full, Close).
+	lingerC chan struct{}
 
 	flushes atomic.Uint64
 	synced  atomic.Uint64
@@ -95,6 +98,10 @@ func NewBatcher(s Syncer, opts BatcherOptions) *Batcher {
 func (b *Batcher) WaitDurable(lsn uint64) error {
 	b.mu.Lock()
 	b.waiting++
+	if b.waiting >= b.opts.MaxBatch {
+		// The batch a lingering leader is waiting for is here: flush now.
+		b.cutLingerLocked()
+	}
 	for {
 		switch {
 		case b.err != nil:
@@ -126,23 +133,22 @@ func (b *Batcher) WaitDurable(lsn uint64) error {
 // held; returns with b.mu held.
 func (b *Batcher) flushLocked() {
 	b.flushing = true
-	if b.opts.MaxDelay > 0 && b.waiting < b.opts.MaxBatch {
+	if b.opts.MaxDelay > 0 && b.waiting < b.opts.MaxBatch && !b.draining && !b.closed {
 		// Linger so concurrent committers can append and join this batch.
-		// Sleep in short slices so a full batch or Close cuts the wait off.
-		slice := b.opts.MaxDelay / 8
-		if slice > time.Millisecond {
-			slice = time.Millisecond
-		}
+		// A timer bounds the wait precisely (sub-100µs delays are honoured,
+		// not rounded up to a sleep-slice granularity); a full batch or
+		// Close closes lingerC and cuts the wait short immediately.
+		c := make(chan struct{})
+		b.lingerC = c
 		b.mu.Unlock()
-		deadline := time.Now().Add(b.opts.MaxDelay)
-		for {
-			time.Sleep(slice)
-			b.mu.Lock()
-			if b.waiting >= b.opts.MaxBatch || b.closed || b.draining || !time.Now().Before(deadline) {
-				break
-			}
-			b.mu.Unlock()
+		t := time.NewTimer(b.opts.MaxDelay)
+		select {
+		case <-c:
+			t.Stop()
+		case <-t.C:
 		}
+		b.mu.Lock()
+		b.lingerC = nil
 		b.mu.Unlock()
 	} else {
 		b.mu.Unlock()
@@ -170,6 +176,15 @@ func (b *Batcher) flushLocked() {
 	b.cond.Broadcast()
 }
 
+// cutLingerLocked wakes a lingering flush leader early. Called with b.mu
+// held.
+func (b *Batcher) cutLingerLocked() {
+	if b.lingerC != nil {
+		close(b.lingerC)
+		b.lingerC = nil
+	}
+}
+
 // Stats snapshots flush counters.
 func (b *Batcher) Stats() BatcherStats {
 	return BatcherStats{Flushes: b.flushes.Load(), SyncedCommits: b.synced.Load()}
@@ -195,6 +210,7 @@ func (b *Batcher) Close() error {
 		return ErrClosed
 	}
 	b.draining = true // cuts a lingering leader short
+	b.cutLingerLocked()
 	for b.flushing {
 		b.cond.Wait()
 	}

@@ -243,3 +243,94 @@ func TestBatcherDurableAcrossRotation(t *testing.T) {
 		t.Fatalf("expected rotations, got %d segment(s) in %s", len(segs), filepath.Join(dir))
 	}
 }
+
+// TestLingerCutShortByFullBatch would hang for an hour if a full batch
+// did not cut the timer-based linger short.
+func TestLingerCutShortByFullBatch(t *testing.T) {
+	w, _ := openTestWAL(t, Options{})
+	defer w.Close()
+	b := NewBatcher(w, BatcherOptions{MaxDelay: time.Hour, MaxBatch: 2})
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := w.Append([]byte{byte(i)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.WaitDurable(lsn); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("full batch did not cut the linger short")
+	}
+}
+
+// TestLingerCutShortByClose: a lone committer lingering out a huge delay
+// is flushed promptly when the batcher drains.
+func TestLingerCutShortByClose(t *testing.T) {
+	w, _ := openTestWAL(t, Options{})
+	defer w.Close()
+	b := NewBatcher(w, BatcherOptions{MaxDelay: time.Hour, MaxBatch: 64})
+	res := make(chan error, 1)
+	lsn, err := w.Append([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { res <- b.WaitDurable(lsn) }()
+	// Wait for the leader to start lingering, then drain.
+	for {
+		b.mu.Lock()
+		lingering := b.lingerC != nil
+		b.mu.Unlock()
+		if lingering {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-res:
+		// The drain flush must cover the committer, not fail it.
+		if err != nil {
+			t.Fatalf("WaitDurable = %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not cut the linger short")
+	}
+	if b.Stats().Flushes == 0 {
+		t.Fatal("no flush issued")
+	}
+}
+
+// TestSubMillisecondLinger: a tiny MaxDelay expires on its own timer, not
+// a coarse sleep-slice floor — the commit completes far faster than the
+// old 8-slice loop's worst case would allow for long delays.
+func TestSubMillisecondLinger(t *testing.T) {
+	w, _ := openTestWAL(t, Options{})
+	defer w.Close()
+	b := NewBatcher(w, BatcherOptions{MaxDelay: 50 * time.Microsecond, MaxBatch: 1 << 20})
+	defer b.Close()
+	lsn, err := w.Append([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := b.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("50µs linger took %v", d)
+	}
+}

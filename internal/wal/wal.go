@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Options tune the log.
@@ -46,12 +48,24 @@ const DefaultSegmentSize = 16 << 20
 
 const frameHeader = 8 // length + crc
 
+// FrameOverhead is the number of framing bytes that precede each record's
+// payload. A record appended at LSN l with payload p occupies the byte
+// range [l, l+FrameOverhead+len(p)); the upper bound is the record's end
+// position — the token replication and read-your-writes waiting use.
+const FrameOverhead = frameHeader
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Errors.
 var (
-	ErrClosed    = errors.New("wal: closed")
-	ErrTooLarge  = errors.New("wal: record exceeds segment size")
+	ErrClosed   = errors.New("wal: closed")
+	ErrTooLarge = errors.New("wal: record exceeds segment size")
+	// ErrTruncated reports that a requested read position predates the
+	// oldest retained segment (checkpointing removed it). A replica this
+	// far behind cannot catch up from the log and must be re-seeded.
+	ErrTruncated = errors.New("wal: position predates oldest retained segment")
+	// ErrCanceled reports that a WaitShippable call was canceled.
+	ErrCanceled  = errors.New("wal: wait canceled")
 	errBadHeader = errors.New("wal: bad segment file name")
 )
 
@@ -80,6 +94,15 @@ type WAL struct {
 	// be trusted to mean the earlier records are durable: the log is
 	// poisoned and every subsequent Append/Sync fails with this error.
 	failErr error
+	// durable is the durability horizon: every byte below it has been
+	// covered by a successful fsync (or was found on disk at Open). It is
+	// the position replication ships up to — a replica never applies a
+	// record its primary could still lose.
+	durable uint64
+	// notifyC, when non-nil, is closed whenever the shippable horizon
+	// advances (durable moves, or any append under NoSync) and at Close,
+	// waking WaitShippable callers. Lazily created by the first waiter.
+	notifyC chan struct{}
 }
 
 // Open opens (creating if needed) the log in dir. Existing segments are
@@ -124,7 +147,35 @@ func Open(dir string, opts Options) (*WAL, error) {
 	w.start = last
 	w.size = validLen
 	w.nextLSN = last + uint64(validLen)
+	// Everything that survived on disk is, by definition, durable.
+	w.durable = w.nextLSN
 	return w, nil
+}
+
+// wakeLocked wakes WaitShippable callers. Caller holds w.mu.
+func (w *WAL) wakeLocked() {
+	if w.notifyC != nil {
+		close(w.notifyC)
+		w.notifyC = nil
+	}
+}
+
+// markDurableLocked advances the durability horizon. Caller holds w.mu.
+func (w *WAL) markDurableLocked(pos uint64) {
+	if pos > w.durable {
+		w.durable = pos
+		w.wakeLocked()
+	}
+}
+
+// shippableLocked is the horizon up to which records may be shipped to a
+// replica: the durable position, or — when fsync is disabled and nothing
+// is ever formally durable — everything appended. Caller holds w.mu.
+func (w *WAL) shippableLocked() uint64 {
+	if w.opts.NoSync {
+		return w.nextLSN
+	}
+	return w.durable
 }
 
 // segmentName renders the canonical file name for a segment starting at lsn.
@@ -195,6 +246,8 @@ func (w *WAL) rotateLocked(lsn uint64) error {
 				w.failErr = err
 				return err
 			}
+			// The seal fsync covered every record appended so far.
+			w.markDurableLocked(w.nextLSN)
 		}
 		if err := w.active.Close(); err != nil {
 			return err
@@ -243,6 +296,10 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	}
 	w.size += frame
 	w.nextLSN += uint64(frame)
+	if w.opts.NoSync {
+		// With fsync disabled the shippable horizon is the append horizon.
+		w.wakeLocked()
+	}
 	return lsn, nil
 }
 
@@ -266,6 +323,9 @@ func (w *WAL) Sync() error {
 		return nil
 	}
 	f := w.active
+	// Records appended before this point are covered by the fsync below;
+	// later appends may be too, but this is the bound we can prove.
+	target := w.nextLSN
 	w.mu.Unlock()
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
@@ -279,6 +339,7 @@ func (w *WAL) Sync() error {
 		if w.failErr != nil {
 			return fmt.Errorf("wal: log poisoned by earlier fsync failure: %w", w.failErr)
 		}
+		w.markDurableLocked(target)
 		return nil
 	}
 	// The segment may have been sealed while we synced: rotation and Close
@@ -329,24 +390,178 @@ func (w *WAL) ForEach(fn func(lsn uint64, payload []byte) error) error {
 		if err != nil {
 			return fmt.Errorf("wal: replay: %w", err)
 		}
-		off := int64(0)
-		for {
-			if int64(len(data))-off < frameHeader {
-				break
-			}
-			length := binary.LittleEndian.Uint32(data[off:])
-			crc := binary.LittleEndian.Uint32(data[off+4:])
-			end := off + frameHeader + int64(length)
-			if end > int64(len(data)) || crc32.Checksum(data[off+frameHeader:end], castagnoli) != crc {
-				break // torn tail
-			}
-			if err := fn(start+uint64(off), data[off+frameHeader:end]); err != nil {
-				return err
-			}
-			off = end
+		if _, err := scanFrames(data, start, 0, ^uint64(0), false, fn); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// scanFrames iterates the frames in one segment's bytes, starting at byte
+// offset off, calling fn(lsn, payload) for every record whose LSN is below
+// stop. In strict mode a torn or corrupt frame is an error; otherwise it
+// ends the scan silently (replay semantics: the torn tail was never
+// acknowledged). Returns the offset one past the last frame consumed.
+func scanFrames(data []byte, segStart uint64, off int64, stop uint64, strict bool, fn func(lsn uint64, payload []byte) error) (int64, error) {
+	for {
+		lsn := segStart + uint64(off)
+		if lsn >= stop {
+			return off, nil
+		}
+		if int64(len(data))-off < frameHeader {
+			if strict && int64(len(data)) != off {
+				return off, fmt.Errorf("wal: torn frame header at lsn %d", lsn)
+			}
+			return off, nil
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		end := off + frameHeader + int64(length)
+		if end > int64(len(data)) || crc32.Checksum(data[off+frameHeader:end], castagnoli) != crc {
+			if strict {
+				return off, fmt.Errorf("wal: corrupt frame at lsn %d", lsn)
+			}
+			return off, nil // torn tail
+		}
+		if err := fn(lsn, data[off+frameHeader:end]); err != nil {
+			return off, err
+		}
+		off = end
+	}
+}
+
+// DurableLSN returns the durability horizon: the position one past the
+// last byte known to be fsynced (with NoSync, one past the last append).
+func (w *WAL) DurableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.shippableLocked()
+}
+
+// WaitShippable blocks until the shippable horizon advances past `after`,
+// a timeout elapses (timeout > 0), or cancel is closed. It returns the
+// current horizon — on timeout possibly still equal to `after` (callers
+// use the timeout path to emit heartbeats). The returned error is
+// ErrClosed after Close, ErrCanceled on cancel, or the sticky fsync
+// poison (no further records can ever become durable).
+func (w *WAL) WaitShippable(after uint64, timeout time.Duration, cancel <-chan struct{}) (uint64, error) {
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timerC = t.C
+	}
+	for {
+		w.mu.Lock()
+		pos := w.shippableLocked()
+		switch {
+		case pos > after:
+			w.mu.Unlock()
+			return pos, nil
+		case w.closed:
+			w.mu.Unlock()
+			return pos, ErrClosed
+		case w.failErr != nil:
+			err := w.failErr
+			w.mu.Unlock()
+			return pos, fmt.Errorf("wal: log poisoned by earlier fsync failure: %w", err)
+		}
+		if w.notifyC == nil {
+			w.notifyC = make(chan struct{})
+		}
+		c := w.notifyC
+		w.mu.Unlock()
+		select {
+		case <-c:
+		case <-timerC:
+			return w.DurableLSN(), nil
+		case <-cancel:
+			return pos, ErrCanceled
+		}
+	}
+}
+
+// ReadRange replays every record with from <= lsn < to in order, reusing
+// ForEach's frame decoding. Both bounds must be frame boundaries (record
+// LSNs or record end positions); `to` must not exceed the shippable
+// horizon. Unlike ForEach, a torn or corrupt frame inside the range is an
+// error — the caller asked for records that are claimed durable. Returns
+// ErrTruncated when `from` predates the oldest retained segment.
+func (w *WAL) ReadRange(from, to uint64, fn func(lsn uint64, payload []byte) error) error {
+	if from >= to {
+		return nil
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	segs, err := listSegments(w.dir)
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// The segment holding `from` is the last one starting at or before it.
+	first := -1
+	for i, s := range segs {
+		if s <= from {
+			first = i
+		} else {
+			break
+		}
+	}
+	if first < 0 {
+		return fmt.Errorf("%w: want %d, oldest segment starts later", ErrTruncated, from)
+	}
+	pos := from
+	for i := first; i < len(segs) && segs[i] < to; i++ {
+		// Read only the [pos, to) window of the segment — the live tail
+		// ships small batches out of a large active segment, and loading
+		// the whole file per batch would make shipping O(segment size).
+		data, err := readSegmentRange(filepath.Join(w.dir, segmentName(segs[i])), segs[i], pos, to)
+		if err != nil {
+			return err
+		}
+		end, err := scanFrames(data, pos, 0, to, true, fn)
+		if err != nil {
+			return err
+		}
+		pos += uint64(end)
+	}
+	if pos < to {
+		return fmt.Errorf("wal: read range ends at %d, want %d", pos, to)
+	}
+	return nil
+}
+
+// readSegmentRange returns the segment's bytes from position pos up to at
+// most position to (both global LSNs; the segment starts at segStart).
+func readSegmentRange(path string, segStart, pos, to uint64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read range: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("wal: read range: %w", err)
+	}
+	off := int64(0)
+	if segStart < pos {
+		off = int64(pos - segStart)
+		if off > st.Size() {
+			return nil, fmt.Errorf("wal: read range: position %d beyond segment %d", pos, segStart)
+		}
+	}
+	n := st.Size() - off
+	if max := int64(to - (segStart + uint64(off))); n > max {
+		n = max
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, n), buf); err != nil {
+		return nil, fmt.Errorf("wal: read range: %w", err)
+	}
+	return buf, nil
 }
 
 // Rotate closes the active segment and starts a fresh one at the current
@@ -417,12 +632,14 @@ func (w *WAL) Close() error {
 		return ErrClosed
 	}
 	w.closed = true
+	defer w.wakeLocked() // waiters must observe closed
 	if !w.opts.NoSync {
 		if err := w.active.Sync(); err != nil {
 			w.failErr = err
 			w.active.Close()
 			return err
 		}
+		w.markDurableLocked(w.nextLSN)
 	}
 	return w.active.Close()
 }

@@ -1,11 +1,14 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 )
 
 func openTestWAL(t *testing.T, opts Options) (*WAL, string) {
@@ -252,5 +255,214 @@ func TestEmptyPayload(t *testing.T) {
 	_, got := collect(t, w)
 	if len(got) != 1 || got[0] != "" {
 		t.Fatalf("empty payload replay: %q", got)
+	}
+}
+
+func TestDurableLSNAdvances(t *testing.T) {
+	w, _ := openTestWAL(t, Options{})
+	defer w.Close()
+	if got := w.DurableLSN(); got != 0 {
+		t.Fatalf("fresh log durable = %d", got)
+	}
+	lsn, err := w.Append([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.DurableLSN(); got != 0 {
+		t.Fatalf("durable advanced before sync: %d", got)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	end := lsn + FrameOverhead + 5
+	if got := w.DurableLSN(); got != end {
+		t.Fatalf("durable = %d, want %d", got, end)
+	}
+	if got := w.NextLSN(); got != end {
+		t.Fatalf("next = %d, want %d", got, end)
+	}
+}
+
+func TestDurableSurvivesReopen(t *testing.T) {
+	w, dir := openTestWAL(t, Options{})
+	w.Append([]byte("one"))
+	w.Append([]byte("two"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.DurableLSN() != w2.NextLSN() {
+		t.Fatalf("reopened log: durable %d != next %d", w2.DurableLSN(), w2.NextLSN())
+	}
+}
+
+func TestReadRange(t *testing.T) {
+	// Small segments so the range spans sealed segments plus the active one.
+	w, _ := openTestWAL(t, Options{SegmentSize: 64})
+	defer w.Close()
+	var lsns []uint64
+	for i := 0; i < 12; i++ {
+		lsn, err := w.Append([]byte(fmt.Sprintf("record-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	to := w.DurableLSN()
+
+	// Full range.
+	var got []uint64
+	err := w.ReadRange(0, to, func(lsn uint64, p []byte) error {
+		got = append(got, lsn)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(lsns) {
+		t.Fatalf("read %d records, want %d", len(got), len(lsns))
+	}
+	for i := range lsns {
+		if got[i] != lsns[i] {
+			t.Fatalf("lsn[%d] = %d, want %d", i, got[i], lsns[i])
+		}
+	}
+
+	// Mid-log start at a record boundary inside a later segment.
+	got = got[:0]
+	err = w.ReadRange(lsns[7], to, func(lsn uint64, p []byte) error {
+		got = append(got, lsn)
+		if string(p) != fmt.Sprintf("record-%02d", 7+len(got)-1) {
+			t.Errorf("payload at %d = %q", lsn, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("read %d records from lsn[7], want 5", len(got))
+	}
+
+	// Empty range is a no-op.
+	if err := w.ReadRange(to, to, func(uint64, []byte) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRangeTruncated(t *testing.T) {
+	w, _ := openTestWAL(t, Options{SegmentSize: 64})
+	defer w.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	cut := w.NextLSN()
+	w.Append([]byte("tail"))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TruncateBefore(cut); err != nil {
+		t.Fatal(err)
+	}
+	err := w.ReadRange(0, w.DurableLSN(), func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	// Reading from the cut still works.
+	n := 0
+	if err := w.ReadRange(cut, w.DurableLSN(), func(uint64, []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("read %d records after cut, want 1", n)
+	}
+}
+
+func TestWaitShippable(t *testing.T) {
+	w, _ := openTestWAL(t, Options{})
+	defer w.Close()
+
+	// Already-shippable data returns immediately.
+	w.Append([]byte("x"))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := w.WaitShippable(0, 0, nil)
+	if err != nil || pos != w.DurableLSN() {
+		t.Fatalf("WaitShippable = %d, %v", pos, err)
+	}
+
+	// A blocked waiter is woken by a later sync.
+	after := w.DurableLSN()
+	done := make(chan uint64, 1)
+	go func() {
+		pos, err := w.WaitShippable(after, 0, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- pos
+	}()
+	w.Append([]byte("y"))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if pos := <-done; pos != w.DurableLSN() {
+		t.Fatalf("woken at %d, want %d", pos, w.DurableLSN())
+	}
+
+	// Timeout returns without error even with no new data.
+	pos, err = w.WaitShippable(w.DurableLSN(), time.Millisecond, nil)
+	if err != nil || pos != w.DurableLSN() {
+		t.Fatalf("timeout wait = %d, %v", pos, err)
+	}
+
+	// Cancel unblocks with ErrCanceled.
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := w.WaitShippable(w.DurableLSN(), 0, cancel); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestWaitShippableClosedWakes(t *testing.T) {
+	w, _ := openTestWAL(t, Options{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.WaitShippable(1<<40, 0, nil)
+		done <- err
+	}()
+	// Let the waiter park, then close.
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestNoSyncShippableIsAppendHorizon(t *testing.T) {
+	w, _ := openTestWAL(t, Options{NoSync: true})
+	defer w.Close()
+	lsn, err := w.Append([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.DurableLSN(); got != lsn+FrameOverhead+1 {
+		t.Fatalf("NoSync durable = %d, want %d", got, lsn+FrameOverhead+1)
 	}
 }

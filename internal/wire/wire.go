@@ -52,6 +52,7 @@ const (
 	OpStats        = "stats"
 	OpGC           = "gc"
 	OpCheckpoint   = "checkpoint"
+	OpReplStatus   = "repl_status"
 )
 
 // Request is one client command.
@@ -69,6 +70,12 @@ type Request struct {
 	Start     uint64          `json:"start,omitempty"`
 	End       uint64          `json:"end,omitempty"`
 	Dir       string          `json:"dir,omitempty"` // "out" | "in" | "both"
+	// WaitLSN gates a read on the log position: a replica waits until it
+	// has applied the primary's log to this position (read-your-writes —
+	// pass the LSN a write response returned); a primary waits until the
+	// position is durable (opt-in gate against acting on unsynced
+	// commits). Zero means no gating.
+	WaitLSN uint64 `json:"wait_lsn,omitempty"`
 }
 
 // NodeJSON is a node snapshot on the wire.
@@ -96,7 +103,11 @@ type Response struct {
 	Rel   *RelJSON        `json:"rel,omitempty"`
 	Rels  []RelJSON       `json:"rels,omitempty"`
 	IDs   []uint64        `json:"ids,omitempty"`
-	Info  json.RawMessage `json:"info,omitempty"` // stats / gc reports
+	Info  json.RawMessage `json:"info,omitempty"` // stats / gc / repl reports
+	// LSN is the commit record's end position, returned by commit and by
+	// auto-committed writes — the token for read-your-writes gating
+	// (Request.WaitLSN) on replicas and for durable-read gating.
+	LSN uint64 `json:"lsn,omitempty"`
 }
 
 // EncodeValue renders a value in the tagged JSON form.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -152,5 +153,59 @@ func randomWireValue(r *rand.Rand, depth int) value.Value {
 			elems[i] = randomWireValue(r, depth-1)
 		}
 		return value.List(elems...)
+	}
+}
+
+func TestLSNFieldsRoundTrip(t *testing.T) {
+	req := Request{Op: OpGetNode, ID: 7, WaitLSN: 12345}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backReq Request
+	if err := json.Unmarshal(raw, &backReq); err != nil {
+		t.Fatal(err)
+	}
+	if backReq.WaitLSN != 12345 {
+		t.Fatalf("WaitLSN = %d", backReq.WaitLSN)
+	}
+	resp := Response{OK: true, LSN: 67890}
+	raw, err = json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backResp Response
+	if err := json.Unmarshal(raw, &backResp); err != nil {
+		t.Fatal(err)
+	}
+	if backResp.LSN != 67890 {
+		t.Fatalf("LSN = %d", backResp.LSN)
+	}
+	// Zero LSN is omitted: clients treat absence as "no token".
+	raw, _ = json.Marshal(Response{OK: true})
+	if strings.Contains(string(raw), "lsn") {
+		t.Fatalf("zero LSN serialised: %s", raw)
+	}
+}
+
+func TestDecodeValueMoreErrors(t *testing.T) {
+	cases := []string{
+		`{"f": "not-a-float"}`,
+		`{"sx": "zz"}`,       // bad hex in sx
+		`{"l": 42}`,          // list tag, non-array payload
+		`{"l": [{"i":"x"}]}`, // bad element inside a list
+		`{"b": 1}`,           // bool tag, numeric payload
+		`"bare string"`,      // not an object
+		`{}`,                 // no tag at all
+		`{"i": 5}`,           // int tag must carry a string
+	}
+	for _, c := range cases {
+		if _, err := DecodeValue(json.RawMessage(c)); err == nil {
+			t.Errorf("DecodeValue(%s) succeeded", c)
+		}
+	}
+	// Props with one bad value fail as a whole.
+	if _, err := DecodeProps(json.RawMessage(`{"k": {"x": "zz"}}`)); err == nil {
+		t.Error("DecodeProps with bad hex succeeded")
 	}
 }

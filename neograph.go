@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"neograph/internal/core"
+	"neograph/internal/repl"
 )
 
 // Isolation levels for transactions.
@@ -78,6 +79,9 @@ var (
 	ErrTxDone        = core.ErrTxDone
 	ErrHasRels       = core.ErrHasRels
 	ErrClosed        = core.ErrClosed
+	// ErrReadOnlyReplica rejects writes on a database opened with
+	// ReplicaOf: writes must go to the primary.
+	ErrReadOnlyReplica = core.ErrReadOnlyReplica
 )
 
 // NodeID identifies a node; RelID a relationship.
@@ -124,15 +128,35 @@ type Options struct {
 	CheckpointInterval time.Duration
 	// CachePages is the page-cache capacity per store file (advanced).
 	CachePages int
+	// ReplicaOf opens the database as a read-only replica streaming the
+	// WAL from the primary's replication address (see ReplicationAddr).
+	// The replica serves snapshot-isolated reads at its applied position;
+	// writes fail with ErrReadOnlyReplica. Requires Dir.
+	ReplicaOf string
+	// ReplicationAddr, on a primary, listens on this address and streams
+	// the WAL to any number of replicas (":0" picks a free port —
+	// ReplicationAddress reports it). Requires Dir.
+	ReplicationAddr string
+	// WALSegmentSize overrides the WAL segment rotation size (testing and
+	// replication experiments; zero = 16 MiB default).
+	WALSegmentSize int64
 }
 
 // DB is a neograph database handle, safe for concurrent use.
 type DB struct {
-	e *core.Engine
+	e       *core.Engine
+	applier *repl.Applier // replica mode: the stream applier
+	shipper *repl.Shipper // primary mode: the WAL shipper
 }
 
 // Open opens (creating or recovering as needed) a database.
 func Open(opts Options) (*DB, error) {
+	if opts.ReplicaOf != "" && opts.ReplicationAddr != "" {
+		return nil, errors.New("neograph: cascading replication (ReplicaOf + ReplicationAddr) is not supported")
+	}
+	if (opts.ReplicaOf != "" || opts.ReplicationAddr != "") && opts.Dir == "" {
+		return nil, errors.New("neograph: replication requires a persistent Dir")
+	}
 	e, err := core.Open(core.Options{
 		Dir:              opts.Dir,
 		DefaultIsolation: opts.Isolation,
@@ -145,15 +169,55 @@ func Open(opts Options) (*DB, error) {
 		GCEvery:          opts.GCInterval,
 		CheckpointEvery:  opts.CheckpointInterval,
 		StoreCachePages:  opts.CachePages,
+		Replica:          opts.ReplicaOf != "",
+		WALSegmentSize:   opts.WALSegmentSize,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &DB{e: e}, nil
+	db := &DB{e: e}
+	if opts.ReplicaOf != "" {
+		a, err := repl.NewApplier(e, opts.ReplicaOf, repl.ApplierOptions{})
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		a.Start()
+		db.applier = a
+	}
+	if opts.ReplicationAddr != "" {
+		s, err := repl.NewShipper(e, opts.ReplicationAddr, repl.ShipperOptions{})
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		db.shipper = s
+	}
+	return db, nil
 }
 
-// Close checkpoints and closes the database.
-func (db *DB) Close() error { return db.e.Close() }
+// Close stops replication, checkpoints and closes the database.
+func (db *DB) Close() error {
+	db.stopRepl()
+	return db.e.Close()
+}
+
+// Crash simulates a process crash for recovery and failover tests:
+// replication endpoints are torn down and files are closed without
+// flushing caches (see Engine.Crash).
+func (db *DB) Crash() error {
+	db.stopRepl()
+	return db.e.Crash()
+}
+
+func (db *DB) stopRepl() {
+	if db.applier != nil {
+		db.applier.Close()
+	}
+	if db.shipper != nil {
+		db.shipper.Close()
+	}
+}
 
 // Begin starts a transaction at the database's default isolation level.
 func (db *DB) Begin() *Tx { return &Tx{t: db.e.Begin()} }
@@ -222,6 +286,92 @@ func (db *DB) GCBacklog() int { return db.e.GCBacklog() }
 
 // Watermark returns the newest stable commit timestamp.
 func (db *DB) Watermark() uint64 { return db.e.Watermark() }
+
+// ---- replication ----
+
+// ReplStatus describes a database's replication role and progress.
+type ReplStatus struct {
+	// Role is "primary" (shipping its WAL), "replica", or "standalone".
+	Role string `json:"role"`
+	// DurableLSN is the local WAL durability horizon (end position).
+	DurableLSN uint64 `json:"durable_lsn"`
+	// AppliedLSN is one past the last WAL record held locally; on a
+	// replica, how much of the primary's log has been applied.
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// Replica-side details (Role == "replica").
+	PrimaryAddr    string `json:"primary_addr,omitempty"`
+	Connected      bool   `json:"connected,omitempty"`
+	PrimaryDurable uint64 `json:"primary_durable,omitempty"`
+	LastError      string `json:"last_error,omitempty"`
+	// Primary-side details (Role == "primary").
+	ReplicationAddr string             `json:"replication_addr,omitempty"`
+	Replicas        []repl.ReplicaInfo `json:"replicas,omitempty"`
+}
+
+// IsReplica reports whether the database was opened with ReplicaOf.
+func (db *DB) IsReplica() bool { return db.applier != nil }
+
+// PrimaryAddr returns the primary's replication address on a replica.
+func (db *DB) PrimaryAddr() string {
+	if db.applier == nil {
+		return ""
+	}
+	return db.applier.Status().PrimaryAddr
+}
+
+// ReplicationAddress returns the bound WAL-shipping address on a primary
+// (useful with ReplicationAddr ":0").
+func (db *DB) ReplicationAddress() string {
+	if db.shipper == nil {
+		return ""
+	}
+	return db.shipper.Addr()
+}
+
+// ReplStatus snapshots replication state for status endpoints.
+func (db *DB) ReplStatus() ReplStatus {
+	st := ReplStatus{
+		Role:       "standalone",
+		DurableLSN: db.e.DurableLSN(),
+		AppliedLSN: db.e.AppliedLSN(),
+	}
+	switch {
+	case db.applier != nil:
+		as := db.applier.Status()
+		st.Role = "replica"
+		st.PrimaryAddr = as.PrimaryAddr
+		st.Connected = as.Connected
+		st.PrimaryDurable = as.PrimaryDurable
+		st.LastError = as.LastError
+	case db.shipper != nil:
+		st.Role = "primary"
+		st.ReplicationAddr = db.shipper.Addr()
+		st.Replicas = db.shipper.Replicas()
+	}
+	return st
+}
+
+// DurableLSN returns the WAL durability horizon (an end position).
+func (db *DB) DurableLSN() uint64 { return db.e.DurableLSN() }
+
+// AppliedLSN returns one past the last WAL record held locally.
+func (db *DB) AppliedLSN() uint64 { return db.e.AppliedLSN() }
+
+// WaitDurable blocks until the WAL durability horizon reaches pos — the
+// opt-in read gate for callers that must not act on a commit a crash
+// could still erase. Pass a Tx.CommitLSN token; zero returns immediately.
+func (db *DB) WaitDurable(pos uint64) error { return db.e.WaitDurable(pos) }
+
+// WaitApplied blocks until this replica has applied the primary's log up
+// to pos (a Tx.CommitLSN token from the primary) — the read-your-writes
+// gate. A zero timeout waits indefinitely. On a non-replica it falls
+// back to WaitDurable: the local log *is* the source of truth there.
+func (db *DB) WaitApplied(pos uint64, timeout time.Duration) error {
+	if db.applier == nil {
+		return db.e.WaitDurable(pos)
+	}
+	return db.applier.WaitApplied(pos, timeout)
+}
 
 // Engine exposes the underlying engine for advanced uses (the bench
 // harness reads store file sizes through it).

@@ -40,6 +40,12 @@ func (tx *Tx) Abort() error { return tx.t.Abort() }
 // StartTS exposes the snapshot timestamp (0 under read committed).
 func (tx *Tx) StartTS() uint64 { return tx.t.StartTS() }
 
+// CommitLSN returns the end position of the commit's WAL record after a
+// successful Commit (0 for read-only transactions or in-memory
+// databases). It is the read-your-writes token: hand it to a replica's
+// WaitApplied — or to WaitDurable — before reading.
+func (tx *Tx) CommitLSN() uint64 { return tx.t.CommitLSN() }
+
 // CreateNode creates a node with labels and properties, private to this
 // transaction until commit.
 func (tx *Tx) CreateNode(labels []string, props Props) (NodeID, error) {
