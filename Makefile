@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-repl bench bench-smoke lint fmt clean
+.PHONY: all build test race race-repl race-failover bench bench-smoke lint fmt clean
 
 all: build test
 
@@ -22,6 +22,11 @@ race:
 ## race-repl: the primary+replica integration tests, twice, under race
 race-repl:
 	$(GO) test -race -count=2 -run 'TestReplica|TestReplication|TestShipper|TestReadYourWrites|TestBehindHorizon' ./internal/repl/... ./internal/server/...
+
+## race-failover: crash-matrix + promotion + divergence fault-injection tests under race
+race-failover:
+	$(GO) test -race -run 'TestCrashMatrix|TestPromot|TestDivergence|TestReconnectConverges|TestSyncReplicas|TestJittered' ./internal/repl/... ./internal/server/...
+	$(GO) test -race ./internal/faultfs/...
 
 ## bench: the full experiment suite (minutes)
 bench: build

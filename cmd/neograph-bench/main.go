@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: E1..E9, E2d, F1 or all")
+		exp      = flag.String("exp", "all", "experiment to run: E1..E10, E2d, F1 or all")
 		quick    = flag.Bool("quick", false, "small configurations (seconds, not minutes)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonPath = flag.String("json", "", "write structured results to this file")
@@ -161,12 +161,20 @@ func main() {
 			Seed:     *seed,
 		})
 	})
+	run("E10", func() (any, error) {
+		return bench.RunE10(w, bench.E10Config{
+			Commits:    scale(300, 60),
+			Replicas:   2,
+			SyncLevels: []int{0, 1, 2},
+			Seed:       *seed,
+		})
+	})
 	run("F1", func() (any, error) {
 		return nil, bench.RunF1(w, scale(5_000, 500), *seed)
 	})
 
 	if matched == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9, E2d, F1 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E10, E2d, F1 or all)\n", *exp)
 		os.Exit(2)
 	}
 

@@ -43,7 +43,9 @@ func main() {
 		gcEvery   = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
 		ckpEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
 		replAddr  = flag.String("repl-addr", "", "primary: stream the WAL to replicas on this address")
-		replicaOf = flag.String("replica-of", "", "replica: stream the WAL from this primary replication address (read-only)")
+		replicaOf = flag.String("replica-of", "", "replica: stream the WAL from this primary replication address (read-only; promote with the 'promote' wire op)")
+		syncReps  = flag.Int("sync-replicas", 0, "primary: acknowledge a commit only after this many replicas durably acked it (0 = async)")
+		syncTmo   = flag.Duration("sync-timeout", 0, "primary: degrade a waiting commit to async after this long (0 = 1s default, negative = never)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,8 @@ func main() {
 		CheckpointInterval: *ckpEvery,
 		ReplicationAddr:    *replAddr,
 		ReplicaOf:          *replicaOf,
+		SyncReplicas:       *syncReps,
+		SyncReplicaTimeout: *syncTmo,
 	}
 	if *rc {
 		opts.Isolation = neograph.ReadCommitted
@@ -80,9 +84,13 @@ func main() {
 		srv.Addr(), mode, opts.Isolation, opts.Conflict)
 	switch {
 	case db.IsReplica():
-		fmt.Printf("replica of %s (read-only; writes are redirected)\n", *replicaOf)
+		fmt.Printf("replica of %s (read-only; writes are redirected; promote via the 'promote' op)\n", *replicaOf)
 	case *replAddr != "":
-		fmt.Printf("shipping WAL to replicas on %s\n", db.ReplicationAddress())
+		mode := "async"
+		if *syncReps > 0 {
+			mode = fmt.Sprintf("sync quorum %d", *syncReps)
+		}
+		fmt.Printf("shipping WAL to replicas on %s (%s)\n", db.ReplicationAddress(), mode)
 	}
 
 	sig := make(chan os.Signal, 1)

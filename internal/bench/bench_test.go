@@ -444,3 +444,33 @@ func TestE9ReplicaScaling(t *testing.T) {
 		t.Errorf("lag p50 %v > max %v", two.LagP50, two.LagMax)
 	}
 }
+
+func TestE10SyncReplicationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed experiment")
+	}
+	rows, err := RunE10(io.Discard, E10Config{
+		Commits: 40, Replicas: 1, SyncLevels: []int{0, 1}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	async, quorum := rows[0], rows[1]
+	if async.Mean <= 0 || quorum.Mean <= 0 {
+		t.Fatalf("no latency measured: %+v", rows)
+	}
+	// The robust claim: every quorum commit actually assembled its quorum
+	// (no degrades) in a healthy group. The latency ordering (quorum p50
+	// above async p50) holds on real hardware but is a timed comparison
+	// of 40 commits — too noisy to hard-assert on a loaded 1-CPU CI box,
+	// so it is only logged.
+	if quorum.Degraded != 0 || async.Degraded != 0 {
+		t.Fatalf("degraded commits in a healthy group: %+v", rows)
+	}
+	if quorum.P50 < async.P50 {
+		t.Logf("note: quorum p50 %v below async p50 %v (noisy box?)", quorum.P50, async.P50)
+	}
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"neograph"
+)
+
+// E10Config parameterises the synchronous-replication latency experiment.
+type E10Config struct {
+	// Commits is the number of sequential committed transactions timed
+	// per quorum level.
+	Commits int
+	// Replicas is how many replicas are attached in every configuration
+	// (held constant so only the ack gating varies between rows). Must be
+	// >= the largest quorum swept.
+	Replicas int
+	// SyncLevels are the SyncReplicas settings swept; 0 is the async
+	// baseline.
+	SyncLevels []int
+	Seed       int64
+}
+
+// E10Row is one quorum level's measurements.
+type E10Row struct {
+	SyncReplicas int `json:"sync_replicas"`
+	Replicas     int `json:"replicas"`
+	Commits      int `json:"commits"`
+	// Commit latency distribution: what one synchronous writer pays per
+	// acknowledged commit at this quorum level.
+	P50  time.Duration `json:"p50"`
+	P95  time.Duration `json:"p95"`
+	Max  time.Duration `json:"max"`
+	Mean time.Duration `json:"mean"`
+	// CommitsPS is the sequential acknowledged-commit rate (1/mean).
+	CommitsPS float64 `json:"commits_per_sec"`
+	// Degraded counts commits acknowledged without their quorum — must
+	// stay 0 with healthy replicas or the latency numbers are fiction.
+	Degraded uint64 `json:"degraded"`
+}
+
+// RunE10 measures commit latency versus the synchronous-replication
+// quorum (E10: the price of "an acknowledged commit survives primary
+// loss"). Every configuration runs the same sequential write workload
+// against a fresh primary with the same number of connected replicas;
+// only SyncReplicas varies, adding the replica fsync + ack round trip to
+// each commit at quorum >= 1.
+func RunE10(w io.Writer, cfg E10Config) ([]E10Row, error) {
+	if cfg.Commits <= 0 {
+		cfg.Commits = 200
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if len(cfg.SyncLevels) == 0 {
+		cfg.SyncLevels = []int{0, 1, 2}
+	}
+
+	var rows []E10Row
+	for _, level := range cfg.SyncLevels {
+		if level > cfg.Replicas {
+			return rows, fmt.Errorf("bench: E10 quorum %d exceeds %d replicas", level, cfg.Replicas)
+		}
+		row, err := runE10Config(level, cfg)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+
+	if w != nil {
+		section(w, "E10", "commit latency vs synchronous-replication quorum (SyncReplicas)")
+		t := &Table{Headers: []string{"sync replicas", "replicas", "commits", "p50", "p95", "max", "mean", "commits/s", "degraded"}}
+		for _, r := range rows {
+			t.Add(r.SyncReplicas, r.Replicas, r.Commits, r.P50, r.P95, r.Max, r.Mean, r.CommitsPS, r.Degraded)
+		}
+		t.Print(w)
+		fmt.Fprintln(w, "expected shape: quorum >= 1 adds the ship + replica-fsync + ack round trip per")
+		fmt.Fprintln(w, "commit over the async baseline; degraded must be 0 (the quorum actually held)")
+	}
+	return rows, nil
+}
+
+// runE10Config measures one quorum level against a fresh replication
+// group.
+func runE10Config(level int, cfg E10Config) (E10Row, error) {
+	row := E10Row{SyncReplicas: level, Replicas: cfg.Replicas, Commits: cfg.Commits}
+
+	pdir, err := os.MkdirTemp("", "neograph-e10-primary-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(pdir)
+	primary, err := neograph.Open(neograph.Options{
+		Dir:             pdir,
+		ReplicationAddr: "127.0.0.1:0",
+		SyncReplicas:    level,
+		// Generous degrade window: a degrade means the row is measuring
+		// the timeout, not replication — it is reported so the reader can
+		// reject the row.
+		SyncReplicaTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer primary.Close()
+
+	var replicas []*neograph.DB
+	defer func() {
+		for _, r := range replicas {
+			r.Close()
+		}
+	}()
+	for i := 0; i < cfg.Replicas; i++ {
+		rdir, err := os.MkdirTemp("", "neograph-e10-replica-*")
+		if err != nil {
+			return row, err
+		}
+		defer os.RemoveAll(rdir)
+		r, err := neograph.Open(neograph.Options{Dir: rdir, ReplicaOf: primary.ReplicationAddress()})
+		if err != nil {
+			return row, err
+		}
+		replicas = append(replicas, r)
+	}
+	// Seed one node and use its token to confirm every replica is
+	// connected and applying before the clock starts.
+	var id neograph.NodeID
+	warm := primary.Begin()
+	if id, err = warm.CreateNode([]string{"E10"}, neograph.Props{"v": neograph.Int(0)}); err != nil {
+		warm.Abort()
+		return row, err
+	}
+	if err := warm.Commit(); err != nil {
+		return row, err
+	}
+	for i, r := range replicas {
+		if err := r.WaitApplied(warm.CommitLSN(), 60*time.Second); err != nil {
+			return row, fmt.Errorf("replica %d warm-up: %w", i, err)
+		}
+	}
+
+	lats := make([]time.Duration, 0, cfg.Commits)
+	t0 := time.Now()
+	for i := 0; i < cfg.Commits; i++ {
+		c0 := time.Now()
+		err := primary.Update(3, func(tx *neograph.Tx) error {
+			return tx.SetNodeProp(id, "v", neograph.Int(int64(i)))
+		})
+		if err != nil {
+			return row, err
+		}
+		lats = append(lats, time.Since(c0))
+	}
+	elapsed := time.Since(t0)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	row.P50 = lats[len(lats)/2]
+	row.P95 = lats[len(lats)*95/100]
+	row.Max = lats[len(lats)-1]
+	row.Mean = sum / time.Duration(len(lats))
+	row.CommitsPS = float64(cfg.Commits) / elapsed.Seconds()
+	row.Degraded = primary.ReplStatus().DegradedCommits
+	return row, nil
+}

@@ -52,7 +52,7 @@ func (e *Engine) applyCommit(cts mvcc.TS, muts []mutation) []entKey {
 // replicated commit — replica reads are snapshot-isolated at the applied
 // position.
 func (e *Engine) ApplyReplicated(lsn uint64, payload []byte) error {
-	if !e.opts.Replica {
+	if !e.replica.Load() {
 		return errors.New("core: ApplyReplicated on a non-replica engine")
 	}
 	if e.closed.Load() {

@@ -112,7 +112,7 @@ func (e *Engine) checkpointLocked() error {
 	// A replica's WAL must stay a byte-exact prefix of the primary's, so
 	// it never appends its own checkpoint marker — the stream contains
 	// the primary's markers already.
-	if !e.opts.Replica {
+	if !e.replica.Load() {
 		if _, err := e.wal.Append(encodeCheckpoint(e.oracle.Watermark())); err != nil {
 			return err
 		}

@@ -51,7 +51,7 @@ func (t *Tx) Commit() error {
 		t.e.stats.committed.Add(1)
 		return nil
 	}
-	if t.e.opts.Replica {
+	if t.e.replica.Load() {
 		// Replicas apply the primary's stream and nothing else; local
 		// writes would fork the log. The server layer redirects writers
 		// to the primary before they get this far.
@@ -149,6 +149,16 @@ func (t *Tx) Commit() error {
 	if t.e.batcher != nil {
 		if err := t.e.batcher.WaitDurable(commitLSN); err != nil {
 			return fmt.Errorf("core: commit %d installed but not durable: %w", cts, err)
+		}
+	}
+	// Synchronous replication: when the shipper installed a quorum hook,
+	// the acknowledgement additionally waits until enough replicas have
+	// acked the record's end position (or the shipper degrades to async
+	// after its timeout). Like the durability wait, this runs outside
+	// every latch.
+	if fn := t.e.commitSyncWait(); fn != nil && t.commitEnd > 0 {
+		if err := fn(t.commitEnd); err != nil {
+			return fmt.Errorf("core: commit %d durable but not replicated: %w", cts, err)
 		}
 	}
 	t.commitTS = cts

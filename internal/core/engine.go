@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"neograph/internal/faultfs"
 	"neograph/internal/ids"
 	"neograph/internal/index"
 	"neograph/internal/lock"
@@ -152,10 +153,15 @@ type Options struct {
 	// commits fail with ErrReadOnlyReplica, and the WAL receives records
 	// exclusively through ApplyReplicated so it stays a byte-exact prefix
 	// of the primary's log (checkpoints skip their marker record too).
+	// Promote flips a running replica back to a writable primary.
 	Replica bool
 	// WALSegmentSize overrides the WAL segment rotation size (testing and
 	// replication experiments). Zero means the wal package default.
 	WALSegmentSize int64
+	// FS is the file-system seam under the WAL, store, and epoch file —
+	// nil means the real OS. Crash tests substitute a faultfs.Injector to
+	// kill the engine's I/O at scripted points.
+	FS faultfs.FS
 }
 
 // Stats are cumulative engine counters.
@@ -256,6 +262,25 @@ type Engine struct {
 	retainMu  sync.Mutex
 	retainWAL func() (uint64, bool)
 
+	// syncWaitMu guards syncWait, the synchronous-replication hook the
+	// shipper installs when Options.SyncReplicas > 0: a durable commit's
+	// acknowledgement additionally waits until the hook returns — i.e.
+	// until the configured quorum of replicas has acked the commit's end
+	// position (or the shipper degrades to async on timeout).
+	syncWaitMu sync.Mutex
+	syncWait   func(endLSN uint64) error
+
+	// replica is the live role flag (Options.Replica is only the opening
+	// role); Promote flips it to false on failover.
+	replica atomic.Bool
+	// fs is the file seam shared by the WAL, store and epoch file.
+	fs faultfs.FS
+	// epochMu guards the replication epoch history: the generation
+	// counters and fork-point LSNs that fence dead timelines out (last
+	// entry = current epoch).
+	epochMu   sync.Mutex
+	epochHist []EpochEntry
+
 	txnSeq  atomic.Uint64
 	stats   statsCounters
 	closed  atomic.Bool
@@ -295,25 +320,33 @@ func Open(opts Options) (*Engine, error) {
 		dirty:       make(map[entKey]struct{}),
 		stopBG:      make(chan struct{}),
 	}
+	e.fs = faultfs.OrOS(opts.FS)
+	e.replica.Store(opts.Replica)
 	if opts.Dir == "" {
 		e.memNodeAlloc = ids.NewAllocator()
 		e.memRelAlloc = ids.NewAllocator()
 		return e, nil
 	}
 
-	st, err := store.Open(opts.Dir, store.Options{CachePages: opts.StoreCachePages})
+	st, err := store.Open(opts.Dir, store.Options{CachePages: opts.StoreCachePages, FS: opts.FS})
 	if err != nil {
 		return nil, err
 	}
 	w, err := wal.Open(opts.Dir+"/wal", wal.Options{
 		NoSync:      opts.NoSyncCommits,
 		SegmentSize: opts.WALSegmentSize,
+		FS:          opts.FS,
 	})
 	if err != nil {
 		st.Close()
 		return nil, err
 	}
 	e.store, e.wal = st, w
+	if err := e.loadEpoch(); err != nil {
+		w.Close()
+		st.Close()
+		return nil, err
+	}
 	if !opts.NoSyncCommits && !opts.NoGroupCommit {
 		e.batcher = wal.NewBatcher(w, wal.BatcherOptions{
 			MaxBatch: opts.CommitMaxBatch,
@@ -425,8 +458,26 @@ func (e *Engine) Store() *store.Store { return e.store }
 // replication shipper, which reads sealed segments and the live tail.
 func (e *Engine) WAL() *wal.WAL { return e.wal }
 
-// IsReplica reports whether the engine was opened in replica mode.
-func (e *Engine) IsReplica() bool { return e.opts.Replica }
+// IsReplica reports whether the engine is currently in replica mode
+// (opened with Options.Replica and not yet promoted).
+func (e *Engine) IsReplica() bool { return e.replica.Load() }
+
+// SetCommitSyncWait installs (or clears, with nil) the synchronous-
+// replication hook: when set, every durable commit's acknowledgement
+// additionally waits on fn(commit end LSN) — the shipper's quorum wait.
+func (e *Engine) SetCommitSyncWait(fn func(endLSN uint64) error) {
+	e.syncWaitMu.Lock()
+	e.syncWait = fn
+	e.syncWaitMu.Unlock()
+}
+
+// commitSyncWait resolves the synchronous-replication hook.
+func (e *Engine) commitSyncWait() func(uint64) error {
+	e.syncWaitMu.Lock()
+	fn := e.syncWait
+	e.syncWaitMu.Unlock()
+	return fn
+}
 
 // DurableLSN returns the WAL durability horizon as an end position: the
 // log's bytes below it are fsynced. Zero in memory mode.

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file implements the failover side of replication: the persistent
+// replication epoch history and the replica -> primary promotion that
+// extends it.
+//
+// The epoch is a generation counter over the WAL's history. Every node
+// starts at epoch 1; a promotion appends (epoch+1, fork LSN) — the LSN
+// at which the new timeline begins, the promoted replica's applied
+// position. The *whole* history travels in the replication stream, not
+// just the newest entry: a node that slept through several promotions
+// must have its log end checked against the fork point of every epoch
+// it missed, or a timeline dead since two failovers ago could slip past
+// a check that only remembers the latest fork. Both sides refuse a
+// silently diverging pairing — a demoted primary carrying unshipped
+// records past any missed fork point is rejected by the new primary,
+// and a stale primary refuses to ship to a replica that has already
+// seen a newer epoch.
+
+// epochFileName is the epoch-history file inside the engine directory:
+// 16-byte records, epoch u64le then fork-start LSN u64le, oldest first.
+const epochFileName = "epoch"
+
+// ErrNotReplica reports a Promote call on an engine that is not (or is
+// no longer) a replica.
+var ErrNotReplica = errors.New("core: engine is not a replica")
+
+// EpochEntry is one epoch of the node's timeline history: the epoch
+// number and the LSN at which that epoch began (its fork point).
+type EpochEntry struct {
+	Epoch, Start uint64
+}
+
+// Epoch returns the node's current replication epoch and the LSN at
+// which it began (0,0 in memory-only mode — replication requires a
+// persistent store, so no history is kept).
+func (e *Engine) Epoch() (epoch, startLSN uint64) {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+	if len(e.epochHist) == 0 {
+		return 0, 0
+	}
+	cur := e.epochHist[len(e.epochHist)-1]
+	return cur.Epoch, cur.Start
+}
+
+// EpochHistory returns a copy of the node's full epoch history, oldest
+// first; the last entry is the current epoch (nil in memory-only mode).
+func (e *Engine) EpochHistory() []EpochEntry {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+	out := make([]EpochEntry, len(e.epochHist))
+	copy(out, e.epochHist)
+	return out
+}
+
+// validateEpochHistory checks the structural invariants: non-empty,
+// strictly increasing epochs, non-decreasing fork points.
+func validateEpochHistory(hist []EpochEntry) error {
+	if len(hist) == 0 {
+		return errors.New("core: empty epoch history")
+	}
+	for i, en := range hist {
+		if en.Epoch == 0 {
+			return errors.New("core: epoch history holds epoch 0")
+		}
+		if i > 0 && (en.Epoch <= hist[i-1].Epoch || en.Start < hist[i-1].Start) {
+			return fmt.Errorf("core: epoch history not monotonic at entry %d", i)
+		}
+	}
+	return nil
+}
+
+// loadEpoch reads the persisted epoch history at Open; a missing file is
+// the pristine state (epoch 1 starting at position 0).
+func (e *Engine) loadEpoch() error {
+	e.epochHist = []EpochEntry{{Epoch: 1, Start: 0}}
+	buf, err := e.fs.ReadFile(filepath.Join(e.opts.Dir, epochFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("core: read epoch: %w", err)
+	}
+	if len(buf) == 0 || len(buf)%16 != 0 {
+		return fmt.Errorf("core: epoch file is %d bytes, want a positive multiple of 16", len(buf))
+	}
+	hist := make([]EpochEntry, 0, len(buf)/16)
+	for off := 0; off < len(buf); off += 16 {
+		hist = append(hist, EpochEntry{
+			Epoch: binary.LittleEndian.Uint64(buf[off:]),
+			Start: binary.LittleEndian.Uint64(buf[off+8:]),
+		})
+	}
+	if err := validateEpochHistory(hist); err != nil {
+		return err
+	}
+	e.epochHist = hist
+	return nil
+}
+
+// saveEpochLocked persists the history atomically: write-to-temp,
+// fsync, rename, fsync the directory. Caller holds e.epochMu.
+func (e *Engine) saveEpochLocked(hist []EpochEntry) error {
+	buf := make([]byte, 0, 16*len(hist))
+	for _, en := range hist {
+		buf = binary.LittleEndian.AppendUint64(buf, en.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, en.Start)
+	}
+	path := filepath.Join(e.opts.Dir, epochFileName)
+	tmp := path + ".tmp"
+	f, err := e.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: write epoch: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("core: write epoch: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: sync epoch: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: close epoch: %w", err)
+	}
+	if err := e.fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: rename epoch: %w", err)
+	}
+	// fsync the directory too: the rename is what publishes the epoch
+	// bump, and all fencing depends on it surviving power loss — a node
+	// that reverted to its old epoch after promoting would be refused by
+	// its own replicas as a stale primary.
+	d, err := e.fs.Open(e.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("core: open dir for epoch sync: %w", err)
+	}
+	syncErr := d.Sync()
+	d.Close()
+	if syncErr != nil {
+		return fmt.Errorf("core: sync epoch dir: %w", syncErr)
+	}
+	e.epochHist = hist
+	return nil
+}
+
+// AdoptEpochHistory records the primary's epoch history on a replica.
+// The caller (the stream applier) has already verified its own log end
+// against the fork point of every epoch it missed; here only forward
+// motion is enforced: the incoming history must end at or past the
+// current epoch. Adopting an identical-tip history is a no-op.
+func (e *Engine) AdoptEpochHistory(hist []EpochEntry) error {
+	if e.store == nil {
+		return errors.New("core: epoch requires a persistent store")
+	}
+	if err := validateEpochHistory(hist); err != nil {
+		return err
+	}
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+	cur := e.epochHist[len(e.epochHist)-1]
+	tip := hist[len(hist)-1]
+	switch {
+	case tip.Epoch < cur.Epoch:
+		return fmt.Errorf("core: adopt epoch %d behind current %d", tip.Epoch, cur.Epoch)
+	case tip.Epoch == cur.Epoch && len(hist) == len(e.epochHist):
+		return nil
+	}
+	return e.saveEpochLocked(hist)
+}
+
+// Promote flips a replica engine into a writable primary:
+//
+//  1. the applied WAL tail is fsynced, so the new timeline's base is
+//     durable before any new commit can build on it (the stream applier
+//     keeps log and object cache in lockstep, so there is no unapplied
+//     tail to replay — a record is installed before the next can arrive);
+//  2. the epoch history gains (epoch+1, fork-point LSN) — the promoted
+//     node's log end — persisted before the role flips, fencing the
+//     demoted primary out;
+//  3. the replica flag drops, so commits, checkpoint markers and the ID
+//     allocators behave as a primary from the next operation on.
+//
+// The caller must have stopped the stream applier first (repl.Applier
+// Close); DB.Promote does both and then starts a shipper so surviving
+// replicas can re-point at the promoted node.
+func (e *Engine) Promote() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if e.store == nil {
+		return errors.New("core: promote requires a persistent store")
+	}
+	if !e.replica.Load() {
+		return fmt.Errorf("%w: promote", ErrNotReplica)
+	}
+	if err := e.wal.Sync(); err != nil {
+		return fmt.Errorf("core: promote: seal applied tail: %w", err)
+	}
+	fork := e.wal.NextLSN()
+	e.epochMu.Lock()
+	cur := e.epochHist[len(e.epochHist)-1]
+	hist := append(append([]EpochEntry{}, e.epochHist...), EpochEntry{Epoch: cur.Epoch + 1, Start: fork})
+	err := e.saveEpochLocked(hist)
+	e.epochMu.Unlock()
+	if err != nil {
+		return err
+	}
+	e.replica.Store(false)
+	return nil
+}

@@ -13,7 +13,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 )
 
@@ -87,26 +86,6 @@ func New(file File, capacity int, fileSize int64) (*Cache, error) {
 		lru:      list.New(),
 		grown:    uint64(fileSize / PageSize),
 	}, nil
-}
-
-// Open is a convenience constructor opening (creating if necessary) the
-// file at path.
-func Open(path string, capacity int) (*Cache, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("pagecache: open %s: %w", path, err)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pagecache: stat %s: %w", path, err)
-	}
-	c, err := New(f, capacity, st.Size())
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	return c, nil
 }
 
 // PageCount returns the number of pages the backing file logically holds.

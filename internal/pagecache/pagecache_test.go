@@ -7,10 +7,31 @@ import (
 	"testing"
 )
 
+// open mirrors what the store layer does (open the file itself, then
+// New) — production code opens through the faultfs seam, so the cache
+// no longer has a path-based constructor.
+func open(path string, capacity int) (*Cache, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	c, err := New(f, capacity, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
 func openTestCache(t *testing.T, capacity int) (*Cache, string) {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "test.store")
-	c, err := Open(path, capacity)
+	c, err := open(path, capacity)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +78,7 @@ func TestWriteReadBackThroughEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reopen: data must have hit the disk.
-	c2, err := Open(path, 2)
+	c2, err := open(path, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

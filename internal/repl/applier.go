@@ -2,8 +2,10 @@ package repl
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -54,6 +56,10 @@ type Applier struct {
 	e       *core.Engine
 	primary string
 	opts    ApplierOptions
+	// id identifies this applier instance across reconnects (random,
+	// non-zero) so the primary's quorum accounting can deduplicate a
+	// replica's old and new connections.
+	id uint64
 
 	applied atomic.Uint64
 
@@ -91,6 +97,9 @@ func NewApplier(e *core.Engine, primaryAddr string, opts ApplierOptions) (*Appli
 		opts.SyncEvery = 200 * time.Millisecond
 	}
 	a := &Applier{e: e, primary: primaryAddr, opts: opts, stop: make(chan struct{})}
+	for a.id == 0 {
+		a.id = rand.Uint64()
+	}
 	a.applied.Store(e.AppliedLSN())
 	return a, nil
 }
@@ -187,9 +196,13 @@ func (a *Applier) wakeLocked() {
 	}
 }
 
-// run is the reconnect loop: stream until failure, back off, retry.
+// run is the reconnect loop: stream until failure, back off, retry. The
+// backoff doubles up to RetryMax and every sleep is jittered, so a fleet
+// of replicas orphaned by a primary crash doesn't reconnect in lockstep
+// when the promoted node starts shipping on the old address.
 func (a *Applier) run() {
 	defer a.wg.Done()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	backoff := a.opts.RetryMin
 	for {
 		select {
@@ -208,12 +221,24 @@ func (a *Applier) run() {
 		select {
 		case <-a.stop:
 			return
-		case <-time.After(backoff):
+		case <-time.After(jitteredBackoff(backoff, rng)):
 		}
 		if backoff *= 2; backoff > a.opts.RetryMax {
 			backoff = a.opts.RetryMax
 		}
 	}
+}
+
+// jitteredBackoff spreads one reconnect delay uniformly over [d/2, d].
+// The cap stays d (== RetryMax once the doubling saturates): jitter must
+// never push a sleep past the configured maximum, or a "max 2s" applier
+// could be observed sleeping longer.
+func jitteredBackoff(d time.Duration, rng *rand.Rand) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(d-half)+1))
 }
 
 // streamOnce runs one replication session: handshake from the local log
@@ -241,8 +266,9 @@ func (a *Applier) streamOnce() error {
 	}()
 
 	from := a.e.AppliedLSN()
+	myEpoch, _ := a.e.Epoch()
 	conn.SetWriteDeadline(time.Now().Add(a.opts.DialTimeout))
-	if err := writeHandshake(conn, from); err != nil {
+	if err := writeHandshake(conn, from, myEpoch, a.id); err != nil {
 		return fmt.Errorf("repl: handshake: %w", err)
 	}
 	conn.SetWriteDeadline(time.Time{})
@@ -251,6 +277,7 @@ func (a *Applier) streamOnce() error {
 	bw := bufio.NewWriter(conn)
 	buf := make([]byte, 32<<10)
 	lastSync := time.Now()
+	sawEpoch := false
 	for {
 		conn.SetReadDeadline(time.Now().Add(a.opts.ReadTimeout))
 		typ, lsn, payload, err := readFrame(br, buf)
@@ -258,7 +285,43 @@ func (a *Applier) streamOnce() error {
 			return fmt.Errorf("repl: stream: %w", err)
 		}
 		switch typ {
+		case frameEpoch:
+			// First frame: the primary's full epoch history (16-byte
+			// entries, oldest first; lsn = its current epoch). A primary
+			// behind our epoch is a stale ex-primary still shipping its
+			// dead timeline — refuse before applying anything. And before
+			// adopting a newer timeline, our own log end must sit at or
+			// before the fork point of EVERY epoch we missed: past any of
+			// them, our tail is dead-timeline bytes the primary-side check
+			// also refuses, but a replica must not rely on the peer alone.
+			if len(payload) == 0 || len(payload)%16 != 0 {
+				return fmt.Errorf("repl: malformed epoch frame (%d payload bytes)", len(payload))
+			}
+			hist := make([]core.EpochEntry, 0, len(payload)/16)
+			for off := 0; off < len(payload); off += 16 {
+				hist = append(hist, core.EpochEntry{
+					Epoch: binary.LittleEndian.Uint64(payload[off:]),
+					Start: binary.LittleEndian.Uint64(payload[off+8:]),
+				})
+			}
+			primaryEpoch := lsn
+			cur, _ := a.e.Epoch()
+			if primaryEpoch < cur {
+				return fmt.Errorf("repl: primary epoch %d behind replica epoch %d; refusing stale primary", primaryEpoch, cur)
+			}
+			for _, en := range hist {
+				if en.Epoch > cur && from > en.Start {
+					return fmt.Errorf("repl: local log end %d diverged past the epoch-%d fork point %d; re-seed required", from, en.Epoch, en.Start)
+				}
+			}
+			if err := a.e.AdoptEpochHistory(hist); err != nil {
+				return err
+			}
+			sawEpoch = true
 		case frameRecord:
+			if !sawEpoch {
+				return errors.New("repl: record before epoch announce")
+			}
 			if err := a.e.ApplyReplicated(lsn, payload); err != nil {
 				return err
 			}
@@ -268,11 +331,16 @@ func (a *Applier) streamOnce() error {
 			a.primaryDurable = lsn
 			a.mu.Unlock()
 			// Heartbeats close every shipped batch — far too often to pay
-			// an fsync each, so local durability is rate-limited. The ack
+			// an fsync each, so local durability is rate-limited — unless
+			// the primary runs synchronous replication and asked for a
+			// durable ack (hbFlagSyncAck), in which case the fsync happens
+			// now: the primary's commits are parked on this ack. The ack
 			// reports the locally *durable* position: it is the WAL
-			// retention floor on the primary, and a crashed replica
-			// resumes from its durable log end.
-			if time.Since(lastSync) >= a.opts.SyncEvery {
+			// retention floor on the primary, a quorum vote under sync
+			// replication, and a crashed replica resumes from its durable
+			// log end.
+			syncNow := len(payload) > 0 && payload[0]&hbFlagSyncAck != 0
+			if syncNow || time.Since(lastSync) >= a.opts.SyncEvery {
 				if err := a.e.SyncWAL(); err != nil {
 					return fmt.Errorf("repl: replica wal sync: %w", err)
 				}

@@ -1,0 +1,43 @@
+package repl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestJitteredBackoffBounds: every jittered delay stays within [d/2, d],
+// so the configured RetryMax is a true cap and the floor never collapses
+// to a hot retry loop.
+func TestJitteredBackoffBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []time.Duration{
+		time.Millisecond, 50 * time.Millisecond, 2 * time.Second,
+	} {
+		var min, max time.Duration
+		for i := 0; i < 10_000; i++ {
+			got := jitteredBackoff(d, rng)
+			if got < d/2 || got > d {
+				t.Fatalf("jitteredBackoff(%v) = %v, outside [%v, %v]", d, got, d/2, d)
+			}
+			if i == 0 || got < min {
+				min = got
+			}
+			if got > max {
+				max = got
+			}
+		}
+		// The jitter must actually spread: identical delays would herd
+		// every reconnecting replica onto the same instant.
+		if min == max {
+			t.Fatalf("jitteredBackoff(%v) never varied (always %v)", d, min)
+		}
+	}
+	// Degenerate inputs pass through.
+	if got := jitteredBackoff(0, rng); got != 0 {
+		t.Fatalf("jitteredBackoff(0) = %v", got)
+	}
+	if got := jitteredBackoff(1, rng); got != 1 {
+		t.Fatalf("jitteredBackoff(1) = %v", got)
+	}
+}

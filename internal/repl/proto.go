@@ -16,20 +16,32 @@
 // past it.
 //
 // Stream layout: the replica opens a TCP connection, sends a fixed
-// handshake naming the position it wants the stream to resume from, and
-// the primary replies with a sequence of frames:
+// handshake naming the position it wants the stream to resume from and
+// the newest replication epoch it has seen, and the primary replies with
+// a sequence of frames:
 //
-//	handshake  magic "NGRP"  version:u16le  from:u64le
+//	handshake  magic "NGRP"  version:u16le  from:u64le  epoch:u64le
 //	frame      type:u8  lsn:u64le  len:u32le  payload
 //
-// Frame types: 'r' carries one WAL record (lsn = record start position,
-// payload = record bytes); 'h' is a heartbeat (lsn = primary durability
-// horizon, no payload) emitted after every shipped batch and on an idle
-// timer; 'e' carries a terminal error message. The replica sends 'a'
-// acknowledgement frames (lsn = its applied position) back on the same
-// connection; the primary uses them for status reporting, and the
-// positions of connected replicas hold back WAL truncation so their
-// backlog stays readable.
+// Frame types: 'g' announces the primary's full epoch history (lsn =
+// current epoch; payload = 16-byte entries, oldest first, each epoch
+// u64le then fork-start-LSN u64le) and is always the first frame; 'r'
+// carries one WAL record (lsn = record start position, payload = record
+// bytes); 'h' is a heartbeat (lsn = primary durability horizon, payload
+// = one flags byte) emitted after every shipped batch and on an idle
+// timer — hbFlagSyncAck asks the replica to fsync before acknowledging,
+// which is how synchronous replication gets prompt durable acks; 'e'
+// carries a terminal error message. The replica sends 'a' acknowledgement
+// frames (lsn = its durable applied position) back on the same
+// connection; the primary uses them for quorum commit gating and status
+// reporting, and the positions of connected replicas hold back WAL
+// truncation so their backlog stays readable.
+//
+// The epoch exchange is the failover fence: a promotion bumps the epoch
+// and records the fork-point LSN, so a demoted primary whose log runs
+// past the fork is refused by the promoted node ("re-seed required"),
+// and a primary that sees a replica with a newer epoch knows it is
+// itself stale and refuses to ship.
 package repl
 
 import (
@@ -40,46 +52,61 @@ import (
 )
 
 const (
-	magic        = "NGRP"
-	protoVersion = 1
+	magic = "NGRP"
+	// protoVersion 2 added the epoch field to the handshake, the epoch
+	// announce frame and the heartbeat flags byte.
+	protoVersion = 2
 
 	// maxFramePayload bounds one frame's payload. WAL records are capped
 	// by the segment size (16 MiB default); anything larger is a corrupt
 	// or hostile stream.
 	maxFramePayload = 64 << 20
 
+	frameEpoch     = 'g' // primary -> replica: epoch + fork-point LSN, first frame
 	frameRecord    = 'r' // primary -> replica: one WAL record
-	frameHeartbeat = 'h' // primary -> replica: durability horizon
+	frameHeartbeat = 'h' // primary -> replica: durability horizon + flags
 	frameError     = 'e' // primary -> replica: terminal error, then close
-	frameAck       = 'a' // replica -> primary: applied position
+	frameAck       = 'a' // replica -> primary: durable applied position
+
+	// hbFlagSyncAck in a heartbeat's flags byte asks the replica to make
+	// its applied tail durable before acknowledging — set by primaries
+	// running synchronous replication so quorum acks mean replica-durable.
+	hbFlagSyncAck = 1
 )
 
-const handshakeLen = 4 + 2 + 8
+const handshakeLen = 4 + 2 + 8 + 8 + 8
 
-// writeHandshake sends the stream-resume request.
-func writeHandshake(w io.Writer, from uint64) error {
+// writeHandshake sends the stream-resume request: the position to resume
+// from, the newest epoch this replica has seen, and the replica's
+// instance id (a random non-zero value per applier) so the primary can
+// tell a reconnect of the same replica from a second replica — quorum
+// votes are per replica, not per connection.
+func writeHandshake(w io.Writer, from, epoch, id uint64) error {
 	var buf [handshakeLen]byte
 	copy(buf[:4], magic)
 	binary.LittleEndian.PutUint16(buf[4:], protoVersion)
 	binary.LittleEndian.PutUint64(buf[6:], from)
+	binary.LittleEndian.PutUint64(buf[14:], epoch)
+	binary.LittleEndian.PutUint64(buf[22:], id)
 	_, err := w.Write(buf[:])
 	return err
 }
 
 // readHandshake validates the magic and version and returns the resume
-// position.
-func readHandshake(r io.Reader) (uint64, error) {
+// position, the replica's epoch, and its instance id.
+func readHandshake(r io.Reader) (from, epoch, id uint64, err error) {
 	var buf [handshakeLen]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, fmt.Errorf("repl: read handshake: %w", err)
+		return 0, 0, 0, fmt.Errorf("repl: read handshake: %w", err)
 	}
 	if string(buf[:4]) != magic {
-		return 0, fmt.Errorf("repl: bad handshake magic %q", buf[:4])
+		return 0, 0, 0, fmt.Errorf("repl: bad handshake magic %q", buf[:4])
 	}
 	if v := binary.LittleEndian.Uint16(buf[4:]); v != protoVersion {
-		return 0, fmt.Errorf("repl: protocol version %d, want %d", v, protoVersion)
+		return 0, 0, 0, fmt.Errorf("repl: protocol version %d, want %d", v, protoVersion)
 	}
-	return binary.LittleEndian.Uint64(buf[6:]), nil
+	return binary.LittleEndian.Uint64(buf[6:]), binary.LittleEndian.Uint64(buf[14:]),
+		binary.LittleEndian.Uint64(buf[22:]), nil
 }
 
 const frameHeaderLen = 1 + 8 + 4

@@ -319,12 +319,24 @@ func TestBehindHorizonRejected(t *testing.T) {
 	if err := writeRawHandshake(conn, 0); err != nil {
 		t.Fatal(err)
 	}
-	typ, _, payload, err := readRawFrame(t, conn)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if typ != 'e' || !strings.Contains(string(payload), "oldest retained segment") {
-		t.Fatalf("frame = %c %q, want truncation error", typ, payload)
+	// The epoch announce ('g') and heartbeats precede the failure; the
+	// truncation error must arrive within a few frames.
+	br := bufio.NewReader(conn)
+	for i := 0; ; i++ {
+		typ, _, payload, err := readRawFrame(t, conn, br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ == 'g' || typ == 'h' {
+			if i > 16 {
+				t.Fatal("no error frame after 16 frames")
+			}
+			continue
+		}
+		if typ != 'e' || !strings.Contains(string(payload), "oldest retained segment") {
+			t.Fatalf("frame = %c %q, want truncation error", typ, payload)
+		}
+		break
 	}
 }
 
@@ -359,20 +371,22 @@ func TestShipperRejectsGarbageHandshake(t *testing.T) {
 	waitConverged(t, applier, primary)
 }
 
-// writeRawHandshake mirrors the protocol for tests that need a raw conn.
+// writeRawHandshake mirrors the v2 protocol for tests that need a raw
+// conn (epoch 1: a pristine replica; fixed instance id).
 func writeRawHandshake(w io.Writer, from uint64) error {
-	buf := make([]byte, 14)
+	buf := make([]byte, 30)
 	copy(buf, "NGRP")
-	binary.LittleEndian.PutUint16(buf[4:], 1)
+	binary.LittleEndian.PutUint16(buf[4:], 2)
 	binary.LittleEndian.PutUint64(buf[6:], from)
+	binary.LittleEndian.PutUint64(buf[14:], 1)
+	binary.LittleEndian.PutUint64(buf[22:], 0xbadcafe)
 	_, err := w.Write(buf)
 	return err
 }
 
-func readRawFrame(t *testing.T, conn net.Conn) (byte, uint64, []byte, error) {
+func readRawFrame(t *testing.T, conn net.Conn, br *bufio.Reader) (byte, uint64, []byte, error) {
 	t.Helper()
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	br := bufio.NewReader(conn)
 	hdr := make([]byte, 13)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return 0, 0, nil, err

@@ -2,6 +2,7 @@ package repl
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -22,7 +23,20 @@ type ShipperOptions struct {
 	// cannot drain the stream this long is disconnected rather than
 	// allowed to wedge the shipper. Zero means 30s.
 	WriteTimeout time.Duration
+	// SyncReplicas makes replication synchronous: a commit is
+	// acknowledged only once this many replicas have durably acked its
+	// WAL end position (heartbeats then ask replicas to fsync before
+	// acking). Zero keeps replication asynchronous.
+	SyncReplicas int
+	// SyncTimeout is the degrade-to-async window: a commit that cannot
+	// assemble its quorum this long is acknowledged anyway and counted in
+	// Degraded (availability over consistency, like a primary whose
+	// replicas all died). Zero means 1s; negative means wait forever.
+	SyncTimeout time.Duration
 }
+
+// DefaultSyncTimeout is the degrade-to-async window when unset.
+const DefaultSyncTimeout = time.Second
 
 // ReplicaInfo describes one connected replica for status reporting.
 type ReplicaInfo struct {
@@ -36,9 +50,17 @@ type ReplicaInfo struct {
 // shipConn is one replica connection's state.
 type shipConn struct {
 	conn net.Conn
+	// id is the replica's instance id from the handshake (0 from clients
+	// that sent none); quorum votes are deduplicated by it so a zombie
+	// connection plus its replacement never count as two replicas.
+	id uint64
 	// pos is the next position to ship — the WAL retention floor for
 	// this replica.
-	pos   atomic.Uint64
+	pos atomic.Uint64
+	// acked is the position the replica has durably acknowledged on THIS
+	// connection. It starts at zero — never at the handshake position,
+	// which is the replica's applied-but-possibly-unsynced log end and
+	// must not satisfy a durability quorum.
 	acked atomic.Uint64
 }
 
@@ -54,6 +76,13 @@ type Shipper struct {
 	mu     sync.Mutex
 	conns  map[*shipConn]struct{}
 	closed bool
+	// ackC, when non-nil, is closed whenever any replica's acknowledged
+	// position advances (or a replica disconnects), waking quorum waiters.
+	ackC chan struct{}
+
+	// degraded counts commits acknowledged without their quorum because
+	// SyncTimeout elapsed.
+	degraded atomic.Uint64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -70,6 +99,9 @@ func NewShipper(e *core.Engine, addr string, opts ShipperOptions) (*Shipper, err
 	if opts.WriteTimeout <= 0 {
 		opts.WriteTimeout = 30 * time.Second
 	}
+	if opts.SyncTimeout == 0 {
+		opts.SyncTimeout = DefaultSyncTimeout
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("repl: listen: %w", err)
@@ -82,6 +114,9 @@ func NewShipper(e *core.Engine, addr string, opts ShipperOptions) (*Shipper, err
 		stop:  make(chan struct{}),
 	}
 	e.SetWALRetain(s.retainPos)
+	if opts.SyncReplicas > 0 {
+		e.SetCommitSyncWait(s.waitQuorum)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -123,8 +158,87 @@ func (s *Shipper) retainPos() (uint64, bool) {
 	return min, ok
 }
 
+// Degraded counts commits acknowledged without their replica quorum
+// because SyncTimeout elapsed.
+func (s *Shipper) Degraded() uint64 { return s.degraded.Load() }
+
+// wakeAcks releases quorum waiters to re-check replica positions.
+func (s *Shipper) wakeAcks() {
+	s.mu.Lock()
+	if s.ackC != nil {
+		close(s.ackC)
+		s.ackC = nil
+	}
+	s.mu.Unlock()
+}
+
+// waitQuorum is the engine's commit hook under synchronous replication:
+// it blocks until SyncReplicas distinct replicas have durably acked the
+// commit's end position. On SyncTimeout — or a shipper shutdown racing
+// the commit — it degrades: the commit is acknowledged anyway and
+// counted, because a primary whose replicas died must stay available,
+// and every quorum-less acknowledgement must be visible to the operator
+// through Degraded.
+func (s *Shipper) waitQuorum(end uint64) error {
+	var timerC <-chan time.Time
+	if s.opts.SyncTimeout > 0 {
+		t := time.NewTimer(s.opts.SyncTimeout)
+		defer t.Stop()
+		timerC = t.C
+	}
+	timedOut := false
+	for {
+		s.mu.Lock()
+		// Votes are per replica instance, not per connection: a zombie
+		// connection surviving alongside its replacement must not double
+		// a single replica's vote. Id 0 (a client that sent none) cannot
+		// be deduplicated and counts per connection.
+		seen := make(map[uint64]struct{}, len(s.conns))
+		n := 0
+		for c := range s.conns {
+			if c.acked.Load() < end {
+				continue
+			}
+			if c.id != 0 {
+				if _, dup := seen[c.id]; dup {
+					continue
+				}
+				seen[c.id] = struct{}{}
+			}
+			n++
+		}
+		if n >= s.opts.SyncReplicas {
+			// A quorum that assembled is a quorum, even if the degrade
+			// timer raced the deciding ack — never a degraded commit.
+			s.mu.Unlock()
+			return nil
+		}
+		if s.closed || timedOut {
+			s.mu.Unlock()
+			s.degraded.Add(1)
+			return nil
+		}
+		if s.ackC == nil {
+			s.ackC = make(chan struct{})
+		}
+		ch := s.ackC
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timerC:
+			// Recount before declaring the degrade: select picks randomly
+			// among ready cases, so the timer can win against an ack that
+			// already completed the quorum.
+			timedOut = true
+		case <-s.stop:
+			// Close sets closed before closing stop: loop once more so a
+			// quorum that did assemble is honoured, else count the degrade.
+		}
+	}
+}
+
 // Close stops accepting, disconnects every replica, and releases the
-// WAL retention hold.
+// WAL retention hold and the commit quorum hook.
 func (s *Shipper) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -134,6 +248,9 @@ func (s *Shipper) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	s.e.SetWALRetain(nil)
+	if s.opts.SyncReplicas > 0 {
+		s.e.SetCommitSyncWait(nil)
+	}
 	close(s.stop)
 	err := s.ln.Close()
 	s.mu.Lock()
@@ -164,15 +281,14 @@ func (s *Shipper) handle(conn net.Conn) {
 	defer conn.Close()
 
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	from, err := readHandshake(conn)
+	from, repEpoch, repID, err := readHandshake(conn)
 	if err != nil {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
 
-	c := &shipConn{conn: conn}
+	c := &shipConn{conn: conn, id: repID}
 	c.pos.Store(from)
-	c.acked.Store(from)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -184,6 +300,8 @@ func (s *Shipper) handle(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
+		// Quorum waiters must re-count: this replica no longer votes.
+		s.wakeAcks()
 	}()
 
 	bw := bufio.NewWriterSize(conn, 64<<10)
@@ -194,12 +312,42 @@ func (s *Shipper) handle(conn net.Conn) {
 		writeFrame(bw, frameError, 0, []byte(msg))
 		bw.Flush()
 	}
+	// Epoch fencing. A replica that has seen a newer epoch than ours
+	// means *we* are the stale side (e.g. a demoted primary restarted
+	// with its old role); shipping would fork history. A replica on an
+	// older epoch is fine only while its log does not extend past the
+	// fork point of ANY epoch it missed — checking just the newest fork
+	// would wave through a node diverged before an earlier promotion,
+	// whose bytes belong to a timeline dead for several generations.
+	hist := s.e.EpochHistory()
+	myEpoch, _ := s.e.Epoch()
+	if repEpoch > myEpoch {
+		sendErr(fmt.Sprintf("repl: replica epoch %d ahead of primary epoch %d; this primary is stale", repEpoch, myEpoch))
+		return
+	}
+	for _, en := range hist {
+		if en.Epoch > repEpoch && from > en.Start {
+			sendErr(fmt.Sprintf("repl: replica log end %d on epoch %d diverged past the epoch-%d fork point %d; re-seed required", from, repEpoch, en.Epoch, en.Start))
+			return
+		}
+	}
 	if from > w.DurableLSN() {
 		// A replica ahead of the primary's durable log is from a
 		// different history (e.g. it applied records a crashed primary
 		// never recovered — impossible while shipping only durable
 		// records, so the replica must be re-seeded).
 		sendErr(fmt.Sprintf("repl: replica position %d ahead of primary durable log %d; re-seed required", from, w.DurableLSN()))
+		return
+	}
+
+	// Announce our full epoch history before any record so the replica
+	// can adopt (or refuse) the timeline up front.
+	epochPayload := make([]byte, 0, 16*len(hist))
+	for _, en := range hist {
+		epochPayload = binary.LittleEndian.AppendUint64(epochPayload, en.Epoch)
+		epochPayload = binary.LittleEndian.AppendUint64(epochPayload, en.Start)
+	}
+	if err := writeFrame(bw, frameEpoch, myEpoch, epochPayload); err != nil {
 		return
 	}
 
@@ -216,6 +364,7 @@ func (s *Shipper) handle(conn net.Conn) {
 				return
 			}
 			c.acked.Store(lsn)
+			s.wakeAcks()
 		}
 	}()
 
@@ -244,8 +393,14 @@ func (s *Shipper) handle(conn net.Conn) {
 			c.pos.Store(pos)
 		}
 		// Heartbeat after every batch and on idle: carries the durability
-		// horizon so replicas can report lag even when nothing ships.
-		if err := writeFrame(bw, frameHeartbeat, s.e.DurableLSN(), nil); err != nil {
+		// horizon so replicas can report lag even when nothing ships, and
+		// under synchronous replication asks for an fsynced ack so quorum
+		// votes mean replica-durable.
+		hbFlags := []byte{0}
+		if s.opts.SyncReplicas > 0 {
+			hbFlags[0] |= hbFlagSyncAck
+		}
+		if err := writeFrame(bw, frameHeartbeat, s.e.DurableLSN(), hbFlags); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {

@@ -304,3 +304,14 @@ func (c *Client) ReplStatus() (json.RawMessage, error) {
 	}
 	return resp.Info, nil
 }
+
+// Promote asks a replica server to promote itself to a writable primary
+// (failover), optionally starting a WAL shipper on addr so surviving
+// replicas can re-point. Returns the post-promotion replication status.
+func (c *Client) Promote(addr string) (json.RawMessage, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpPromote, Addr: addr})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, nil
+}

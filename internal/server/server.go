@@ -482,6 +482,20 @@ func (sess *session) dispatchOp(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{OK: true, Info: info}
 
+	case wire.OpPromote:
+		// Failover: only meaningful on a replica; afterwards this server
+		// accepts writes directly (the replica redirect above no longer
+		// triggers) and, with Addr set, ships its WAL to re-pointed
+		// siblings.
+		if err := sess.db.Promote(req.Addr); err != nil {
+			return fail(err)
+		}
+		info, err := json.Marshal(sess.db.ReplStatus())
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, Info: info}
+
 	default:
 		return fail(fmt.Errorf("server: unknown op %q", req.Op))
 	}

@@ -473,6 +473,67 @@ func TestReplStatusOp(t *testing.T) {
 	}
 }
 
+// TestPromoteOverWire drives failover through the wire protocol: the
+// primary dies, the replica server is promoted via the promote op, and
+// the same session that was being redirected a moment ago now commits
+// writes directly.
+func TestPromoteOverWire(t *testing.T) {
+	primary, replica, pdb, _ := startReplicatedPair(t)
+
+	id, err := primary.CreateNode([]string{"Pre"}, neograph.Props{"v": neograph.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica.ReadAfter(primary.LastCommitLSN())
+	if _, err := replica.GetNode(id); err != nil {
+		t.Fatal(err)
+	}
+	replica.ReadAfter(0)
+	// Still a replica: writes are redirected.
+	if _, err := replica.CreateNode([]string{"X"}, nil); !errors.Is(err, neograph.ErrReadOnlyReplica) {
+		t.Fatalf("pre-promotion write err = %v, want ErrReadOnlyReplica", err)
+	}
+
+	// Primary dies; promote the replica over the wire.
+	if err := pdb.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := replica.Promote("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("promote op: %v", err)
+	}
+	var st neograph.ReplStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "primary" || st.Epoch != 2 {
+		t.Fatalf("post-promotion status = %+v, want primary at epoch 2", st)
+	}
+	// A second promote must fail cleanly.
+	if _, err := replica.Promote(""); err == nil {
+		t.Fatal("second promote succeeded")
+	}
+
+	// The promoted server now takes writes; history is intact.
+	nid, err := replica.CreateNode([]string{"Post"}, neograph.Props{"v": neograph.Int(2)})
+	if err != nil {
+		t.Fatalf("post-promotion write: %v", err)
+	}
+	if _, err := replica.GetNode(nid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replica.GetNode(id); err != nil {
+		t.Fatalf("pre-failover data lost: %v", err)
+	}
+}
+
+func TestPromoteNonReplicaFails(t *testing.T) {
+	_, cl := startServer(t)
+	if _, err := cl.Promote(""); err == nil || !strings.Contains(err.Error(), "not a replica") {
+		t.Fatalf("promote on standalone err = %v, want 'not a replica'", err)
+	}
+}
+
 func TestWaitLSNBogusTokenFails(t *testing.T) {
 	_, cl := startServerPersistent(t)
 	if _, err := cl.CreateNode(nil, nil); err != nil {

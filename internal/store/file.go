@@ -10,8 +10,10 @@ package store
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 
+	"neograph/internal/faultfs"
 	"neograph/internal/ids"
 	"neograph/internal/pagecache"
 )
@@ -25,10 +27,22 @@ type recordFile struct {
 	path    string // store file path (id file is path + ".id")
 }
 
-func openRecordFile(dir, name string, recSize, cachePages int) (*recordFile, error) {
+func openRecordFile(fs faultfs.FS, dir, name string, recSize, cachePages int) (*recordFile, error) {
 	path := filepath.Join(dir, name)
-	cache, err := pagecache.Open(path, cachePages)
+	// Open through the fault seam so crash tests can kill store I/O; the
+	// page cache itself only needs the File surface.
+	backing, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	st, err := backing.Stat()
+	if err != nil {
+		backing.Close()
+		return nil, fmt.Errorf("store: stat %s: %w", path, err)
+	}
+	cache, err := pagecache.New(backing, cachePages, st.Size())
+	if err != nil {
+		backing.Close()
 		return nil, err
 	}
 	f := &recordFile{

@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync"
 
+	"neograph/internal/faultfs"
 	"neograph/internal/ids"
 	"neograph/internal/record"
 	"neograph/internal/value"
@@ -21,6 +22,9 @@ type Options struct {
 	// CachePages is the page-cache capacity per record file. Zero means
 	// DefaultCachePages.
 	CachePages int
+	// FS is the file-system seam, nil meaning the real OS. Crash tests
+	// substitute a faultfs.Injector.
+	FS faultfs.FS
 }
 
 // DefaultCachePages is the per-file page cache capacity when unset.
@@ -31,6 +35,7 @@ const DefaultCachePages = 1024
 type Store struct {
 	mu     sync.Mutex // serialises structural (chain) updates
 	dir    string
+	fs     faultfs.FS
 	nodes  *recordFile
 	rels   *recordFile
 	props  *recordFile
@@ -43,27 +48,28 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.CachePages <= 0 {
 		opts.CachePages = DefaultCachePages
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := faultfs.OrOS(opts.FS)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: mkdir %s: %w", dir, err)
 	}
-	s := &Store{dir: dir}
+	s := &Store{dir: dir, fs: fs}
 	var err error
-	if s.nodes, err = openRecordFile(dir, "neostore.nodes.db", record.NodeSize, opts.CachePages); err != nil {
+	if s.nodes, err = openRecordFile(fs, dir, "neostore.nodes.db", record.NodeSize, opts.CachePages); err != nil {
 		return nil, err
 	}
-	if s.rels, err = openRecordFile(dir, "neostore.rels.db", record.RelSize, opts.CachePages); err != nil {
+	if s.rels, err = openRecordFile(fs, dir, "neostore.rels.db", record.RelSize, opts.CachePages); err != nil {
 		s.closePartial()
 		return nil, err
 	}
-	if s.props, err = openRecordFile(dir, "neostore.props.db", record.PropSize, opts.CachePages); err != nil {
+	if s.props, err = openRecordFile(fs, dir, "neostore.props.db", record.PropSize, opts.CachePages); err != nil {
 		s.closePartial()
 		return nil, err
 	}
-	if s.dyn, err = openRecordFile(dir, "neostore.dyn.db", record.DynSize, opts.CachePages); err != nil {
+	if s.dyn, err = openRecordFile(fs, dir, "neostore.dyn.db", record.DynSize, opts.CachePages); err != nil {
 		s.closePartial()
 		return nil, err
 	}
-	if s.tokens, err = OpenTokens(dir + "/neostore.tokens.db"); err != nil {
+	if s.tokens, err = OpenTokens(fs, dir+"/neostore.tokens.db"); err != nil {
 		s.closePartial()
 		return nil, err
 	}
@@ -124,7 +130,7 @@ func (s *Store) FileSizes() (map[string]int64, error) {
 	for name, f := range map[string]*recordFile{
 		"nodes": s.nodes, "rels": s.rels, "props": s.props, "dyn": s.dyn,
 	} {
-		st, err := os.Stat(f.path)
+		st, err := s.fs.Stat(f.path)
 		if err != nil {
 			if errors.Is(err, os.ErrNotExist) {
 				out[name] = 0

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"neograph/internal/faultfs"
 )
 
 // Token namespaces. Labels, relationship types and property keys each have
@@ -39,17 +41,18 @@ var tokenMagic = [8]byte{'n', 'g', 't', 'k', 0, 0, 0, 1}
 type Tokens struct {
 	mu     sync.RWMutex
 	path   string
+	fs     faultfs.FS
 	byName [tokenKinds]map[string]uint32
 	byID   [tokenKinds][]string
 }
 
-// OpenTokens loads (or creates) the token registry at path.
-func OpenTokens(path string) (*Tokens, error) {
-	t := &Tokens{path: path}
+// OpenTokens loads (or creates) the token registry at path through fs.
+func OpenTokens(fs faultfs.FS, path string) (*Tokens, error) {
+	t := &Tokens{path: path, fs: faultfs.OrOS(fs)}
 	for k := range t.byName {
 		t.byName[k] = make(map[string]uint32)
 	}
-	buf, err := os.ReadFile(path)
+	buf, err := t.fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return t, nil
 	}
@@ -145,7 +148,7 @@ func (t *Tokens) All(kind TokenKind) []string {
 // appendEntry persists one new token. Caller holds t.mu. The file is
 // rewritten append-only: on first write the magic header is added.
 func (t *Tokens) appendEntry(kind TokenKind, id uint32, name string) error {
-	f, err := os.OpenFile(t.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	f, err := t.fs.OpenFile(t.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: append token: %w", err)
 	}

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"neograph/internal/faultfs"
 )
 
 // TestBatcherGroupsConcurrentCommits drives many concurrent committers
@@ -235,7 +237,7 @@ func TestBatcherDurableAcrossRotation(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

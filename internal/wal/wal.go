@@ -31,6 +31,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"neograph/internal/faultfs"
 )
 
 // Options tune the log.
@@ -41,6 +43,9 @@ type Options struct {
 	// NoSync disables fsync on Sync() calls — useful for benchmarks that
 	// measure CPU cost rather than disk latency. Durability is lost.
 	NoSync bool
+	// FS is the file-system seam, nil meaning the real OS. Crash tests
+	// substitute a faultfs.Injector to kill the log at scripted points.
+	FS faultfs.FS
 }
 
 // DefaultSegmentSize rotates segments at 16 MiB.
@@ -73,8 +78,9 @@ var (
 type WAL struct {
 	mu      sync.Mutex
 	dir     string
+	fs      faultfs.FS
 	opts    Options
-	active  *os.File
+	active  faultfs.File
 	start   uint64 // LSN of the active segment's first byte
 	size    int64  // bytes written to the active segment
 	nextLSN uint64
@@ -111,11 +117,12 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = DefaultSegmentSize
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := faultfs.OrOS(opts.FS)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: mkdir: %w", err)
 	}
-	w := &WAL{dir: dir, opts: opts}
-	segs, err := listSegments(dir)
+	w := &WAL{dir: dir, fs: fs, opts: opts}
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -127,11 +134,11 @@ func Open(dir string, opts Options) (*WAL, error) {
 	}
 	// Validate the last segment and truncate any torn tail.
 	last := segs[len(segs)-1]
-	validLen, err := validLength(filepath.Join(dir, segmentName(last)))
+	validLen, err := validLength(fs, filepath.Join(dir, segmentName(last)))
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, segmentName(last)), os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(filepath.Join(dir, segmentName(last)), os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open segment: %w", err)
 	}
@@ -194,8 +201,8 @@ func parseSegmentName(name string) (uint64, error) {
 }
 
 // listSegments returns the starting LSNs of all segments in dir, sorted.
-func listSegments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs faultfs.FS, dir string) ([]uint64, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: readdir: %w", err)
 	}
@@ -214,8 +221,8 @@ func listSegments(dir string) ([]uint64, error) {
 
 // validLength scans a segment and returns the byte length of its valid
 // prefix (up to but excluding the first torn/corrupt frame).
-func validLength(path string) (int64, error) {
-	data, err := os.ReadFile(path)
+func validLength(fs faultfs.FS, path string) (int64, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("wal: scan %s: %w", path, err)
 	}
@@ -253,7 +260,7 @@ func (w *WAL) rotateLocked(lsn uint64) error {
 			return err
 		}
 	}
-	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(lsn)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := w.fs.OpenFile(filepath.Join(w.dir, segmentName(lsn)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
@@ -322,6 +329,14 @@ func (w *WAL) Sync() error {
 		w.mu.Unlock()
 		return nil
 	}
+	if w.durable >= w.nextLSN {
+		// Everything appended is already durable: an fsync would prove
+		// nothing new. This keeps idle replicas (whose applier fsyncs on
+		// every sync-requested heartbeat) from hammering the disk when no
+		// records have arrived.
+		w.mu.Unlock()
+		return nil
+	}
 	f := w.active
 	// Records appended before this point are covered by the fsync below;
 	// later appends may be too, but this is the bound we can prove.
@@ -380,13 +395,13 @@ func (w *WAL) ForEach(fn func(lsn uint64, payload []byte) error) error {
 			return err
 		}
 	}
-	segs, err := listSegments(w.dir)
+	segs, err := listSegments(w.fs, w.dir)
 	w.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	for _, start := range segs {
-		data, err := os.ReadFile(filepath.Join(w.dir, segmentName(start)))
+		data, err := w.fs.ReadFile(filepath.Join(w.dir, segmentName(start)))
 		if err != nil {
 			return fmt.Errorf("wal: replay: %w", err)
 		}
@@ -496,7 +511,7 @@ func (w *WAL) ReadRange(from, to uint64, fn func(lsn uint64, payload []byte) err
 		w.mu.Unlock()
 		return ErrClosed
 	}
-	segs, err := listSegments(w.dir)
+	segs, err := listSegments(w.fs, w.dir)
 	w.mu.Unlock()
 	if err != nil {
 		return err
@@ -518,7 +533,7 @@ func (w *WAL) ReadRange(from, to uint64, fn func(lsn uint64, payload []byte) err
 		// Read only the [pos, to) window of the segment — the live tail
 		// ships small batches out of a large active segment, and loading
 		// the whole file per batch would make shipping O(segment size).
-		data, err := readSegmentRange(filepath.Join(w.dir, segmentName(segs[i])), segs[i], pos, to)
+		data, err := readSegmentRange(w.fs, filepath.Join(w.dir, segmentName(segs[i])), segs[i], pos, to)
 		if err != nil {
 			return err
 		}
@@ -536,8 +551,8 @@ func (w *WAL) ReadRange(from, to uint64, fn func(lsn uint64, payload []byte) err
 
 // readSegmentRange returns the segment's bytes from position pos up to at
 // most position to (both global LSNs; the segment starts at segStart).
-func readSegmentRange(path string, segStart, pos, to uint64) ([]byte, error) {
-	f, err := os.Open(path)
+func readSegmentRange(fs faultfs.FS, path string, segStart, pos, to uint64) ([]byte, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: read range: %w", err)
 	}
@@ -588,7 +603,7 @@ func (w *WAL) TruncateBefore(lsn uint64) error {
 	if w.closed {
 		return ErrClosed
 	}
-	segs, err := listSegments(w.dir)
+	segs, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
@@ -598,7 +613,7 @@ func (w *WAL) TruncateBefore(lsn uint64) error {
 		if i+1 >= len(segs) || segs[i+1] > lsn || start == w.start {
 			continue
 		}
-		if err := os.Remove(filepath.Join(w.dir, segmentName(start))); err != nil {
+		if err := w.fs.Remove(filepath.Join(w.dir, segmentName(start))); err != nil {
 			return fmt.Errorf("wal: truncate: %w", err)
 		}
 	}
@@ -609,13 +624,13 @@ func (w *WAL) TruncateBefore(lsn uint64) error {
 func (w *WAL) Size() (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	segs, err := listSegments(w.dir)
+	segs, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return 0, err
 	}
 	var total int64
 	for _, s := range segs {
-		st, err := os.Stat(filepath.Join(w.dir, segmentName(s)))
+		st, err := w.fs.Stat(filepath.Join(w.dir, segmentName(s)))
 		if err != nil {
 			return 0, err
 		}

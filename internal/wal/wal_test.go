@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"neograph/internal/faultfs"
 )
 
 func openTestWAL(t *testing.T, opts Options) (*WAL, string) {
@@ -108,7 +110,7 @@ func TestSegmentRotation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +142,7 @@ func TestTornTailTruncated(t *testing.T) {
 	w.Close()
 
 	// Corrupt the tail: append a valid-looking header with garbage payload.
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(faultfs.OS{}, dir)
 	path := filepath.Join(dir, segmentName(segs[0]))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -179,11 +181,11 @@ func TestTruncateBefore(t *testing.T) {
 		}
 		lsns = append(lsns, lsn)
 	}
-	before, _ := listSegments(dir)
+	before, _ := listSegments(faultfs.OS{}, dir)
 	if err := w.TruncateBefore(lsns[len(lsns)-1]); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := listSegments(dir)
+	after, _ := listSegments(faultfs.OS{}, dir)
 	if len(after) >= len(before) {
 		t.Fatalf("no segments removed: %d -> %d", len(before), len(after))
 	}

@@ -53,6 +53,10 @@ const (
 	OpGC           = "gc"
 	OpCheckpoint   = "checkpoint"
 	OpReplStatus   = "repl_status"
+	// OpPromote turns a replica server into a writable primary (failover).
+	// Request.Addr optionally names the replication address the promoted
+	// node starts shipping on — typically the dead primary's.
+	OpPromote = "promote"
 )
 
 // Request is one client command.
@@ -70,6 +74,9 @@ type Request struct {
 	Start     uint64          `json:"start,omitempty"`
 	End       uint64          `json:"end,omitempty"`
 	Dir       string          `json:"dir,omitempty"` // "out" | "in" | "both"
+	// Addr is the replication address a promoted node should ship on
+	// (promote op only).
+	Addr string `json:"addr,omitempty"`
 	// WaitLSN gates a read on the log position: a replica waits until it
 	// has applied the primary's log to this position (read-your-writes —
 	// pass the LSN a write response returned); a primary waits until the

@@ -37,7 +37,9 @@ package neograph
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"neograph/internal/core"
@@ -137,6 +139,19 @@ type Options struct {
 	// the WAL to any number of replicas (":0" picks a free port —
 	// ReplicationAddress reports it). Requires Dir.
 	ReplicationAddr string
+	// SyncReplicas makes replication synchronous: a commit is
+	// acknowledged only after this many replicas have durably acked its
+	// WAL position, so promoting any in-quorum replica after a primary
+	// crash loses no acknowledged commit. Zero (the default) keeps
+	// replication asynchronous. Applies to the shipper started by
+	// ReplicationAddr or by Promote.
+	SyncReplicas int
+	// SyncReplicaTimeout is the degrade-to-async window for SyncReplicas:
+	// a commit that cannot assemble its quorum this long is acknowledged
+	// anyway (and counted in ReplStatus.DegradedCommits) so a primary
+	// whose replicas died stays available. Zero means 1s; negative waits
+	// forever.
+	SyncReplicaTimeout time.Duration
 	// WALSegmentSize overrides the WAL segment rotation size (testing and
 	// replication experiments; zero = 16 MiB default).
 	WALSegmentSize int64
@@ -144,9 +159,28 @@ type Options struct {
 
 // DB is a neograph database handle, safe for concurrent use.
 type DB struct {
-	e       *core.Engine
-	applier *repl.Applier // replica mode: the stream applier
-	shipper *repl.Shipper // primary mode: the WAL shipper
+	e *core.Engine
+
+	// replMu guards the replication endpoints, which Promote swaps at
+	// runtime (applier down, shipper up).
+	replMu   sync.Mutex
+	applier  *repl.Applier       // replica mode: the stream applier
+	shipper  *repl.Shipper       // primary mode: the WAL shipper
+	shipOpts repl.ShipperOptions // shipper tuning, reused by Promote
+	// promoted records a successful engine promotion in this process, so
+	// a Promote whose shipper failed to bind (port still in use) can be
+	// retried to start shipping instead of wedging as "not a replica".
+	promoted bool
+	// replStopped is set by Close/Crash teardown; a Promote losing that
+	// race must fail rather than install a shipper nobody will close.
+	replStopped bool
+}
+
+// repl snapshots the current replication endpoints.
+func (db *DB) repl() (*repl.Applier, *repl.Shipper) {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	return db.applier, db.shipper
 }
 
 // Open opens (creating or recovering as needed) a database.
@@ -175,7 +209,10 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{e: e}
+	db := &DB{e: e, shipOpts: repl.ShipperOptions{
+		SyncReplicas: opts.SyncReplicas,
+		SyncTimeout:  opts.SyncReplicaTimeout,
+	}}
 	if opts.ReplicaOf != "" {
 		a, err := repl.NewApplier(e, opts.ReplicaOf, repl.ApplierOptions{})
 		if err != nil {
@@ -186,7 +223,7 @@ func Open(opts Options) (*DB, error) {
 		db.applier = a
 	}
 	if opts.ReplicationAddr != "" {
-		s, err := repl.NewShipper(e, opts.ReplicationAddr, repl.ShipperOptions{})
+		s, err := repl.NewShipper(e, opts.ReplicationAddr, db.shipOpts)
 		if err != nil {
 			e.Close()
 			return nil, err
@@ -194,6 +231,53 @@ func Open(opts Options) (*DB, error) {
 		db.shipper = s
 	}
 	return db, nil
+}
+
+// Promote turns a replica into a writable primary: the stream applier is
+// stopped, the applied WAL tail is sealed, the replication epoch is
+// bumped (fencing the old primary out of the new timeline), and local
+// write commits are accepted from here on. When replicationAddr is
+// non-empty a WAL shipper is started there — typically the dead
+// primary's replication address — so surviving replicas can re-point (or
+// simply reconnect) and follow the promoted node. SyncReplicas from Open
+// carries over to the new shipper.
+func (db *DB) Promote(replicationAddr string) error {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	if db.replStopped {
+		return errors.New("neograph: promote: database closed")
+	}
+	switch {
+	case db.applier != nil:
+		db.applier.Close()
+		if err := db.e.Promote(); err != nil {
+			// The engine is still a replica; restart the applier rather
+			// than leave the node following nothing.
+			a, aerr := repl.NewApplier(db.e, db.applier.Status().PrimaryAddr, repl.ApplierOptions{})
+			if aerr == nil {
+				a.Start()
+				db.applier = a
+			}
+			return err
+		}
+		db.applier = nil
+		db.promoted = true
+	case db.promoted && db.shipper == nil && replicationAddr != "":
+		// Retry path: an earlier Promote flipped the engine but its
+		// shipper failed to bind (e.g. the dead primary's port was still
+		// held). Fall through to start shipping now; without an address
+		// a repeated promote is an error like any other, not a silent OK.
+	default:
+		return errors.New("neograph: promote: not a replica")
+	}
+	if replicationAddr != "" && db.shipper == nil {
+		s, err := repl.NewShipper(db.e, replicationAddr, db.shipOpts)
+		if err != nil {
+			return fmt.Errorf("neograph: promoted but cannot ship (retry Promote once the address frees): %w", err)
+		}
+		db.shipper = s
+	}
+	return nil
 }
 
 // Close stops replication, checkpoints and closes the database.
@@ -210,12 +294,21 @@ func (db *DB) Crash() error {
 	return db.e.Crash()
 }
 
+// stopRepl tears down the replication endpoints under replMu, so a
+// concurrent Promote either completes first (its shipper is closed
+// here) or observes replStopped and fails — never installs a shipper
+// that outlives the database.
 func (db *DB) stopRepl() {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	db.replStopped = true
 	if db.applier != nil {
 		db.applier.Close()
+		db.applier = nil
 	}
 	if db.shipper != nil {
 		db.shipper.Close()
+		db.shipper = nil
 	}
 }
 
@@ -306,27 +399,44 @@ type ReplStatus struct {
 	// Primary-side details (Role == "primary").
 	ReplicationAddr string             `json:"replication_addr,omitempty"`
 	Replicas        []repl.ReplicaInfo `json:"replicas,omitempty"`
+	// SyncReplicas is the configured commit quorum (0 = async);
+	// DegradedCommits counts commits acknowledged without that quorum
+	// because the degrade timeout elapsed.
+	SyncReplicas    int    `json:"sync_replicas,omitempty"`
+	DegradedCommits uint64 `json:"degraded_commits,omitempty"`
+	// Epoch is the replication generation; a promotion bumps it.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
-// IsReplica reports whether the database was opened with ReplicaOf.
-func (db *DB) IsReplica() bool { return db.applier != nil }
+// IsReplica reports whether the database is currently a replica (opened
+// with ReplicaOf and not promoted).
+func (db *DB) IsReplica() bool {
+	a, _ := db.repl()
+	return a != nil
+}
 
 // PrimaryAddr returns the primary's replication address on a replica.
 func (db *DB) PrimaryAddr() string {
-	if db.applier == nil {
+	a, _ := db.repl()
+	if a == nil {
 		return ""
 	}
-	return db.applier.Status().PrimaryAddr
+	return a.Status().PrimaryAddr
 }
 
 // ReplicationAddress returns the bound WAL-shipping address on a primary
 // (useful with ReplicationAddr ":0").
 func (db *DB) ReplicationAddress() string {
-	if db.shipper == nil {
+	_, s := db.repl()
+	if s == nil {
 		return ""
 	}
-	return db.shipper.Addr()
+	return s.Addr()
 }
+
+// Epoch returns the node's replication epoch — the generation counter a
+// promotion bumps — and the WAL position at which that epoch began.
+func (db *DB) Epoch() (epoch, startLSN uint64) { return db.e.Epoch() }
 
 // ReplStatus snapshots replication state for status endpoints.
 func (db *DB) ReplStatus() ReplStatus {
@@ -335,18 +445,29 @@ func (db *DB) ReplStatus() ReplStatus {
 		DurableLSN: db.e.DurableLSN(),
 		AppliedLSN: db.e.AppliedLSN(),
 	}
+	st.Epoch, _ = db.e.Epoch()
+	db.replMu.Lock()
+	a, s, promoted := db.applier, db.shipper, db.promoted
+	db.replMu.Unlock()
 	switch {
-	case db.applier != nil:
-		as := db.applier.Status()
+	case a != nil:
+		as := a.Status()
 		st.Role = "replica"
 		st.PrimaryAddr = as.PrimaryAddr
 		st.Connected = as.Connected
 		st.PrimaryDurable = as.PrimaryDurable
 		st.LastError = as.LastError
-	case db.shipper != nil:
+	case s != nil:
 		st.Role = "primary"
-		st.ReplicationAddr = db.shipper.Addr()
-		st.Replicas = db.shipper.Replicas()
+		st.ReplicationAddr = s.Addr()
+		st.Replicas = s.Replicas()
+		st.SyncReplicas = db.shipOpts.SyncReplicas
+		st.DegradedCommits = s.Degraded()
+	case promoted:
+		// Promoted without a shipper (Promote("")): still a writable
+		// primary — the runbook's "role flips to primary" must hold even
+		// before shipping starts.
+		st.Role = "primary"
 	}
 	return st
 }
@@ -367,10 +488,11 @@ func (db *DB) WaitDurable(pos uint64) error { return db.e.WaitDurable(pos) }
 // gate. A zero timeout waits indefinitely. On a non-replica it falls
 // back to WaitDurable: the local log *is* the source of truth there.
 func (db *DB) WaitApplied(pos uint64, timeout time.Duration) error {
-	if db.applier == nil {
+	a, _ := db.repl()
+	if a == nil {
 		return db.e.WaitDurable(pos)
 	}
-	return db.applier.WaitApplied(pos, timeout)
+	return a.WaitApplied(pos, timeout)
 }
 
 // Engine exposes the underlying engine for advanced uses (the bench
