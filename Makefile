@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-repl race-failover bench bench-smoke lint fmt clean
+.PHONY: all build test race race-repl race-failover bench bench-smoke bench-e11 lint fmt clean
 
 all: build test
 
@@ -36,6 +36,10 @@ bench: build
 bench-smoke: build
 	$(GO) run ./cmd/neograph-bench -quick -json bench-results.json
 
+## bench-e11: the striped-commit-pipeline scaling experiment only
+bench-e11: build
+	$(GO) run ./cmd/neograph-bench -exp E11 -json bench-e11.json
+
 ## lint: go vet + gofmt diff check
 lint:
 	$(GO) vet ./...
@@ -47,4 +51,4 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f bench-results.json
+	rm -f bench-results.json bench-e11.json

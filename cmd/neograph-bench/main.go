@@ -7,6 +7,7 @@
 //	neograph-bench -exp E4         # one experiment
 //	neograph-bench -quick          # small, fast configurations
 //	neograph-bench -json out.json  # also write structured results
+//	neograph-bench -exp E11 -cpuprofile cpu.pprof  # profile a run
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,12 +25,58 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: E1..E10, E2d, F1 or all")
+		exp      = flag.String("exp", "all", "experiment to run: E1..E11, E2d, F1 or all")
 		quick    = flag.Bool("quick", false, "small configurations (seconds, not minutes)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonPath = flag.String("json", "", "write structured results to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	// Profiles are finalised through exit() on every path — os.Exit would
+	// otherwise skip deferred finalisers, truncating the CPU profile and
+	// dropping the heap profile exactly when a failing run is the thing
+	// worth profiling.
+	profilesDone := false
+	stopProfiles := func() {
+		if profilesDone {
+			return
+		}
+		profilesDone = true
+		if *cpuProf != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProf != "" {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	defer stopProfiles()
 
 	w := os.Stdout
 	scale := func(full, quick_ int) int {
@@ -58,7 +107,7 @@ func main() {
 		rows, err := fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
-			os.Exit(1)
+			exit(1)
 		}
 		elapsed := time.Since(t0).Round(time.Millisecond)
 		if rows != nil {
@@ -169,25 +218,37 @@ func main() {
 			Seed:       *seed,
 		})
 	})
+	run("E11", func() (any, error) {
+		clients := []int{1, 2, 4, 8, 16}
+		if *quick {
+			clients = []int{1, 2, 4, 8}
+		}
+		return bench.RunE11(w, bench.E11Config{
+			Nodes:    scale(8192, 2048),
+			Clients:  clients,
+			Duration: dur(time.Second, 250*time.Millisecond),
+			Seed:     *seed,
+		})
+	})
 	run("F1", func() (any, error) {
 		return nil, bench.RunF1(w, scale(5_000, 500), *seed)
 	})
 
 	if matched == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E10, E2d, F1 or all)\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E11, E2d, F1 or all)\n", *exp)
+		exit(2)
 	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "marshal results: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(w, "(results written to %s)\n", *jsonPath)
 	}

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +42,8 @@ func main() {
 		noGroup   = flag.Bool("no-group-commit", false, "one fsync per commit instead of batched group commit")
 		maxBatch  = flag.Int("commit-max-batch", 0, "queued committers at which a lingering group-commit leader flushes early (0 = default)")
 		maxDelay  = flag.Duration("commit-max-delay", 0, "how long a group-commit leader waits for more committers (0 = flush immediately)")
+		stripes   = flag.Int("commit-stripes", 0, "object-map/commit-validation stripes, rounded up to a power of two, max 256 (0 = GOMAXPROCS, 1 = single global latch)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled), e.g. 127.0.0.1:6060")
 		gcEvery   = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
 		ckpEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
 		replAddr  = flag.String("repl-addr", "", "primary: stream the WAL to replicas on this address")
@@ -55,6 +59,7 @@ func main() {
 		DisableGroupCommit: *noGroup,
 		CommitMaxBatch:     *maxBatch,
 		CommitMaxDelay:     *maxDelay,
+		CommitStripes:      *stripes,
 		GCInterval:         *gcEvery,
 		CheckpointInterval: *ckpEvery,
 		ReplicationAddr:    *replAddr,
@@ -68,6 +73,17 @@ func main() {
 	if *fcw {
 		opts.Conflict = neograph.FirstCommitterWins
 	}
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the net/http/pprof handlers via its
+		// blank import; keep this listener off the public address.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	db, err := neograph.Open(opts)
 	if err != nil {
 		log.Fatalf("open: %v", err)

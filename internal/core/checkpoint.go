@@ -177,15 +177,18 @@ func estimateStateBytes(data any) int {
 // VersionBytes estimates the total memory held by version payloads in the
 // cache (E5's accounting of obsolete-version buildup).
 func (e *Engine) VersionBytes() int {
-	e.mu.RLock()
-	objs := make([]*object, 0, len(e.nodes)+len(e.rels))
-	for _, o := range e.nodes {
-		objs = append(objs, o)
+	var objs []*object
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.RLock()
+		for _, o := range s.nodes {
+			objs = append(objs, o)
+		}
+		for _, o := range s.rels {
+			objs = append(objs, o)
+		}
+		s.mu.RUnlock()
 	}
-	for _, o := range e.rels {
-		objs = append(objs, o)
-	}
-	e.mu.RUnlock()
 	total := 0
 	for _, o := range objs {
 		o.chain.Each(func(v *mvcc.Version) {

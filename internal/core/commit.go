@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"neograph/internal/ids"
 	"neograph/internal/lock"
@@ -60,20 +61,24 @@ func (t *Tx) Commit() error {
 		return fmt.Errorf("%w: %d staged writes rejected", ErrReadOnlyReplica, len(muts))
 	}
 
-	// First-committer-wins validation: under the commit latch, every
+	// First-committer-wins validation: under the commit latches, every
 	// non-created write must still derive from the chain head — any newer
-	// committed version means a concurrent updater won. The latch covers
-	// validation through install; it is dropped before the durability wait.
-	fcwLatched := false
+	// committed version means a concurrent updater won. The latches cover
+	// validation through install; they are dropped before the durability
+	// wait. Only the stripes in the write footprint are latched (acquired
+	// in ascending index order, so concurrent commits cannot deadlock):
+	// commits touching disjoint stripes validate and install fully in
+	// parallel, and the oracle's watermark protocol keeps readers off any
+	// half-installed commit.
+	var latched []*stripe
 	unlatch := func() {
-		if fcwLatched {
-			fcwLatched = false
-			t.e.commitMu.Unlock()
+		for i := len(latched) - 1; i >= 0; i-- {
+			latched[i].valMu.Unlock()
 		}
+		latched = nil
 	}
 	if t.iso == SnapshotIsolation && t.e.opts.Conflict == FirstCommitterWins {
-		t.e.commitMu.Lock()
-		fcwLatched = true
+		latched = t.e.latchFCW(t.writes)
 		defer unlatch()
 		for _, w := range t.writes {
 			if w.created {
@@ -99,14 +104,36 @@ func (t *Tx) Commit() error {
 		}
 	}
 
-	cts := t.e.oracle.BeginCommit()
-
 	// Durability: the redo record precedes installation (write-ahead).
+	// The record is rendered into a pooled buffer: WAL.Append writes the
+	// bytes through before returning, so the buffer is recycled
+	// immediately — the commit hot path allocates no encode buffer once
+	// the pool is warm.
+	//
+	// The commit timestamp is assigned *inside* walSeqMu together with
+	// the append, so timestamp order and LSN order agree: a replica
+	// applies the log in LSN order and fast-forwards its watermark to
+	// each observed timestamp, which is only sound if every lower
+	// timestamp's record precedes it in the log. The record is encoded
+	// with a placeholder timestamp outside the critical section and
+	// patched once the timestamp is known.
+	var cts mvcc.TS
 	var commitLSN uint64
-	if t.e.store != nil {
+	if t.e.store == nil {
+		// Memory-only engine: no log, no replicas — the timestamp needs
+		// no ordering beyond the oracle's own.
+		cts = t.e.oracle.BeginCommit()
+	} else {
 		t.e.commitGate.RLock()
-		payload := encodeCommit(cts, muts)
-		lsn, err := t.e.wal.Append(payload)
+		buf := commitBufPool.Get().(*commitBuf)
+		buf.b = appendCommit(buf.b[:0], 0, muts)
+		payloadLen := len(buf.b)
+		t.e.walSeqMu.Lock()
+		cts = t.e.oracle.BeginCommit()
+		binary.LittleEndian.PutUint64(buf.b[1:], cts)
+		lsn, err := t.e.wal.Append(buf.b)
+		t.e.walSeqMu.Unlock()
+		commitBufPool.Put(buf)
 		if err != nil {
 			t.e.commitGate.RUnlock()
 			t.e.oracle.AbortCommit(cts)
@@ -114,7 +141,7 @@ func (t *Tx) Commit() error {
 			return fmt.Errorf("core: wal append: %w", err)
 		}
 		commitLSN = lsn
-		t.commitEnd = CommitRecordEnd(lsn, len(payload))
+		t.commitEnd = CommitRecordEnd(lsn, payloadLen)
 		if t.e.batcher == nil && !t.e.opts.NoSyncCommits {
 			// Per-commit fsync baseline (Options.NoGroupCommit): the record
 			// is made durable before install, so a failed sync can still
@@ -164,6 +191,48 @@ func (t *Tx) Commit() error {
 	t.commitTS = cts
 	t.e.stats.committed.Add(1)
 	return nil
+}
+
+// latchFCW acquires the first-committer-wins validation latches for the
+// stripes in a transaction's write footprint, in ascending stripe order
+// so two commits latching overlapping sets cannot deadlock. The footprint
+// includes the endpoint nodes of created relationships: their liveness
+// check must be serialised against any concurrent commit deleting them.
+// The returned stripes are latched and must be released in reverse order.
+func (e *Engine) latchFCW(writes map[entKey]*writeEntry) []*stripe {
+	// The footprint is an insertion-sorted dedup'd set of stripe indices,
+	// kept in a stack array: it is bounded by the stripe count, and small
+	// transactions (the hot case) must not allocate here.
+	var stack [maxCommitStripes]uint16
+	idxs := stack[:0]
+	add := func(idx uint64) {
+		i := len(idxs)
+		for i > 0 && uint64(idxs[i-1]) > idx {
+			i--
+		}
+		if i > 0 && uint64(idxs[i-1]) == idx {
+			return
+		}
+		idxs = append(idxs, 0)
+		copy(idxs[i+1:], idxs[i:])
+		idxs[i] = uint16(idx)
+	}
+	for k, w := range writes {
+		add(e.stripeIndex(k))
+		if w.created && w.rel != nil && !w.deleted {
+			add(e.stripeIndex(entKey{lock.KindNode, w.rel.Start}))
+			if w.rel.End != w.rel.Start {
+				add(e.stripeIndex(entKey{lock.KindNode, w.rel.End}))
+			}
+		}
+	}
+	latched := make([]*stripe, 0, len(idxs))
+	for _, idx := range idxs {
+		s := &e.stripes[idx]
+		s.valMu.Lock()
+		latched = append(latched, s)
+	}
+	return latched
 }
 
 // validateEndpointAlive checks (under the FCW commit latch) that a
@@ -390,9 +459,22 @@ const (
 	recCheckpoint = 'K'
 )
 
+// commitBuf wraps the pooled commit-record encode buffer (boxed so the
+// pool traffics in pointers, not slice headers).
+type commitBuf struct{ b []byte }
+
+var commitBufPool = sync.Pool{
+	New: func() any { return &commitBuf{b: make([]byte, 0, 1024)} },
+}
+
 // encodeCommit renders a commit record: tag, timestamp, mutation list.
 func encodeCommit(cts mvcc.TS, muts []mutation) []byte {
-	buf := make([]byte, 0, 64*len(muts)+16)
+	return appendCommit(make([]byte, 0, 64*len(muts)+16), cts, muts)
+}
+
+// appendCommit renders a commit record into buf (the hot commit path
+// passes a pooled buffer).
+func appendCommit(buf []byte, cts mvcc.TS, muts []mutation) []byte {
 	buf = append(buf, recCommit)
 	buf = binary.LittleEndian.AppendUint64(buf, cts)
 	buf = binary.AppendUvarint(buf, uint64(len(muts)))
@@ -445,6 +527,12 @@ func encodeCheckpoint(w mvcc.TS) []byte {
 	return binary.LittleEndian.AppendUint64(buf, w)
 }
 
+// minMutationBytes is the smallest possible encoded mutation: kind (1) +
+// id (8) + flags (1); the payload that follows only adds bytes. It caps
+// how many mutations a record of a given size can possibly hold, so a
+// corrupt count cannot drive a huge allocation.
+const minMutationBytes = 10
+
 // decodeCommit parses a commit record. Returns the commit timestamp and
 // mutations.
 func decodeCommit(payload []byte) (mvcc.TS, []mutation, error) {
@@ -458,8 +546,9 @@ func decodeCommit(payload []byte) (mvcc.TS, []mutation, error) {
 		return 0, nil, fmt.Errorf("core: corrupt commit record (count)")
 	}
 	off += sz
-	if n > uint64(len(payload)) {
-		return 0, nil, fmt.Errorf("core: corrupt commit record (absurd count %d)", n)
+	if n > uint64(len(payload)-off)/minMutationBytes {
+		return 0, nil, fmt.Errorf("core: corrupt commit record (count %d exceeds %d payload bytes)",
+			n, len(payload)-off)
 	}
 	muts := make([]mutation, 0, n)
 	for i := uint64(0); i < n; i++ {
@@ -480,7 +569,9 @@ func decodeCommit(payload []byte) (mvcc.TS, []mutation, error) {
 		switch m.key.kind {
 		case lock.KindNode:
 			nl, sz := binary.Uvarint(payload[off:])
-			if sz <= 0 || nl > uint64(len(payload)) {
+			// Each label costs at least one length byte, bounding the count
+			// by the bytes remaining.
+			if sz <= 0 || nl > uint64(len(payload)-off-sz) {
 				return 0, nil, fmt.Errorf("core: corrupt commit record (labels)")
 			}
 			off += sz

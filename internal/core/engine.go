@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,6 +150,15 @@ type Options struct {
 	CheckpointEvery time.Duration
 	// StoreCachePages is the page-cache capacity per store file.
 	StoreCachePages int
+	// CommitStripes is the number of stripes the object map, adjacency
+	// structure and first-committer-wins validation latches are split
+	// into. Transactions whose write footprints touch disjoint stripes
+	// validate and install fully in parallel. Zero picks the default
+	// (GOMAXPROCS rounded up to a power of two); any other value is
+	// rounded up to a power of two and capped at 256. 1 restores the
+	// single global latch — the degenerate debugging mode with exactly
+	// the pre-striping semantics.
+	CommitStripes int
 	// Replica opens the engine read-only for local transactions: write
 	// commits fail with ErrReadOnlyReplica, and the WAL receives records
 	// exclusively through ApplyReplicated so it stays a byte-exact prefix
@@ -215,6 +225,24 @@ type RelState struct {
 	Props      value.Map
 }
 
+// stripe is one shard of the engine's in-memory concurrency-critical
+// state: a slice of the object and adjacency maps under its own lock,
+// plus the first-committer-wins validation latch for the entities that
+// hash here. Transactions touching disjoint stripes never contend.
+type stripe struct {
+	mu    sync.RWMutex                   // guards the maps below
+	nodes map[ids.ID]*object             // node objects hashed to this stripe
+	rels  map[ids.ID]*object             // rel objects hashed to this stripe
+	adj   map[ids.ID]map[ids.ID]struct{} // node -> set of rel IDs ever attached (pruned on rel death)
+
+	// valMu is the per-stripe FCW commit latch: a committing FCW
+	// transaction latches every stripe in its write footprint (in index
+	// order, so latch acquisition cannot deadlock) across validation and
+	// install. With CommitStripes=1 this degenerates to the old single
+	// global latch.
+	valMu sync.Mutex
+}
+
 // Engine is the database engine.
 type Engine struct {
 	opts    Options
@@ -226,11 +254,13 @@ type Engine struct {
 	locks   *lock.Manager
 	gcList  *mvcc.GCList
 
-	mu         sync.RWMutex // guards the maps below
-	nodes      map[ids.ID]*object
-	rels       map[ids.ID]*object
-	chainOwner map[*mvcc.Chain]*object
-	adj        map[ids.ID]map[ids.ID]struct{} // node -> set of rel IDs ever attached (pruned on rel death)
+	// stripes holds the object cache split into power-of-two shards by
+	// entity-key hash; stripeMask selects a shard. chainOwner maps a
+	// version chain back to its owning object for GC reaping (written
+	// once per object lifetime, read only by the collector).
+	stripes    []stripe
+	stripeMask uint64
+	chainOwner sync.Map // *mvcc.Chain -> *object
 
 	labelIdx    *index.LabelIndex
 	nodePropIdx *index.PropertyIndex
@@ -243,10 +273,14 @@ type Engine struct {
 	// memAlloc is used in memory-only mode in place of store allocators.
 	memNodeAlloc, memRelAlloc *ids.Allocator
 
-	// commitMu serialises first-committer-wins validation+install. It is
-	// never held across the commit fsync — durability is awaited through
-	// the group-commit batcher after the latch drops.
-	commitMu sync.Mutex
+	// walSeqMu orders commit-timestamp assignment with the WAL append:
+	// the record for a lower commit timestamp must land at a lower LSN,
+	// or a replica applying the log in LSN order would advance its
+	// watermark past a commit it has not applied yet (breaking replica
+	// snapshot reads). The WAL already serialises appends internally, so
+	// this adds no serial section the log didn't impose — only the atomic
+	// timestamp fetch and an 8-byte patch ride inside it.
+	walSeqMu sync.Mutex
 	// commitGate is held (shared) by every commit from WAL append through
 	// dirty marking; the checkpointer takes it exclusively to cut a
 	// consistent WAL truncation point.
@@ -296,22 +330,42 @@ type statsCounters struct {
 	checkpoints, checkpointPuts, checkpointBytes    atomic.Uint64
 }
 
+// maxCommitStripes bounds the stripe count: beyond this the per-stripe
+// maps cost more in memory and latch-set size than they save in
+// contention.
+const maxCommitStripes = 256
+
+// resolveStripes turns Options.CommitStripes into the actual power-of-two
+// stripe count.
+func resolveStripes(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxCommitStripes {
+		n = maxCommitStripes
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // Open creates or opens an engine with the given options, running
 // recovery when a store directory is present.
 func Open(opts Options) (*Engine, error) {
 	if opts.StoreCachePages <= 0 {
 		opts.StoreCachePages = store.DefaultCachePages
 	}
+	opts.CommitStripes = resolveStripes(opts.CommitStripes)
 	e := &Engine{
 		opts:       opts,
 		oracle:     mvcc.NewOracle(0),
 		active:     mvcc.NewActiveTable(),
 		locks:      lock.NewManager(),
 		gcList:     mvcc.NewGCList(),
-		nodes:      make(map[ids.ID]*object),
-		rels:       make(map[ids.ID]*object),
-		chainOwner: make(map[*mvcc.Chain]*object),
-		adj:        make(map[ids.ID]map[ids.ID]struct{}),
+		stripes:    make([]stripe, opts.CommitStripes),
+		stripeMask: uint64(opts.CommitStripes - 1),
 
 		labelIdx:    index.NewLabelIndex(),
 		nodePropIdx: index.NewPropertyIndex(),
@@ -319,6 +373,12 @@ func Open(opts Options) (*Engine, error) {
 		tok:         newTokenTable(),
 		dirty:       make(map[entKey]struct{}),
 		stopBG:      make(chan struct{}),
+	}
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.nodes = make(map[ids.ID]*object)
+		s.rels = make(map[ids.ID]*object)
+		s.adj = make(map[ids.ID]map[ids.ID]struct{})
 	}
 	e.fs = faultfs.OrOS(opts.FS)
 	e.replica.Store(opts.Replica)
@@ -436,19 +496,27 @@ func (e *Engine) ActiveTransactions() int { return e.active.Count() }
 // VersionCount reports the total number of versions in the cache and the
 // number of entities, for the E5 memory accounting.
 func (e *Engine) VersionCount() (versions, entities int) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	for _, o := range e.nodes {
-		versions += o.chain.Len()
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.RLock()
+		for _, o := range s.nodes {
+			versions += o.chain.Len()
+		}
+		for _, o := range s.rels {
+			versions += o.chain.Len()
+		}
+		entities += len(s.nodes) + len(s.rels)
+		s.mu.RUnlock()
 	}
-	for _, o := range e.rels {
-		versions += o.chain.Len()
-	}
-	return versions, len(e.nodes) + len(e.rels)
+	return versions, entities
 }
 
 // GCBacklog returns the number of versions waiting on the threaded GC list.
 func (e *Engine) GCBacklog() int { return e.gcList.Len() }
+
+// CommitStripes reports the resolved stripe count (the power of two
+// Options.CommitStripes rounded up to).
+func (e *Engine) CommitStripes() int { return len(e.stripes) }
 
 // Store exposes the underlying persistent store (nil in memory mode), for
 // the F1 architecture report.
@@ -585,14 +653,38 @@ func (e *Engine) releaseRelID(id ids.ID) {
 	}
 }
 
+// stripeIndex hashes an entity key to its stripe. Sequential IDs must
+// spread across stripes (allocators hand them out densely), so the ID is
+// mixed with a Fibonacci/splitmix-style multiply-xor before masking; the
+// relationship namespace is offset so node N and rel N land independently.
+func (e *Engine) stripeIndex(k entKey) uint64 {
+	h := k.id
+	if k.kind == lock.KindRel {
+		h ^= 0xD6E8FEB86659FD93
+	}
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	return h & e.stripeMask
+}
+
+// stripeOf returns the stripe owning key.
+func (e *Engine) stripeOf(k entKey) *stripe { return &e.stripes[e.stripeIndex(k)] }
+
+// nodeStripe returns the stripe owning a node ID (adjacency lives with
+// the node).
+func (e *Engine) nodeStripe(id ids.ID) *stripe {
+	return e.stripeOf(entKey{lock.KindNode, id})
+}
+
 // getObject returns the cached object for key, or nil.
 func (e *Engine) getObject(k entKey) *object {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	s := e.stripeOf(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if k.kind == lock.KindNode {
-		return e.nodes[k.id]
+		return s.nodes[k.id]
 	}
-	return e.rels[k.id]
+	return s.rels[k.id]
 }
 
 // ensureObject returns the cached object for key, creating an empty one
@@ -601,31 +693,31 @@ func (e *Engine) ensureObject(k entKey) *object {
 	if o := e.getObject(k); o != nil {
 		return o
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	var m map[ids.ID]*object
-	if k.kind == lock.KindNode {
-		m = e.nodes
-	} else {
-		m = e.rels
+	s := e.stripeOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.nodes
+	if k.kind == lock.KindRel {
+		m = s.rels
 	}
 	if o, ok := m[k.id]; ok {
 		return o
 	}
 	o := &object{key: k, chain: mvcc.NewChain()}
 	m[k.id] = o
-	e.chainOwner[o.chain] = o
+	e.chainOwner.Store(o.chain, o)
 	return o
 }
 
 // addAdjacency records rel as attached to node.
 func (e *Engine) addAdjacency(node, rel ids.ID) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	set := e.adj[node]
+	s := e.nodeStripe(node)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.adj[node]
 	if set == nil {
 		set = make(map[ids.ID]struct{})
-		e.adj[node] = set
+		s.adj[node] = set
 	}
 	set[rel] = struct{}{}
 }
@@ -633,9 +725,10 @@ func (e *Engine) addAdjacency(node, rel ids.ID) {
 // adjacentRels snapshots the rel IDs ever attached to node. Visibility is
 // decided per relationship by its own version chain.
 func (e *Engine) adjacentRels(node ids.ID) []ids.ID {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	set := e.adj[node]
+	s := e.nodeStripe(node)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := s.adj[node]
 	out := make([]ids.ID, 0, len(set))
 	for id := range set {
 		out = append(out, id)

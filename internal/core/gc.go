@@ -42,15 +42,18 @@ func (e *Engine) RunGC() GCReport {
 		rep.Scanned = rep.Collected + 1
 	case GCVacuum:
 		// Vacuum-style: visit every chain in the cache.
-		e.mu.RLock()
-		chains := make([]*mvcc.Chain, 0, len(e.nodes)+len(e.rels))
-		for _, o := range e.nodes {
-			chains = append(chains, o.chain)
+		var chains []*mvcc.Chain
+		for i := range e.stripes {
+			s := &e.stripes[i]
+			s.mu.RLock()
+			for _, o := range s.nodes {
+				chains = append(chains, o.chain)
+			}
+			for _, o := range s.rels {
+				chains = append(chains, o.chain)
+			}
+			s.mu.RUnlock()
 		}
-		for _, o := range e.rels {
-			chains = append(chains, o.chain)
-		}
-		e.mu.RUnlock()
 		for _, c := range chains {
 			before := c.Len()
 			removed, empty := c.PruneOlderThan(horizon)
@@ -88,28 +91,36 @@ func (e *Engine) reapDead(chains []*mvcc.Chain) {
 		return
 	}
 	var objs []*object
-	e.mu.Lock()
 	for _, c := range chains {
-		o := e.chainOwner[c]
-		if o == nil {
+		v, ok := e.chainOwner.LoadAndDelete(c)
+		if !ok {
 			continue
 		}
-		delete(e.chainOwner, c)
+		o := v.(*object)
 		if o.key.kind == lock.KindNode {
-			delete(e.nodes, o.key.id)
-			delete(e.adj, o.key.id)
+			s := e.stripeOf(o.key)
+			s.mu.Lock()
+			delete(s.nodes, o.key.id)
+			delete(s.adj, o.key.id)
+			s.mu.Unlock()
 		} else {
-			delete(e.rels, o.key.id)
-			if set := e.adj[o.start]; set != nil {
-				delete(set, o.key.id)
-			}
-			if set := e.adj[o.end]; set != nil {
-				delete(set, o.key.id)
+			s := e.stripeOf(o.key)
+			s.mu.Lock()
+			delete(s.rels, o.key.id)
+			s.mu.Unlock()
+			// Adjacency entries live with the endpoint nodes, which may
+			// hash to different stripes than the relationship itself.
+			for _, n := range []uint64{o.start, o.end} {
+				ns := e.nodeStripe(n)
+				ns.mu.Lock()
+				if set := ns.adj[n]; set != nil {
+					delete(set, o.key.id)
+				}
+				ns.mu.Unlock()
 			}
 		}
 		objs = append(objs, o)
 	}
-	e.mu.Unlock()
 
 	e.dirtyMu.Lock()
 	for _, o := range objs {

@@ -228,11 +228,14 @@ func TestGroupCommitLatchNotHeldAcrossFsync(t *testing.T) {
 		t.Fatal("first committer never reached fsync")
 	}
 
-	// The latch must be free: TryLock succeeds while the fsync is stuck.
-	if !e.commitMu.TryLock() {
-		t.Fatal("commitMu is held across the fsync")
+	// The latches must be free: TryLock succeeds on every stripe while
+	// the fsync is stuck.
+	for i := range e.stripes {
+		if !e.stripes[i].valMu.TryLock() {
+			t.Fatalf("stripe %d validation latch is held across the fsync", i)
+		}
+		e.stripes[i].valMu.Unlock()
 	}
-	e.commitMu.Unlock()
 
 	close(release)
 	if err := <-done; err != nil {

@@ -133,12 +133,15 @@ func (t *Tx) AllNodes() ([]ids.ID, error) {
 	if err := t.check(); err != nil {
 		return nil, err
 	}
-	t.e.mu.RLock()
-	cand := make([]ids.ID, 0, len(t.e.nodes))
-	for id := range t.e.nodes {
-		cand = append(cand, id)
+	var cand []ids.ID
+	for i := range t.e.stripes {
+		s := &t.e.stripes[i]
+		s.mu.RLock()
+		for id := range s.nodes {
+			cand = append(cand, id)
+		}
+		s.mu.RUnlock()
 	}
-	t.e.mu.RUnlock()
 	out := make([]ids.ID, 0, len(cand))
 	for _, id := range cand {
 		_, ok, err := t.visibleNode(id)
@@ -163,12 +166,15 @@ func (t *Tx) AllRels() ([]ids.ID, error) {
 	if err := t.check(); err != nil {
 		return nil, err
 	}
-	t.e.mu.RLock()
-	cand := make([]ids.ID, 0, len(t.e.rels))
-	for id := range t.e.rels {
-		cand = append(cand, id)
+	var cand []ids.ID
+	for i := range t.e.stripes {
+		s := &t.e.stripes[i]
+		s.mu.RLock()
+		for id := range s.rels {
+			cand = append(cand, id)
+		}
+		s.mu.RUnlock()
 	}
-	t.e.mu.RUnlock()
 	out := make([]ids.ID, 0, len(cand))
 	for _, id := range cand {
 		_, ok, err := t.visibleRel(id)

@@ -101,18 +101,21 @@ func (e *Engine) recover() error {
 	// commits never reached). Raise them past every recovered ID.
 	var maxNode, maxRel uint64
 	hasNode, hasRel := false, false
-	e.mu.RLock()
-	for id := range e.nodes {
-		if !hasNode || id > maxNode {
-			maxNode, hasNode = id, true
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.RLock()
+		for id := range s.nodes {
+			if !hasNode || id > maxNode {
+				maxNode, hasNode = id, true
+			}
 		}
-	}
-	for id := range e.rels {
-		if !hasRel || id > maxRel {
-			maxRel, hasRel = id, true
+		for id := range s.rels {
+			if !hasRel || id > maxRel {
+				maxRel, hasRel = id, true
+			}
 		}
+		s.mu.RUnlock()
 	}
-	e.mu.RUnlock()
 	if hasNode && e.store.NodeHighWater() <= maxNode {
 		e.store.SetNodeHighWater(maxNode + 1)
 	}

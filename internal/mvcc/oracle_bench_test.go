@@ -1,0 +1,44 @@
+package mvcc
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkOracle exercises the oracle's commit-cycle hot path
+// (BeginCommit → FinishCommit with a StartTS per cycle, the shape every
+// writing transaction drives) across GOMAXPROCS goroutines. The striped
+// commit pipeline funnels every commit through these three calls, so
+// their scalability bounds multi-writer throughput.
+func BenchmarkOracle(b *testing.B) {
+	b.Run("commit-cycle", func(b *testing.B) {
+		o := NewOracle(0)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_ = o.StartTS()
+				ts := o.BeginCommit()
+				o.FinishCommit(ts)
+			}
+		})
+	})
+	b.Run("start-ts", func(b *testing.B) {
+		o := NewOracle(0)
+		// A background committer keeps the watermark moving so StartTS
+		// reads a live value, not a constant.
+		stop := make(chan struct{})
+		var done atomic.Bool
+		go func() {
+			for !done.Load() {
+				o.FinishCommit(o.BeginCommit())
+			}
+			close(stop)
+		}()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_ = o.StartTS()
+			}
+		})
+		done.Store(true)
+		<-stop
+	})
+}

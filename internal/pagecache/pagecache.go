@@ -3,22 +3,38 @@
 // and write through the cache; pages are pinned while in use, evicted in
 // LRU order when the cache is full, and written back when dirty.
 //
-// The cache is safe for concurrent use. Callers pin a page, read or
-// mutate its Data under their own record-level synchronisation, then
-// unpin it (marking it dirty if mutated).
+// The cache is safe for concurrent use and sharded for it: pages hash to
+// one of several independent LRU segments, each with its own lock and its
+// own slice of the capacity, so concurrent pins of unrelated pages never
+// contend. Callers pin a page, read or mutate its Data under their own
+// record-level synchronisation, then unpin it (marking it dirty if
+// mutated).
 package pagecache
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of every cached page in bytes (8 KiB, as in Neo4j's
 // default page cache).
 const PageSize = 8192
+
+// minShardPages is the smallest per-shard capacity worth splitting for:
+// below it, sharding costs more in stranded capacity (a full shard next
+// to an empty one) than it saves in lock contention. It also bounds the
+// pinned-page headroom loss sharding introduces — ErrCacheFull fires when
+// one *shard* is fully pinned, so each shard must comfortably exceed any
+// plausible simultaneous pin count (pins are held only across a single
+// record copy).
+const minShardPages = 64
+
+// maxShards caps the shard count (power of two).
+const maxShards = 64
 
 // Errors returned by the cache.
 var (
@@ -40,7 +56,11 @@ type Page struct {
 	data  [PageSize]byte
 	pins  int
 	dirty bool
-	lru   *list.Element // nil while pinned (pinned pages are not evictable)
+	// Intrusive LRU links within the owning shard (guarded by the shard
+	// mutex). inLRU is false while pinned — pinned pages are not
+	// evictable and sit outside the list.
+	lruPrev, lruNext *Page
+	inLRU            bool
 }
 
 // ID returns the page number within the file.
@@ -58,16 +78,38 @@ type Stats struct {
 	Flushes   uint64
 }
 
-// Cache is an LRU page cache over a single file.
-type Cache struct {
+// shard is one LRU segment: a slice of the page map and capacity under
+// its own lock, with an intrusive doubly-linked LRU list of unpinned
+// pages (head = most recently used).
+type shard struct {
 	mu       sync.Mutex
-	file     File
-	capacity int
 	pages    map[uint64]*Page
-	lru      *list.List // front = most recently used; holds only unpinned pages
-	closed   bool
-	stats    Stats
-	grown    uint64 // number of pages known to exist in the file
+	capacity int
+	lruHead  *Page
+	lruTail  *Page
+}
+
+// Cache is a sharded LRU page cache over a single file.
+type Cache struct {
+	file      File
+	shards    []shard
+	shardMask uint64
+	closed    atomic.Bool
+	lifeMu    sync.Mutex    // serialises Flush/Close/Discard against each other
+	grown     atomic.Uint64 // number of pages known to exist in the file
+
+	hits, misses, evictions, flushes atomic.Uint64
+}
+
+// shardCount picks the power-of-two number of segments for a capacity:
+// enough to spread GOMAXPROCS pinners, but never so many that a segment
+// drops below minShardPages.
+func shardCount(capacity int) int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < maxShards && capacity/(n*2) >= minShardPages {
+		n *= 2
+	}
+	return n
 }
 
 // New creates a cache of capacity pages over file. fileSize is the current
@@ -79,27 +121,46 @@ func New(file File, capacity int, fileSize int64) (*Cache, error) {
 	if fileSize%PageSize != 0 {
 		return nil, fmt.Errorf("pagecache: file size %d not page aligned", fileSize)
 	}
-	return &Cache{
-		file:     file,
-		capacity: capacity,
-		pages:    make(map[uint64]*Page, capacity),
-		lru:      list.New(),
-		grown:    uint64(fileSize / PageSize),
-	}, nil
+	n := shardCount(capacity)
+	c := &Cache{
+		file:      file,
+		shards:    make([]shard, n),
+		shardMask: uint64(n - 1),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		// Distribute the capacity; the first capacity%n shards absorb the
+		// remainder so the totals always add up to capacity.
+		s.capacity = capacity / n
+		if i < capacity%n {
+			s.capacity++
+		}
+		s.pages = make(map[uint64]*Page, s.capacity)
+	}
+	c.grown.Store(uint64(fileSize / PageSize))
+	return c, nil
+}
+
+// shard maps a page number to its segment. Record files touch pages in
+// dense runs, so the ID is bit-mixed first to keep strided access
+// patterns from piling onto one segment.
+func (c *Cache) shard(pageID uint64) *shard {
+	h := pageID * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	return &c.shards[h&c.shardMask]
 }
 
 // PageCount returns the number of pages the backing file logically holds.
-func (c *Cache) PageCount() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.grown
-}
+func (c *Cache) PageCount() uint64 { return c.grown.Load() }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Flushes:   c.flushes.Load(),
+	}
 }
 
 // Pin returns the page with the given number, faulting it in from the file
@@ -107,50 +168,89 @@ func (c *Cache) Stats() Stats {
 // end of file are materialised as zero pages (the file grows lazily at
 // write-back). The caller must Unpin exactly once per Pin.
 func (c *Cache) Pin(pageID uint64) (*Page, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	s := c.shard(pageID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	if p, ok := c.pages[pageID]; ok {
-		c.stats.Hits++
-		c.pin(p)
+	if p, ok := s.pages[pageID]; ok {
+		c.hits.Add(1)
+		s.pin(p)
 		return p, nil
 	}
-	c.stats.Misses++
-	if len(c.pages) >= c.capacity {
-		if err := c.evictLocked(); err != nil {
+	c.misses.Add(1)
+	if len(s.pages) >= s.capacity {
+		if err := c.evictLocked(s); err != nil {
 			return nil, err
 		}
 	}
 	p := &Page{id: pageID}
-	if pageID < c.grown {
+	if pageID < c.grown.Load() {
 		if _, err := c.file.ReadAt(p.data[:], int64(pageID)*PageSize); err != nil && err != io.EOF {
 			return nil, fmt.Errorf("pagecache: read page %d: %w", pageID, err)
 		}
 	} else {
-		c.grown = pageID + 1
+		// Raise the high-water mark; concurrent faults of other new pages
+		// race upward monotonically.
+		for {
+			g := c.grown.Load()
+			if pageID < g || c.grown.CompareAndSwap(g, pageID+1) {
+				break
+			}
+		}
 	}
-	c.pages[pageID] = p
-	c.pin(p)
+	s.pages[pageID] = p
+	s.pin(p)
 	return p, nil
 }
 
 // pin increments the pin count and removes the page from the evictable
-// LRU list. Caller holds c.mu.
-func (c *Cache) pin(p *Page) {
+// LRU list. Caller holds s.mu.
+func (s *shard) pin(p *Page) {
 	p.pins++
-	if p.lru != nil {
-		c.lru.Remove(p.lru)
-		p.lru = nil
+	if p.inLRU {
+		s.lruRemove(p)
 	}
+}
+
+// lruRemove unlinks p from the shard's LRU list. Caller holds s.mu.
+func (s *shard) lruRemove(p *Page) {
+	if p.lruPrev != nil {
+		p.lruPrev.lruNext = p.lruNext
+	} else {
+		s.lruHead = p.lruNext
+	}
+	if p.lruNext != nil {
+		p.lruNext.lruPrev = p.lruPrev
+	} else {
+		s.lruTail = p.lruPrev
+	}
+	p.lruPrev, p.lruNext = nil, nil
+	p.inLRU = false
+}
+
+// lruPushFront links p as the shard's most recently used unpinned page.
+// Caller holds s.mu.
+func (s *shard) lruPushFront(p *Page) {
+	p.lruPrev = nil
+	p.lruNext = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.lruPrev = p
+	}
+	s.lruHead = p
+	if s.lruTail == nil {
+		s.lruTail = p
+	}
+	p.inLRU = true
 }
 
 // Unpin releases one pin on p. If dirty is true the page is marked for
 // write-back before eviction. Unpinning a page with no pins panics.
 func (c *Cache) Unpin(p *Page, dirty bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.shard(p.id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if p.pins <= 0 {
 		panic("pagecache: unpin of unpinned page")
 	}
@@ -159,52 +259,58 @@ func (c *Cache) Unpin(p *Page, dirty bool) {
 	}
 	p.pins--
 	if p.pins == 0 {
-		p.lru = c.lru.PushFront(p)
+		s.lruPushFront(p)
 	}
 }
 
-// evictLocked removes the least recently used unpinned page, writing it
-// back first if dirty. Caller holds c.mu.
-func (c *Cache) evictLocked() error {
-	e := c.lru.Back()
-	if e == nil {
+// evictLocked removes the least recently used unpinned page of the shard,
+// writing it back first if dirty. Caller holds s.mu.
+func (c *Cache) evictLocked(s *shard) error {
+	p := s.lruTail
+	if p == nil {
 		return ErrCacheFull
 	}
-	p := e.Value.(*Page)
 	if p.dirty {
-		if err := c.writeBackLocked(p); err != nil {
+		if err := c.writeBack(p); err != nil {
 			return err
 		}
 	}
-	c.lru.Remove(e)
-	delete(c.pages, p.id)
-	c.stats.Evictions++
+	s.lruRemove(p)
+	delete(s.pages, p.id)
+	c.evictions.Add(1)
 	return nil
 }
 
-// writeBackLocked flushes a dirty page to the file. Caller holds c.mu.
-func (c *Cache) writeBackLocked(p *Page) error {
+// writeBack flushes a dirty page to the file. Caller holds the owning
+// shard's mutex.
+func (c *Cache) writeBack(p *Page) error {
 	if _, err := c.file.WriteAt(p.data[:], int64(p.id)*PageSize); err != nil {
 		return fmt.Errorf("pagecache: write page %d: %w", p.id, err)
 	}
 	p.dirty = false
-	c.stats.Flushes++
+	c.flushes.Add(1)
 	return nil
 }
 
 // Flush writes back every dirty page and syncs the file.
 func (c *Cache) Flush() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.closed.Load() {
 		return ErrClosed
 	}
-	for _, p := range c.pages {
-		if p.dirty {
-			if err := c.writeBackLocked(p); err != nil {
-				return err
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, p := range s.pages {
+			if p.dirty {
+				if err := c.writeBack(p); err != nil {
+					s.mu.Unlock()
+					return err
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	return c.file.Sync()
 }
@@ -213,40 +319,63 @@ func (c *Cache) Flush() error {
 // simulating a crash: only data that reached the file (earlier eviction or
 // Flush) survives. Pinned pages are abandoned. Test-support only.
 func (c *Cache) Discard() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	// Take every shard lock so the closed flip is atomic against
+	// concurrent Pins — a fault-in racing the discard must fail with
+	// ErrClosed, not read from a closed file.
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	already := c.closed.Swap(true)
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.Unlock()
+	}
+	if already {
 		return ErrClosed
 	}
-	c.closed = true
-	c.mu.Unlock()
 	return c.file.Close()
 }
 
 // Close flushes all dirty pages and closes the backing file. Close fails
 // if any page is still pinned.
 func (c *Cache) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.closed.Load() {
 		return ErrClosed
 	}
-	for _, p := range c.pages {
-		if p.pins > 0 {
-			c.mu.Unlock()
-			return fmt.Errorf("pagecache: close with page %d pinned", p.id)
+	// All shard locks are taken (in index order) so the pinned check, the
+	// final write-back and the closed flag flip form one atomic step
+	// against concurrent Pins.
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	unlockAll := func() {
+		for i := len(c.shards) - 1; i >= 0; i-- {
+			c.shards[i].mu.Unlock()
 		}
 	}
-	for _, p := range c.pages {
-		if p.dirty {
-			if err := c.writeBackLocked(p); err != nil {
-				c.mu.Unlock()
-				return err
+	for i := range c.shards {
+		for _, p := range c.shards[i].pages {
+			if p.pins > 0 {
+				unlockAll()
+				return fmt.Errorf("pagecache: close with page %d pinned", p.id)
 			}
 		}
 	}
-	c.closed = true
-	c.mu.Unlock()
+	for i := range c.shards {
+		for _, p := range c.shards[i].pages {
+			if p.dirty {
+				if err := c.writeBack(p); err != nil {
+					unlockAll()
+					return err
+				}
+			}
+		}
+	}
+	c.closed.Store(true)
+	unlockAll()
 	if err := c.file.Sync(); err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package pagecache
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -106,7 +107,7 @@ func TestAllPinnedError(t *testing.T) {
 	}
 	c.Unpin(p1, false)
 	// p2 still pinned; drop it so Close succeeds.
-	p2 := c.pages[2]
+	p2 := c.shard(2).pages[2]
 	c.Unpin(p2, false)
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
@@ -215,6 +216,62 @@ func TestBadConstructorArgs(t *testing.T) {
 	}
 	if _, err := New(nil, 1, PageSize+1); err == nil {
 		t.Error("unaligned file size should fail")
+	}
+}
+
+// TestShardedCapacityAndEviction forces a multi-shard cache (GOMAXPROCS
+// is raised for the construction; shardCount reads it) and checks that
+// the per-shard capacities sum to the requested total, that write/read
+// through eviction stays correct across shards, and that the atomic
+// stats counters aggregate all shards.
+func TestShardedCapacityAndEviction(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	path := filepath.Join(t.TempDir(), "test.store")
+	c, err := open(path, 521) // odd capacity: remainder must be distributed
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.shards) < 2 {
+		t.Fatalf("shards = %d, want >= 2 at GOMAXPROCS 8", len(c.shards))
+	}
+	total := 0
+	for i := range c.shards {
+		if c.shards[i].capacity < minShardPages {
+			t.Fatalf("shard %d capacity %d < min %d", i, c.shards[i].capacity, minShardPages)
+		}
+		total += c.shards[i].capacity
+	}
+	if total != 521 {
+		t.Fatalf("shard capacities sum to %d, want 521", total)
+	}
+	// Write 4x the capacity in pages, forcing eviction in every shard,
+	// then read everything back.
+	const pages = 2084
+	for i := uint64(0); i < pages; i++ {
+		p, err := c.Pin(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Data()[0] = byte(i%251) + 1
+		c.Unpin(p, true)
+	}
+	for i := uint64(0); i < pages; i++ {
+		p, err := c.Pin(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := p.Data()[0], byte(i%251)+1; got != want {
+			t.Fatalf("page %d byte = %d, want %d", i, got, want)
+		}
+		c.Unpin(p, false)
+	}
+	s := c.Stats()
+	if s.Misses == 0 || s.Evictions == 0 || s.Flushes == 0 {
+		t.Fatalf("stats did not aggregate across shards: %+v", s)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

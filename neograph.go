@@ -120,6 +120,14 @@ type Options struct {
 	// flushes immediately; commits arriving during an in-flight fsync
 	// still coalesce into the next one.
 	CommitMaxDelay time.Duration
+	// CommitStripes shards the engine's object map, adjacency structure
+	// and first-committer-wins commit validation into this many stripes
+	// (rounded up to a power of two, capped at 256), so commits with
+	// disjoint write footprints validate and install in parallel. Zero
+	// picks the default (GOMAXPROCS rounded up to a power of two); 1
+	// restores a single global validation latch (the pre-striping
+	// behaviour, useful for debugging).
+	CommitStripes int
 	// GCMode selects the version collector. Zero value is GCThreaded.
 	GCMode core.GCMode
 	// GCInterval runs the collector periodically; zero means GC runs only
@@ -199,6 +207,7 @@ func Open(opts Options) (*DB, error) {
 		NoGroupCommit:    opts.DisableGroupCommit,
 		CommitMaxBatch:   opts.CommitMaxBatch,
 		CommitMaxDelay:   opts.CommitMaxDelay,
+		CommitStripes:    opts.CommitStripes,
 		GCMode:           opts.GCMode,
 		GCEvery:          opts.GCInterval,
 		CheckpointEvery:  opts.CheckpointInterval,
