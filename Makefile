@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-repl race-failover bench bench-smoke bench-e11 lint fmt clean
+.PHONY: all build test race race-repl race-failover race-client bench bench-smoke bench-e11 bench-e12 lint fmt clean
 
 all: build test
 
@@ -28,6 +28,11 @@ race-failover:
 	$(GO) test -race -run 'TestCrashMatrix|TestPromot|TestDivergence|TestReconnectConverges|TestSyncReplicas|TestJittered' ./internal/repl/... ./internal/server/...
 	$(GO) test -race ./internal/faultfs/...
 
+## race-client: the client/server/pool suite (batching, deadlines, drain, failover routing) under race
+race-client:
+	$(GO) test -race -count=2 ./client/... ./internal/wire/...
+	$(GO) test -race -run 'TestBatch|TestClose' ./internal/server/...
+
 ## bench: the full experiment suite (minutes)
 bench: build
 	$(GO) run ./cmd/neograph-bench -json bench-results.json
@@ -40,6 +45,10 @@ bench-smoke: build
 bench-e11: build
 	$(GO) run ./cmd/neograph-bench -exp E11 -json bench-e11.json
 
+## bench-e12: the remote batching / pooled-read experiment only
+bench-e12: build
+	$(GO) run ./cmd/neograph-bench -exp E12 -json bench-e12.json
+
 ## lint: go vet + gofmt diff check
 lint:
 	$(GO) vet ./...
@@ -51,4 +60,4 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f bench-results.json bench-e11.json
+	rm -f bench-results.json bench-e11.json bench-e12.json

@@ -1,0 +1,505 @@
+// Package client is the public SDK for a neograph server fleet. It
+// redesigns the remote surface around the paper's core argument — graph
+// workloads die by round trips, so whole operations must be submitted to
+// the engine, not dribbled over the network:
+//
+//   - every call takes a context.Context; deadlines propagate to the
+//     server as a wire-level per-request time budget (deadline_ms) and
+//     cancellation tears the call down locally,
+//   - a Batch submits many operations in ONE round trip, executed
+//     server-side inside a single transaction (atomic: any failed op
+//     aborts the batch),
+//   - a Pool dials the primary plus any number of replicas, routes reads
+//     to replicas (least-lag or round-robin) and writes to the primary,
+//     carries read-your-writes tokens automatically, and re-discovers
+//     the primary after a failover promotion.
+//
+// A Client is one server session (at most one open explicit transaction)
+// and is not safe for concurrent use — open one per worker, or let a
+// Pool manage a fleet of them.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"neograph"
+	"neograph/internal/wire"
+)
+
+// ErrBroken reports a client whose connection state is unknown — a call
+// was torn down mid-frame (context cancellation or transport error), so
+// request/response framing can no longer be trusted. Dial a fresh client.
+var ErrBroken = errors.New("client: connection broken")
+
+// ErrUnavailable reports a server-answered "cannot serve this right
+// now" — the server is draining, or a gated wait timed out. Another
+// replica (or a retry) may well serve the same request; the Pool treats
+// it as a routing signal, not a final answer.
+var ErrUnavailable = errors.New("client: server unavailable")
+
+// deadlineGrace is how long past a context deadline the connection stays
+// readable, giving the server's clean deadline-error frame (flushed
+// right at the budget) time to arrive so the session survives a timeout.
+const deadlineGrace = 500 * time.Millisecond
+
+// Client is a typed session with one neograph server.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+	// lastLSN is the commit position of the newest write acknowledged on
+	// this client — the token for read-your-writes against a replica.
+	lastLSN uint64
+	// readAfter, when set, is attached to every request as WaitLSN.
+	readAfter uint64
+	// proto is the server's protocol generation, learned from Ping.
+	proto  int
+	broken bool
+	// txOpen tracks whether this session holds an open explicit
+	// transaction server-side. Conservative: a server-side batch abort
+	// also clears it. Pools refuse to recycle a session mid-transaction
+	// — the next borrower's "auto-committed" writes would silently stage
+	// into the leftover transaction and never commit.
+	txOpen bool
+}
+
+// Dial connects to a server. The context bounds the dial only; calls
+// carry their own contexts.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	return NewConn(conn), nil
+}
+
+// NewConn wraps an established connection (custom transports, tests).
+func NewConn(conn net.Conn) *Client {
+	return &Client{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}
+}
+
+// Close closes the connection (aborting any open transaction server-side).
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Broken reports whether the session died mid-call and must be redialed.
+func (c *Client) Broken() bool { return c.broken }
+
+// RemoteAddr returns the server's address.
+func (c *Client) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+// ServerProto returns the server's wire protocol generation (learned
+// from the first Ping; zero before that, or for a pre-versioning server).
+func (c *Client) ServerProto() int { return c.proto }
+
+// LastCommitLSN returns the commit position of the newest write this
+// client has had acknowledged (explicit commit or auto-committed write).
+// Hand it to another client's ReadAfter to read your writes from a
+// replica.
+func (c *Client) LastCommitLSN() uint64 { return c.lastLSN }
+
+// ReadAfter gates every subsequent request on the server having reached
+// pos: a replica waits until it has applied the primary's log that far
+// (read-your-writes), a primary until the position is durable. Zero
+// clears the gate.
+func (c *Client) ReadAfter(pos uint64) { c.readAfter = pos }
+
+// roundTrip sends req and reads the response under ctx: a context
+// deadline becomes the request's wire deadline_ms budget and the
+// connection I/O deadline; cancellation poisons the connection (the
+// client is Broken afterwards — framing is unrecoverable mid-call).
+// The response is returned even on a server-reported error so callers
+// can inspect error details (batch failure indexes).
+func (c *Client) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	if c.broken {
+		return nil, ErrBroken
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if req.WaitLSN == 0 {
+		req.WaitLSN = c.readAfter
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return nil, fmt.Errorf("client: %w", context.DeadlineExceeded)
+		}
+		ms := rem.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.DeadlineMS = ms
+		// The I/O deadline gets a grace past the context deadline: the
+		// server fails the request AT the budget and flushes a clean
+		// deadline-error frame moments later — receiving it keeps the
+		// session usable (and still surfaces context.DeadlineExceeded),
+		// where expiring the conn at exactly dl would break the session
+		// on every timeout.
+		c.conn.SetDeadline(dl.Add(deadlineGrace))
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	// Cancellation support: expire the I/O deadline when the context is
+	// cancelled, failing the blocked read/write immediately. A deadline
+	// expiry also fires Done, but the conn deadline already covers it
+	// (with grace, so the server's clean error frame can still land).
+	// The callback is JOINED before returning — left running past its
+	// call, it could observe the (by then routinely cancelled) context
+	// late and poison the connection mid-way through the NEXT call.
+	if ctx.Done() != nil {
+		ran := make(chan struct{})
+		stop := context.AfterFunc(ctx, func() {
+			defer close(ran)
+			if errors.Is(ctx.Err(), context.Canceled) {
+				c.conn.SetDeadline(time.Unix(1, 0))
+			}
+		})
+		defer func() {
+			if !stop() {
+				<-ran
+			}
+		}()
+	}
+	if err := c.enc.Encode(req); err != nil {
+		c.broken = true
+		return nil, c.callErr(ctx, "send", err)
+	}
+	var resp wire.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.broken = true
+		return nil, c.callErr(ctx, "recv", err)
+	}
+	if !resp.OK {
+		return &resp, remoteError(resp.Code, resp.Error)
+	}
+	if resp.LSN != 0 {
+		c.lastLSN = resp.LSN
+	}
+	return &resp, nil
+}
+
+// callErr attributes a transport failure to the context when the context
+// ended — the deadline/cancel is the cause, the I/O error the symptom.
+func (c *Client) callErr(ctx context.Context, stage string, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("client: %s: %w", stage, cerr)
+	}
+	// The connection deadline can fire a beat before the context's own
+	// timer goroutine marks it done; attribute by clock, not by that
+	// timer race.
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		return fmt.Errorf("client: %s: %w", stage, context.DeadlineExceeded)
+	}
+	return fmt.Errorf("client: %s: %w", stage, err)
+}
+
+// remoteError maps well-known engine errors back to their sentinel values
+// so errors.Is works across the wire. The structured code field (wire
+// v2) classifies availability/deadline failures mechanically; the text
+// fallbacks keep older servers working.
+func remoteError(code, msg string) error {
+	switch code {
+	case wire.CodeDeadline:
+		return fmt.Errorf("%w (remote: %s)", context.DeadlineExceeded, msg)
+	case wire.CodeUnavailable:
+		return fmt.Errorf("%w (remote: %s)", ErrUnavailable, msg)
+	}
+	for _, sentinel := range []error{
+		neograph.ErrNotFound, neograph.ErrWriteConflict, neograph.ErrDeadlock,
+		neograph.ErrTxDone, neograph.ErrHasRels, neograph.ErrReadOnlyReplica,
+	} {
+		if strings.Contains(msg, sentinel.Error()) {
+			return fmt.Errorf("%w (remote: %s)", sentinel, msg)
+		}
+	}
+	if strings.Contains(msg, "deadline exceeded") {
+		return fmt.Errorf("%w (remote: %s)", context.DeadlineExceeded, msg)
+	}
+	if strings.Contains(msg, "shutting down") || strings.Contains(msg, "apply wait timed out") {
+		return fmt.Errorf("%w (remote: %s)", ErrUnavailable, msg)
+	}
+	return errors.New(msg)
+}
+
+// decodeNode converts a wire node snapshot.
+func decodeNode(n *wire.NodeJSON) (neograph.Node, error) {
+	if n == nil {
+		return neograph.Node{}, errors.New("client: response missing node")
+	}
+	props, err := wire.DecodeProps(n.Props)
+	if err != nil {
+		return neograph.Node{}, err
+	}
+	return neograph.Node{ID: n.ID, Labels: n.Labels, Props: props}, nil
+}
+
+// decodeRel converts a wire relationship snapshot.
+func decodeRel(r *wire.RelJSON) (neograph.Relationship, error) {
+	if r == nil {
+		return neograph.Relationship{}, errors.New("client: response missing rel")
+	}
+	props, err := wire.DecodeProps(r.Props)
+	if err != nil {
+		return neograph.Relationship{}, err
+	}
+	return neograph.Relationship{
+		ID: r.ID, Type: r.Type, Start: r.Start, End: r.End, Props: props,
+	}, nil
+}
+
+// decodeRels converts a wire relationship list.
+func decodeRels(rs []wire.RelJSON) ([]neograph.Relationship, error) {
+	out := make([]neograph.Relationship, 0, len(rs))
+	for i := range rs {
+		rel, err := decodeRel(&rs[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rel)
+	}
+	return out, nil
+}
+
+// Ping checks liveness and learns the server's protocol generation.
+func (c *Client) Ping(ctx context.Context) error {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpPing})
+	if err != nil {
+		return err
+	}
+	c.proto = resp.Proto
+	return nil
+}
+
+// InTx reports whether the session holds an open explicit transaction.
+func (c *Client) InTx() bool { return c.txOpen }
+
+// SetTxClosed records that the server finished the transaction without a
+// client-side Commit/Abort (a failed batch aborts an enclosing one).
+func (c *Client) SetTxClosed() { c.txOpen = false }
+
+// Begin opens an explicit transaction ("si" or "rc"; empty = si).
+func (c *Client) Begin(ctx context.Context, isolation string) error {
+	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpBegin, Isolation: isolation})
+	if err == nil {
+		c.txOpen = true
+	}
+	return err
+}
+
+// Commit commits the open transaction. Win or lose, the transaction is
+// finished afterwards (a failed commit is already aborted server-side).
+func (c *Client) Commit(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpCommit})
+	c.txOpen = false
+	return err
+}
+
+// Abort aborts the open transaction.
+func (c *Client) Abort(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpAbort})
+	c.txOpen = false
+	return err
+}
+
+// CreateNode creates a node and returns its ID.
+func (c *Client) CreateNode(ctx context.Context, labels []string, props neograph.Props) (neograph.NodeID, error) {
+	enc, err := wire.EncodeProps(props)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpCreateNode, Labels: labels, Props: enc})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// GetNode fetches a node snapshot.
+func (c *Client) GetNode(ctx context.Context, id neograph.NodeID) (neograph.Node, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpGetNode, ID: id})
+	if err != nil {
+		return neograph.Node{}, err
+	}
+	return decodeNode(resp.Node)
+}
+
+// SetNodeProp sets one node property.
+func (c *Client) SetNodeProp(ctx context.Context, id neograph.NodeID, key string, v neograph.Value) error {
+	enc, err := wire.EncodeValue(v)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(ctx, &wire.Request{Op: wire.OpSetNodeProp, ID: id, Key: key, Value: enc})
+	return err
+}
+
+// AddLabel adds a label to a node.
+func (c *Client) AddLabel(ctx context.Context, id neograph.NodeID, label string) error {
+	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpAddLabel, ID: id, Label: label})
+	return err
+}
+
+// RemoveLabel removes a label from a node.
+func (c *Client) RemoveLabel(ctx context.Context, id neograph.NodeID, label string) error {
+	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpRemoveLabel, ID: id, Label: label})
+	return err
+}
+
+// DeleteNode deletes a relationship-free node.
+func (c *Client) DeleteNode(ctx context.Context, id neograph.NodeID) error {
+	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpDeleteNode, ID: id})
+	return err
+}
+
+// DetachDeleteNode deletes a node and its relationships.
+func (c *Client) DetachDeleteNode(ctx context.Context, id neograph.NodeID) error {
+	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpDetachDelete, ID: id})
+	return err
+}
+
+// CreateRel creates a relationship and returns its ID.
+func (c *Client) CreateRel(ctx context.Context, relType string, start, end neograph.NodeID, props neograph.Props) (neograph.RelID, error) {
+	enc, err := wire.EncodeProps(props)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpCreateRel, Type: relType, Start: start, End: end, Props: enc})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// GetRel fetches a relationship snapshot.
+func (c *Client) GetRel(ctx context.Context, id neograph.RelID) (neograph.Relationship, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpGetRel, ID: id})
+	if err != nil {
+		return neograph.Relationship{}, err
+	}
+	return decodeRel(resp.Rel)
+}
+
+// SetRelProp sets one relationship property.
+func (c *Client) SetRelProp(ctx context.Context, id neograph.RelID, key string, v neograph.Value) error {
+	enc, err := wire.EncodeValue(v)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(ctx, &wire.Request{Op: wire.OpSetRelProp, ID: id, Key: key, Value: enc})
+	return err
+}
+
+// DeleteRel deletes a relationship.
+func (c *Client) DeleteRel(ctx context.Context, id neograph.RelID) error {
+	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpDeleteRel, ID: id})
+	return err
+}
+
+// Relationships lists a node's relationships ("out", "in", "both").
+func (c *Client) Relationships(ctx context.Context, id neograph.NodeID, dir string, types ...string) ([]neograph.Relationship, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpRels, ID: id, Dir: dir, Types: types})
+	if err != nil {
+		return nil, err
+	}
+	return decodeRels(resp.Rels)
+}
+
+// Neighbors lists adjacent node IDs.
+func (c *Client) Neighbors(ctx context.Context, id neograph.NodeID, dir string, types ...string) ([]neograph.NodeID, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpNeighbors, ID: id, Dir: dir, Types: types})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// NodesByLabel lists node IDs carrying a label.
+func (c *Client) NodesByLabel(ctx context.Context, label string) ([]neograph.NodeID, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpNodesByLabel, Label: label})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// NodesByProperty lists node IDs whose property key equals v.
+func (c *Client) NodesByProperty(ctx context.Context, key string, v neograph.Value) ([]neograph.NodeID, error) {
+	enc, err := wire.EncodeValue(v)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpNodesByProp, Key: key, Value: enc})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// AllNodes lists every visible node ID.
+func (c *Client) AllNodes(ctx context.Context) ([]neograph.NodeID, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpAllNodes})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Stats returns the server's engine counters as raw JSON.
+func (c *Client) Stats(ctx context.Context) (json.RawMessage, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, nil
+}
+
+// GC triggers a garbage collection cycle, returning the report as JSON.
+func (c *Client) GC(ctx context.Context) (json.RawMessage, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpGC})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, nil
+}
+
+// Checkpoint triggers a checkpoint.
+func (c *Client) Checkpoint(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpCheckpoint})
+	return err
+}
+
+// ReplStatus returns the server's replication role and progress — the
+// topology probe the Pool routes by.
+func (c *Client) ReplStatus(ctx context.Context) (neograph.ReplStatus, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpReplStatus})
+	if err != nil {
+		return neograph.ReplStatus{}, err
+	}
+	var st neograph.ReplStatus
+	if err := json.Unmarshal(resp.Info, &st); err != nil {
+		return neograph.ReplStatus{}, fmt.Errorf("client: repl status: %w", err)
+	}
+	return st, nil
+}
+
+// Promote asks a replica server to promote itself to a writable primary
+// (failover), optionally starting a WAL shipper on addr so surviving
+// replicas can re-point. Returns the post-promotion replication status.
+func (c *Client) Promote(ctx context.Context, addr string) (neograph.ReplStatus, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpPromote, Addr: addr})
+	if err != nil {
+		return neograph.ReplStatus{}, err
+	}
+	var st neograph.ReplStatus
+	if err := json.Unmarshal(resp.Info, &st); err != nil {
+		return neograph.ReplStatus{}, fmt.Errorf("client: promote status: %w", err)
+	}
+	return st, nil
+}

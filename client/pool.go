@@ -1,0 +1,575 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neograph"
+)
+
+// Policy selects how a Pool routes read sessions over the replica fleet.
+type Policy int
+
+const (
+	// LeastLag routes reads to the replica whose last probed applied LSN
+	// is highest (freshest data, shortest read-your-writes wait).
+	LeastLag Policy = iota
+	// RoundRobin rotates reads evenly across replicas.
+	RoundRobin
+)
+
+// PoolConfig configures a Pool.
+type PoolConfig struct {
+	// Primary is the primary server's client address.
+	Primary string
+	// Replicas are replica server client addresses (any number, may be
+	// empty — reads then fall through to the primary).
+	Replicas []string
+	// Policy selects replica read routing; default LeastLag.
+	Policy Policy
+	// ConnsPerHost caps concurrent sessions per server; default 2.
+	ConnsPerHost int
+	// ProbeEvery is the period of the background topology probe that
+	// refreshes per-replica applied positions (least-lag routing) and
+	// roles; default 250ms.
+	ProbeEvery time.Duration
+}
+
+// host is one server address with a bounded session free-list.
+type host struct {
+	addr string
+	free chan *Client
+	sem  chan struct{} // dial permits: len(sem) sessions exist
+	// applied is the last probed applied LSN (least-lag routing).
+	applied atomic.Uint64
+	// primary is the last probed role (true = accepts writes).
+	primary atomic.Bool
+	// closed stops new dials and makes releases close instead of park —
+	// without it, a session in flight during Pool.Close would be parked
+	// back into the just-drained free-list and leak its connection.
+	closed atomic.Bool
+}
+
+func newHost(addr string, conns int) *host {
+	return &host{
+		addr: addr,
+		free: make(chan *Client, conns),
+		sem:  make(chan struct{}, conns),
+	}
+}
+
+// acquire returns a pooled session, dialing a new one when under the
+// per-host cap, else waiting for a release.
+func (h *host) acquire(ctx context.Context) (*Client, error) {
+	if h.closed.Load() {
+		return nil, errors.New("client: pool closed")
+	}
+	select {
+	case c := <-h.free:
+		return c, nil
+	default:
+	}
+	select {
+	case c := <-h.free:
+		return c, nil
+	case h.sem <- struct{}{}:
+		c, err := Dial(ctx, h.addr)
+		if err != nil {
+			<-h.sem
+			return nil, err
+		}
+		return c, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a session to the free-list; broken sessions, sessions
+// abandoned mid-transaction (the next borrower would silently stage
+// writes into the leftover transaction) and any session released after
+// close are closed and their dial permit freed.
+func (h *host) release(c *Client) {
+	if c.Broken() || c.InTx() || h.closed.Load() {
+		c.Close()
+		<-h.sem
+		return
+	}
+	select {
+	case h.free <- c:
+	default: // cap shrank? should not happen; drop the session
+		c.Close()
+		<-h.sem
+	}
+	// A close may have raced the park above; re-drain so the session
+	// cannot sit in a free-list nobody will ever read again.
+	if h.closed.Load() {
+		h.closeAll()
+	}
+}
+
+// closeAll closes every idle session.
+func (h *host) closeAll() {
+	for {
+		select {
+		case c := <-h.free:
+			c.Close()
+			<-h.sem
+		default:
+			return
+		}
+	}
+}
+
+// Pool is a topology-aware client over a primary and its replica fleet.
+// Reads route to replicas (by Policy), writes to the primary. The pool
+// remembers the newest commit LSN per causality token and injects it as
+// the read-your-writes gate on reads carrying that token, so a session
+// always observes its own writes even from a lagging replica. When a
+// write fails because the primary died or was demoted, the pool probes
+// ReplStatus across every known address, re-discovers the (promoted)
+// primary and retries once.
+//
+// A Pool is safe for concurrent use.
+type Pool struct {
+	cfg PoolConfig
+
+	mu       sync.Mutex
+	primary  *host
+	replicas []*host
+	hosts    map[string]*host
+	tokens   map[string]uint64 // causality token -> newest commit LSN
+	closed   bool
+
+	rr        atomic.Uint32
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+// OpenPool dials the fleet and verifies the configured primary actually
+// holds the primary (or standalone) role — if it does not, the pool
+// discovers the real primary among the configured addresses.
+func OpenPool(ctx context.Context, cfg PoolConfig) (*Pool, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("client: pool needs a primary address")
+	}
+	if cfg.ConnsPerHost <= 0 {
+		cfg.ConnsPerHost = 2
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 250 * time.Millisecond
+	}
+	p := &Pool{
+		cfg:       cfg,
+		hosts:     make(map[string]*host),
+		tokens:    make(map[string]uint64),
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	p.primary = p.hostFor(cfg.Primary)
+	for _, addr := range cfg.Replicas {
+		if addr == cfg.Primary {
+			continue
+		}
+		p.replicas = append(p.replicas, p.hostFor(addr))
+	}
+	// Discovery retries within the caller's context: a fleet that is
+	// still binding its listeners (rolling start, failover in progress)
+	// becomes reachable moments later. Without a deadline the attempts
+	// are capped instead of spinning forever.
+	var derr error
+	for attempt := 0; ; attempt++ {
+		if _, derr = p.discoverPrimary(ctx); derr == nil {
+			break
+		}
+		_, hasDeadline := ctx.Deadline()
+		if (!hasDeadline && attempt >= 4) || ctx.Err() != nil {
+			// The probe loop has not started yet: satisfy Close's
+			// handshake so the failed-open cleanup cannot deadlock on it.
+			close(p.probeDone)
+			p.Close()
+			return nil, derr
+		}
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
+	go p.probeLoop()
+	return p, nil
+}
+
+// hostFor returns (creating if needed) the host for addr.
+func (p *Pool) hostFor(addr string) *host {
+	if h, ok := p.hosts[addr]; ok {
+		return h
+	}
+	h := newHost(addr, p.cfg.ConnsPerHost)
+	p.hosts[addr] = h
+	return h
+}
+
+// Close releases every pooled session and stops the topology probe.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	hosts := make([]*host, 0, len(p.hosts))
+	for _, h := range p.hosts {
+		hosts = append(hosts, h)
+	}
+	p.mu.Unlock()
+	close(p.probeStop)
+	<-p.probeDone
+	for _, h := range hosts {
+		h.closed.Store(true)
+		h.closeAll()
+	}
+	return nil
+}
+
+// PrimaryAddr returns the address currently routed writes.
+func (p *Pool) PrimaryAddr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.primary.addr
+}
+
+// HostStatus is one fleet member's probe result.
+type HostStatus struct {
+	Addr   string
+	Status neograph.ReplStatus
+	Err    error
+}
+
+// FleetStatus probes ReplStatus on every known address directly — no
+// read-your-writes gate, no routing — for diagnostics: exactly the view
+// an operator needs when a replica is lagging or wedged.
+func (p *Pool) FleetStatus(ctx context.Context) []HostStatus {
+	p.mu.Lock()
+	hosts := make([]*host, 0, len(p.hosts))
+	for _, h := range p.hosts {
+		hosts = append(hosts, h)
+	}
+	p.mu.Unlock()
+	out := make([]HostStatus, 0, len(hosts))
+	for _, h := range hosts {
+		hs := HostStatus{Addr: h.addr}
+		if c, err := h.acquire(ctx); err != nil {
+			hs.Err = err
+		} else {
+			hs.Status, hs.Err = c.ReplStatus(ctx)
+			h.release(c)
+		}
+		out = append(out, hs)
+	}
+	return out
+}
+
+// Token returns the newest commit LSN recorded for a causality token.
+func (p *Pool) Token(token string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tokens[token]
+}
+
+// noteLSN records a token's newest commit position (monotonic).
+func (p *Pool) noteLSN(token string, lsn uint64) {
+	if token == "" || lsn == 0 {
+		return
+	}
+	p.mu.Lock()
+	if lsn > p.tokens[token] {
+		p.tokens[token] = lsn
+	}
+	p.mu.Unlock()
+}
+
+// probeLoop periodically refreshes every host's role and applied LSN —
+// the freshness data least-lag routing and primary re-discovery use.
+func (p *Pool) probeLoop() {
+	defer close(p.probeDone)
+	tick := time.NewTicker(p.cfg.ProbeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.probeStop:
+			return
+		case <-tick.C:
+		}
+		p.mu.Lock()
+		hosts := make([]*host, 0, len(p.hosts))
+		for _, h := range p.hosts {
+			hosts = append(hosts, h)
+		}
+		p.mu.Unlock()
+		for _, h := range hosts {
+			ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeEvery)
+			p.probeHost(ctx, h)
+			cancel()
+		}
+	}
+}
+
+// probeHost refreshes one host's cached role/applied position and keeps
+// the read rotation in sync with probed roles: a demoted ex-primary that
+// comes back as a replica rejoins the rotation, and a host that turned
+// primary leaves it.
+func (p *Pool) probeHost(ctx context.Context, h *host) {
+	c, err := h.acquire(ctx)
+	if err != nil {
+		return
+	}
+	st, err := c.ReplStatus(ctx)
+	h.release(c)
+	if err != nil {
+		return
+	}
+	h.applied.Store(st.AppliedLSN)
+	isPrimary := st.Role == "primary" || st.Role == "standalone"
+	h.primary.Store(isPrimary)
+
+	p.mu.Lock()
+	idx := -1
+	for i, r := range p.replicas {
+		if r == h {
+			idx = i
+			break
+		}
+	}
+	switch {
+	case st.Role == "replica" && idx < 0 && h != p.primary:
+		p.replicas = append(p.replicas, h)
+	case isPrimary && idx >= 0:
+		p.replicas = append(p.replicas[:idx], p.replicas[idx+1:]...)
+	}
+	p.mu.Unlock()
+}
+
+// readOrder returns replica candidates by policy, primary appended as
+// the fallback of last resort.
+func (p *Pool) readOrder() []*host {
+	p.mu.Lock()
+	replicas := append([]*host(nil), p.replicas...)
+	primary := p.primary
+	p.mu.Unlock()
+	switch p.cfg.Policy {
+	case RoundRobin:
+		if n := len(replicas); n > 1 {
+			// Modulo in uint32: int() of a large counter is negative on
+			// 32-bit platforms and would index out of bounds.
+			start := int(p.rr.Add(1) % uint32(n))
+			rot := make([]*host, 0, n)
+			rot = append(rot, replicas[start:]...)
+			rot = append(rot, replicas[:start]...)
+			replicas = rot
+		}
+	default: // LeastLag: freshest replica first
+		for i := 1; i < len(replicas); i++ {
+			for j := i; j > 0 && replicas[j].applied.Load() > replicas[j-1].applied.Load(); j-- {
+				replicas[j], replicas[j-1] = replicas[j-1], replicas[j]
+			}
+		}
+	}
+	// The current primary serves reads when no replica can.
+	out := replicas
+	if primary != nil {
+		out = append(out, primary)
+	}
+	return out
+}
+
+// Read runs fn on a read session routed to the replica fleet. The
+// causality token's newest commit LSN is injected as the session's
+// read-your-writes gate, so fn observes every write previously recorded
+// under that token. A dead replica is skipped for the next candidate;
+// the primary is the final fallback. Semantic errors from fn (not-found,
+// conflicts) return immediately without re-routing.
+func (p *Pool) Read(ctx context.Context, token string, fn func(c *Client) error) error {
+	gate := p.Token(token)
+	var lastErr error
+	for _, h := range p.readOrder() {
+		c, err := h.acquire(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.ReadAfter(gate)
+		err = fn(c)
+		c.ReadAfter(0)
+		broken := c.Broken()
+		h.release(c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !broken && !isAvailabilityErr(err) {
+			return err // the server answered; fn's error is real
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: pool has no hosts")
+	}
+	return fmt.Errorf("client: pool read: %w", lastErr)
+}
+
+// Write runs fn on a session to the primary and records the newest
+// commit LSN under the causality token. If the primary is unreachable or
+// answers ErrReadOnlyReplica (it was demoted, or a replica was promoted
+// elsewhere), the pool re-discovers the primary by probing ReplStatus
+// across every known address and retries fn once on the new one.
+//
+// The retry makes Write AT-LEAST-ONCE: a transport failure can strike
+// after the server committed but before the response arrived, in which
+// case the retry re-executes fn. Callers for whom duplicate execution
+// matters should make fn idempotent (e.g. keyed upserts) or disable
+// ambiguity by using a plain Client and treating transport errors as
+// in-doubt.
+func (p *Pool) Write(ctx context.Context, token string, fn func(c *Client) error) error {
+	err := p.writeOnce(ctx, token, fn)
+	if err == nil {
+		return nil
+	}
+	if !p.shouldFailover(err) {
+		return err
+	}
+	if _, derr := p.discoverPrimary(ctx); derr != nil {
+		return fmt.Errorf("client: pool write failed (%v) and no primary found: %w", err, derr)
+	}
+	return p.writeOnce(ctx, token, fn)
+}
+
+// writeOnce runs fn against the current primary.
+func (p *Pool) writeOnce(ctx context.Context, token string, fn func(c *Client) error) error {
+	p.mu.Lock()
+	h := p.primary
+	p.mu.Unlock()
+	c, err := h.acquire(ctx)
+	if err != nil {
+		return fmt.Errorf("client: pool write: %w", err)
+	}
+	// Sessions are recycled across tokens and carry their newest commit
+	// LSN; credit the token only with commits fn itself performed, not a
+	// previous borrower's leftovers.
+	before := c.LastCommitLSN()
+	err = fn(c)
+	if after := c.LastCommitLSN(); after > before {
+		p.noteLSN(token, after)
+	}
+	h.release(c)
+	return err
+}
+
+// shouldFailover reports whether a write error means the primary moved:
+// the node is gone (transport error) or explicitly read-only (demoted /
+// never promoted).
+func (p *Pool) shouldFailover(err error) bool {
+	return errors.Is(err, neograph.ErrReadOnlyReplica) ||
+		errors.Is(err, ErrBroken) ||
+		isTransportErr(err)
+}
+
+// isAvailabilityErr detects server-answered errors that mean "this host
+// cannot serve the read right now" rather than "the read is wrong": a
+// draining server shedding its gated waiters, or a replica too far
+// behind to satisfy the read-your-writes gate in time. Another candidate
+// (or the primary fallback) may well serve the same read. Classified by
+// the wire error code (mapped to ErrUnavailable client-side).
+func isAvailabilityErr(err error) bool {
+	return errors.Is(err, ErrUnavailable)
+}
+
+// isTransportErr detects connection-level failures (dial refused, reset,
+// EOF, poisoned session) as opposed to server-answered errors.
+func isTransportErr(err error) bool {
+	var be *BatchError
+	if errors.As(err, &be) {
+		return false // server answered with a per-op failure
+	}
+	s := err.Error()
+	for _, marker := range []string{
+		"client: dial:", "client: send:", "client: recv:", "connection refused",
+		"connection reset", "broken pipe", "EOF", "use of closed",
+	} {
+		if strings.Contains(s, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// discoverPrimary probes ReplStatus on every known address and routes
+// writes to the first one holding the primary (or standalone) role —
+// after a failover Promote, that is the promoted replica. The demoted
+// address stays in the host set (it may come back as a replica).
+func (p *Pool) discoverPrimary(ctx context.Context) (string, error) {
+	p.mu.Lock()
+	ordered := make([]*host, 0, len(p.hosts))
+	ordered = append(ordered, p.primary)
+	for _, h := range p.replicas {
+		ordered = append(ordered, h)
+	}
+	for _, h := range p.hosts {
+		seen := false
+		for _, o := range ordered {
+			if o == h {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			ordered = append(ordered, h)
+		}
+	}
+	p.mu.Unlock()
+
+	for _, h := range ordered {
+		probeCtx := ctx
+		var cancel context.CancelFunc
+		if _, ok := ctx.Deadline(); !ok {
+			probeCtx, cancel = context.WithTimeout(ctx, 2*time.Second)
+		}
+		c, err := h.acquire(probeCtx)
+		if err != nil {
+			if cancel != nil {
+				cancel()
+			}
+			continue
+		}
+		st, err := c.ReplStatus(probeCtx)
+		h.release(c)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			continue
+		}
+		h.applied.Store(st.AppliedLSN)
+		isPrimary := st.Role == "primary" || st.Role == "standalone"
+		h.primary.Store(isPrimary)
+		if !isPrimary {
+			continue
+		}
+		p.mu.Lock()
+		p.primary = h
+		// Reads must not route to the write master unless nothing else
+		// can serve them; drop it from the replica rotation.
+		replicas := p.replicas[:0]
+		for _, r := range p.replicas {
+			if r != h {
+				replicas = append(replicas, r)
+			}
+		}
+		p.replicas = replicas
+		p.mu.Unlock()
+		return h.addr, nil
+	}
+	return "", errors.New("client: no reachable primary in the fleet")
+}

@@ -1,0 +1,497 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"neograph"
+	. "neograph/client"
+	"neograph/internal/server"
+)
+
+// fleet is one primary and two replicas, each behind a server.
+type fleet struct {
+	pdb, r1db, r2db    *neograph.DB
+	psrv, r1srv, r2srv *server.Server
+	replAddr           string // the primary's WAL-shipping address
+}
+
+// startFleet builds a 1-primary/2-replica fleet under synchronous quorum
+// 1, so an acknowledged write is durable on at least one replica and a
+// failover promotion can lose nothing acknowledged.
+func startFleet(t *testing.T) *fleet {
+	t.Helper()
+	f := &fleet{}
+	var err error
+	f.pdb, err = neograph.Open(neograph.Options{
+		Dir:             t.TempDir(),
+		ReplicationAddr: "127.0.0.1:0",
+		SyncReplicas:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.pdb.Close() })
+	f.replAddr = f.pdb.ReplicationAddress()
+	f.psrv, err = server.New(f.pdb, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.psrv.Close() })
+
+	open := func(dir string) (*neograph.DB, *server.Server) {
+		db, err := neograph.Open(neograph.Options{Dir: dir, ReplicaOf: f.replAddr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		srv, err := server.New(db, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return db, srv
+	}
+	f.r1db, f.r1srv = open(t.TempDir())
+	f.r2db, f.r2srv = open(t.TempDir())
+	return f
+}
+
+func (f *fleet) poolConfig(policy Policy) PoolConfig {
+	return PoolConfig{
+		Primary:    f.psrv.Addr(),
+		Replicas:   []string{f.r1srv.Addr(), f.r2srv.Addr()},
+		Policy:     policy,
+		ProbeEvery: 50 * time.Millisecond,
+	}
+}
+
+func TestPoolRoutesReadsToReplicas(t *testing.T) {
+	f := startFleet(t)
+	ctx := context.Background()
+	p, err := OpenPool(ctx, f.poolConfig(RoundRobin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var id neograph.NodeID
+	err = p.Write(ctx, "u", func(c *Client) error {
+		var err error
+		id, err = c.CreateNode(ctx, []string{"Routed"}, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Token("u") == 0 {
+		t.Fatal("write recorded no causality token LSN")
+	}
+
+	// Round-robin reads rotate across both replicas; the primary serves
+	// no read while replicas are healthy.
+	served := map[string]int{}
+	for i := 0; i < 6; i++ {
+		err := p.Read(ctx, "u", func(c *Client) error {
+			served[c.RemoteAddr().String()]++
+			_, err := c.GetNode(ctx, id)
+			return err // read-your-writes: gated on the token's LSN
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if served[f.psrv.Addr()] != 0 {
+		t.Errorf("primary served %d reads with healthy replicas", served[f.psrv.Addr()])
+	}
+	if served[f.r1srv.Addr()] == 0 || served[f.r2srv.Addr()] == 0 {
+		t.Errorf("round-robin did not rotate: %v", served)
+	}
+}
+
+func TestPoolLeastLagPrefersFreshReplica(t *testing.T) {
+	f := startFleet(t)
+	ctx := context.Background()
+	p, err := OpenPool(ctx, f.poolConfig(LeastLag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Write(ctx, "", func(c *Client) error {
+		_, err := c.CreateNode(ctx, nil, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Both replicas are live; least-lag must pick a replica, not the
+	// primary fallback.
+	var addr string
+	if err := p.Read(ctx, "", func(c *Client) error {
+		addr = c.RemoteAddr().String()
+		_, err := c.AllNodes(ctx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if addr == f.psrv.Addr() {
+		t.Error("least-lag routed a read to the primary with live replicas")
+	}
+}
+
+func TestPoolReadsFallBackToPrimary(t *testing.T) {
+	f := startFleet(t)
+	ctx := context.Background()
+	// Replicas are configured but their servers are gone: reads must fall
+	// through to the primary instead of failing.
+	f.r1srv.Close()
+	f.r2srv.Close()
+	p, err := OpenPool(ctx, f.poolConfig(LeastLag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Write(ctx, "u", func(c *Client) error {
+		_, err := c.CreateNode(ctx, []string{"OnlyPrimary"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var addr string
+	if err := p.Read(ctx, "u", func(c *Client) error {
+		addr = c.RemoteAddr().String()
+		ids, err := c.NodesByLabel(ctx, "OnlyPrimary")
+		if err == nil && len(ids) != 1 {
+			return fmt.Errorf("read %d nodes, want 1", len(ids))
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if addr != f.psrv.Addr() {
+		t.Errorf("read served by %s, want primary %s", addr, f.psrv.Addr())
+	}
+}
+
+// TestPoolFailover is the acceptance scenario: kill the primary, promote
+// the most-advanced replica, and the pool (a) keeps serving reads
+// throughout, (b) re-discovers the new primary and resumes writes, and
+// (c) loses no acknowledged write — read-your-writes tokens recorded
+// before the failover still gate correctly across the epoch bump.
+func TestPoolFailover(t *testing.T) {
+	f := startFleet(t)
+	ctx := context.Background()
+	p, err := OpenPool(ctx, f.poolConfig(LeastLag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const before = 20
+	for i := 0; i < before; i++ {
+		if err := p.Write(ctx, "u", func(c *Client) error {
+			_, err := c.CreateNode(ctx, []string{"Acked"}, neograph.Props{"i": neograph.Int(int64(i))})
+			return err
+		}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	preToken := p.Token("u")
+	if preToken == 0 {
+		t.Fatal("no token LSN recorded")
+	}
+
+	// Primary dies hard.
+	f.psrv.Close()
+	f.pdb.Crash()
+
+	// Reads keep working against the replica fleet (gated on the token,
+	// so every acknowledged write is observed).
+	if err := p.Read(ctx, "u", func(c *Client) error {
+		ids, err := c.NodesByLabel(ctx, "Acked")
+		if err != nil {
+			return err
+		}
+		if len(ids) != before {
+			return fmt.Errorf("replica read saw %d acked nodes, want %d", len(ids), before)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("read during primary outage: %v", err)
+	}
+
+	// Operator promotes the most-advanced replica onto the dead
+	// primary's shipping address, over the wire, so the survivor
+	// re-points automatically.
+	promoteDB, promoteSrv := f.r1db, f.r1srv
+	if f.r2db.AppliedLSN() > f.r1db.AppliedLSN() {
+		promoteDB, promoteSrv = f.r2db, f.r2srv
+	}
+	cl, err := Dial(ctx, promoteSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.Promote(ctx, f.replAddr)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if st.Role != "primary" {
+		t.Fatalf("post-promotion role = %q", st.Role)
+	}
+
+	// Writes resume: the first attempt hits the dead primary, the pool
+	// probes ReplStatus across the fleet and retries on the new one.
+	if err := p.Write(ctx, "u", func(c *Client) error {
+		_, err := c.CreateNode(ctx, []string{"Acked"}, neograph.Props{"i": neograph.Int(before)})
+		return err
+	}); err != nil {
+		t.Fatalf("write after failover: %v", err)
+	}
+	if got := p.PrimaryAddr(); got != promoteSrv.Addr() {
+		t.Errorf("pool primary = %s, want promoted %s", got, promoteSrv.Addr())
+	}
+	if p.Token("u") <= preToken {
+		t.Errorf("token LSN did not advance across the epoch bump: %d -> %d", preToken, p.Token("u"))
+	}
+
+	// Zero client-visible lost acknowledged writes: every pre-failover
+	// write plus the post-failover one is readable, token-gated.
+	if err := p.Read(ctx, "u", func(c *Client) error {
+		ids, err := c.NodesByLabel(ctx, "Acked")
+		if err != nil {
+			return err
+		}
+		if len(ids) != before+1 {
+			return fmt.Errorf("saw %d acked nodes after failover, want %d", len(ids), before+1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = promoteDB
+}
+
+// TestPoolTokenNotCreditedWithStrangerWrites: sessions are recycled
+// across causality tokens; a token whose fn performed no commit must not
+// inherit the session's previous borrower's commit LSN as a read gate.
+func TestPoolTokenNotCreditedWithStrangerWrites(t *testing.T) {
+	f := startFleet(t)
+	ctx := context.Background()
+	cfg := f.poolConfig(LeastLag)
+	cfg.ConnsPerHost = 1 // force session reuse across tokens
+	p, err := OpenPool(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Write(ctx, "writer", func(c *Client) error {
+		_, err := c.CreateNode(ctx, nil, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Token("writer") == 0 {
+		t.Fatal("writer token not recorded")
+	}
+	// Same session, different token, no commit performed by fn.
+	if err := p.Write(ctx, "reader", func(c *Client) error {
+		_, err := c.AllNodes(ctx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lsn := p.Token("reader"); lsn != 0 {
+		t.Errorf("token with no writes inherited gate LSN %d from a recycled session", lsn)
+	}
+}
+
+// TestPoolDemotedHostRejoinsReads: after a failover the ex-primary's
+// address must re-enter the read rotation once it reports the replica
+// role again — otherwise every failover permanently shrinks the fleet.
+func TestPoolDemotedHostRejoinsReads(t *testing.T) {
+	f := startFleet(t)
+	ctx := context.Background()
+	cfg := f.poolConfig(RoundRobin)
+	cfg.ProbeEvery = 30 * time.Millisecond
+	p, err := OpenPool(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Fail over: kill the primary, promote replica 1 onto its address.
+	f.psrv.Close()
+	f.pdb.Crash()
+	cl, err := Dial(ctx, f.r1srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Promote(ctx, f.replAddr); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := p.Write(ctx, "u", func(c *Client) error {
+		_, err := c.CreateNode(ctx, []string{"F"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The promoted host must leave the read rotation; replica 2 is the
+	// only replica left, so with the dead ex-primary gone every read
+	// lands on it — and NOT on the new primary unless r2 dies.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		served := map[string]int{}
+		for i := 0; i < 4; i++ {
+			if err := p.Read(ctx, "u", func(c *Client) error {
+				served[c.RemoteAddr().String()]++
+				_, err := c.AllNodes(ctx)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if served[f.r1srv.Addr()] == 0 && served[f.r2srv.Addr()] == 4 {
+			break // promoted host out of rotation, survivor serves all
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("read rotation never settled after failover: %v", served)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestPoolCloseReleasesInFlight: a session still executing when Close
+// runs must be closed on release, not parked into a dead free-list.
+func TestPoolCloseReleasesInFlight(t *testing.T) {
+	f := startFleet(t)
+	ctx := context.Background()
+	p, err := OpenPool(ctx, f.poolConfig(LeastLag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	var held *Client
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Read(ctx, "", func(c *Client) error {
+			held = c
+			close(started)
+			time.Sleep(300 * time.Millisecond) // Close lands mid-call
+			_, err := c.AllNodes(ctx)
+			return err
+		})
+	}()
+	<-started
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Logf("in-flight read during Close: %v (allowed)", err)
+	}
+	// The released session must have been closed, not leaked: a call on
+	// its connection fails.
+	if err := held.Ping(context.Background()); err == nil {
+		t.Error("session released after Close still has a live connection")
+	}
+	if err := p.Read(ctx, "", func(c *Client) error { return nil }); err == nil {
+		t.Error("read on a closed pool succeeded")
+	}
+}
+
+// TestPoolAbandonedTxNotRecycled: a session released with an open
+// explicit transaction must not be handed to the next borrower — their
+// "auto-committed" writes would silently stage into the zombie
+// transaction and never commit.
+func TestPoolAbandonedTxNotRecycled(t *testing.T) {
+	f := startFleet(t)
+	ctx := context.Background()
+	cfg := f.poolConfig(LeastLag)
+	cfg.ConnsPerHost = 1 // force maximal session reuse
+	p, err := OpenPool(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// fn opens a transaction, stages a write, and bails without closing it.
+	if err := p.Write(ctx, "bad", func(c *Client) error {
+		if err := c.Begin(ctx, ""); err != nil {
+			return err
+		}
+		if _, err := c.CreateNode(ctx, []string{"Zombie"}, nil); err != nil {
+			return err
+		}
+		return fmt.Errorf("caller bug: abandoning the transaction")
+	}); err == nil {
+		t.Fatal("abandoning write unexpectedly succeeded")
+	}
+
+	// The next borrower's auto-committed write must actually commit.
+	if err := p.Write(ctx, "good", func(c *Client) error {
+		_, err := c.CreateNode(ctx, []string{"Durable"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(ctx, f.psrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ids, err := cl.NodesByLabel(ctx, "Durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("auto-committed write after abandoned tx: %d nodes visible, want 1 (staged into a zombie transaction?)", len(ids))
+	}
+	if ids, _ := cl.NodesByLabel(ctx, "Zombie"); len(ids) != 0 {
+		t.Fatalf("abandoned transaction's write leaked: %v", ids)
+	}
+}
+
+// TestPoolConcurrent hammers a pool from many goroutines — the race
+// detector's view of the session free-lists, token map and failover
+// paths (run under make race-client).
+func TestPoolConcurrent(t *testing.T) {
+	f := startFleet(t)
+	ctx := context.Background()
+	cfg := f.poolConfig(RoundRobin)
+	cfg.ConnsPerHost = 4
+	p, err := OpenPool(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			token := fmt.Sprintf("u%d", g%4)
+			for i := 0; i < 10; i++ {
+				if err := p.Write(ctx, token, func(c *Client) error {
+					_, err := c.CreateNode(ctx, []string{"C"}, nil)
+					return err
+				}); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if err := p.Read(ctx, token, func(c *Client) error {
+					_, err := c.AllNodes(ctx)
+					return err
+				}); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -34,22 +34,23 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7475", "listen address")
-		dir       = flag.String("dir", "", "database directory (empty = in-memory)")
-		rc        = flag.Bool("read-committed", false, "default to read committed instead of snapshot isolation")
-		fcw       = flag.Bool("first-committer-wins", false, "use first-committer-wins conflict policy")
-		noSync    = flag.Bool("no-sync", false, "disable commit WAL fsync entirely")
-		noGroup   = flag.Bool("no-group-commit", false, "one fsync per commit instead of batched group commit")
-		maxBatch  = flag.Int("commit-max-batch", 0, "queued committers at which a lingering group-commit leader flushes early (0 = default)")
-		maxDelay  = flag.Duration("commit-max-delay", 0, "how long a group-commit leader waits for more committers (0 = flush immediately)")
-		stripes   = flag.Int("commit-stripes", 0, "object-map/commit-validation stripes, rounded up to a power of two, max 256 (0 = GOMAXPROCS, 1 = single global latch)")
-		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled), e.g. 127.0.0.1:6060")
-		gcEvery   = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
-		ckpEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
-		replAddr  = flag.String("repl-addr", "", "primary: stream the WAL to replicas on this address")
-		replicaOf = flag.String("replica-of", "", "replica: stream the WAL from this primary replication address (read-only; promote with the 'promote' wire op)")
-		syncReps  = flag.Int("sync-replicas", 0, "primary: acknowledge a commit only after this many replicas durably acked it (0 = async)")
-		syncTmo   = flag.Duration("sync-timeout", 0, "primary: degrade a waiting commit to async after this long (0 = 1s default, negative = never)")
+		addr       = flag.String("addr", "127.0.0.1:7475", "listen address")
+		dir        = flag.String("dir", "", "database directory (empty = in-memory)")
+		rc         = flag.Bool("read-committed", false, "default to read committed instead of snapshot isolation")
+		fcw        = flag.Bool("first-committer-wins", false, "use first-committer-wins conflict policy")
+		noSync     = flag.Bool("no-sync", false, "disable commit WAL fsync entirely")
+		noGroup    = flag.Bool("no-group-commit", false, "one fsync per commit instead of batched group commit")
+		maxBatch   = flag.Int("commit-max-batch", 0, "queued committers at which a lingering group-commit leader flushes early (0 = default)")
+		maxDelay   = flag.Duration("commit-max-delay", 0, "how long a group-commit leader waits for more committers (0 = flush immediately)")
+		stripes    = flag.Int("commit-stripes", 0, "object-map/commit-validation stripes, rounded up to a power of two, max 256 (0 = GOMAXPROCS, 1 = single global latch)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled), e.g. 127.0.0.1:6060")
+		gcEvery    = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
+		ckpEvery   = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
+		replAddr   = flag.String("repl-addr", "", "primary: stream the WAL to replicas on this address")
+		replicaOf  = flag.String("replica-of", "", "replica: stream the WAL from this primary replication address (read-only; promote with the 'promote' wire op)")
+		syncReps   = flag.Int("sync-replicas", 0, "primary: acknowledge a commit only after this many replicas durably acked it (0 = async)")
+		syncTmo    = flag.Duration("sync-timeout", 0, "primary: degrade a waiting commit to async after this long (0 = 1s default, negative = never)")
+		drainGrace = flag.Duration("drain-grace", 0, "how long shutdown waits for in-flight requests to finish before hard-closing (0 = 5s default)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
+	srv.DrainGrace = *drainGrace
 	mode := "in-memory"
 	if *dir != "" {
 		mode = *dir

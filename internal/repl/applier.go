@@ -48,6 +48,12 @@ type ApplierStatus struct {
 // ErrApplierClosed reports a wait cut off by Close.
 var ErrApplierClosed = errors.New("repl: applier closed")
 
+// ErrWaitTimeout reports a WaitApplied that ran out its timeout before
+// the applied position reached the requested gate. Callers polling in
+// bounded slices (the server's drain-aware WaitLSN gate) test for it
+// with errors.Is to distinguish "not yet" from a real failure.
+var ErrWaitTimeout = errors.New("repl: apply wait timed out")
+
 // Applier maintains the replica's connection to its primary: it dials,
 // resumes the stream from the local log end, redo-applies every record
 // through the engine's recovery apply path, and reconnects with backoff
@@ -181,7 +187,7 @@ func (a *Applier) WaitApplied(pos uint64, timeout time.Duration) error {
 		select {
 		case <-c:
 		case <-timerC:
-			return fmt.Errorf("repl: timed out waiting for position %d (applied %d)", pos, a.applied.Load())
+			return fmt.Errorf("%w: position %d (applied %d)", ErrWaitTimeout, pos, a.applied.Load())
 		case <-a.stop:
 			return ErrApplierClosed
 		}

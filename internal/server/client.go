@@ -1,317 +1,174 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
-	"fmt"
 	"net"
-	"strings"
 
 	"neograph"
-	"neograph/internal/wire"
+	"neograph/client"
 )
 
-// Client is a typed connection to a neograph server. A Client is one
-// session (one potential open transaction); it is not safe for concurrent
-// use — open one client per worker, as with any session-oriented
-// database driver.
+// Client is a thin shim over the public neograph/client package, kept so
+// pre-existing callers (and tests) of the context-free API continue to
+// work unchanged.
+//
+// Deprecated: use neograph/client — every call takes a context.Context,
+// batches submit many ops in one round trip (client.Batch), and
+// client.Pool routes reads over the replica fleet. This shim runs every
+// call under context.Background().
 type Client struct {
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
-	// lastLSN is the commit position of the newest write acknowledged on
-	// this client — the token for read-your-writes against a replica.
-	lastLSN uint64
-	// readAfter, when set, is attached to every request as WaitLSN.
-	readAfter uint64
+	c *client.Client
 }
 
 // Dial connects to a server.
+//
+// Deprecated: use client.Dial, which takes a context.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	c, err := client.Dial(context.Background(), addr)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial: %w", err)
+		return nil, err
 	}
-	return &Client{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}, nil
+	return &Client{c: c}, nil
 }
 
 // Close closes the connection (aborting any open transaction server-side).
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error { return c.c.Close() }
 
-// roundTrip sends req and reads the response, converting protocol errors.
-func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
-	if req.WaitLSN == 0 {
-		req.WaitLSN = c.readAfter
-	}
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
-	}
-	var resp wire.Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("client: recv: %w", err)
-	}
-	if !resp.OK {
-		return nil, remoteError(resp.Error)
-	}
-	if resp.LSN != 0 {
-		c.lastLSN = resp.LSN
-	}
-	return &resp, nil
-}
+// RemoteAddr returns the server's address.
+func (c *Client) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
 
 // LastCommitLSN returns the commit position of the newest write this
 // client has had acknowledged (explicit commit or auto-committed write).
-// Hand it to another client's ReadAfter to read your writes from a
-// replica.
-func (c *Client) LastCommitLSN() uint64 { return c.lastLSN }
+func (c *Client) LastCommitLSN() uint64 { return c.c.LastCommitLSN() }
 
 // ReadAfter gates every subsequent request on the server having reached
-// pos: a replica waits until it has applied the primary's log that far
-// (read-your-writes), a primary until the position is durable. Zero
-// clears the gate.
-func (c *Client) ReadAfter(pos uint64) { c.readAfter = pos }
-
-// remoteError maps well-known engine errors back to their sentinel values
-// so errors.Is works across the wire.
-func remoteError(msg string) error {
-	for _, sentinel := range []error{
-		neograph.ErrNotFound, neograph.ErrWriteConflict, neograph.ErrDeadlock,
-		neograph.ErrTxDone, neograph.ErrHasRels, neograph.ErrReadOnlyReplica,
-	} {
-		if strings.Contains(msg, sentinel.Error()) {
-			return fmt.Errorf("%w (remote: %s)", sentinel, msg)
-		}
-	}
-	return errors.New(msg)
-}
+// pos. Zero clears the gate.
+func (c *Client) ReadAfter(pos uint64) { c.c.ReadAfter(pos) }
 
 // Ping checks liveness.
-func (c *Client) Ping() error {
-	_, err := c.roundTrip(&wire.Request{Op: wire.OpPing})
-	return err
-}
+func (c *Client) Ping() error { return c.c.Ping(context.Background()) }
 
 // Begin opens an explicit transaction ("si" or "rc"; empty = si).
 func (c *Client) Begin(isolation string) error {
-	_, err := c.roundTrip(&wire.Request{Op: wire.OpBegin, Isolation: isolation})
-	return err
+	return c.c.Begin(context.Background(), isolation)
 }
 
 // Commit commits the open transaction.
-func (c *Client) Commit() error {
-	_, err := c.roundTrip(&wire.Request{Op: wire.OpCommit})
-	return err
-}
+func (c *Client) Commit() error { return c.c.Commit(context.Background()) }
 
 // Abort aborts the open transaction.
-func (c *Client) Abort() error {
-	_, err := c.roundTrip(&wire.Request{Op: wire.OpAbort})
-	return err
-}
+func (c *Client) Abort() error { return c.c.Abort(context.Background()) }
 
 // CreateNode creates a node and returns its ID.
 func (c *Client) CreateNode(labels []string, props neograph.Props) (neograph.NodeID, error) {
-	enc, err := wire.EncodeProps(props)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpCreateNode, Labels: labels, Props: enc})
-	if err != nil {
-		return 0, err
-	}
-	return resp.ID, nil
+	return c.c.CreateNode(context.Background(), labels, props)
 }
 
 // GetNode fetches a node snapshot.
 func (c *Client) GetNode(id neograph.NodeID) (neograph.Node, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpGetNode, ID: id})
-	if err != nil {
-		return neograph.Node{}, err
-	}
-	props, err := wire.DecodeProps(resp.Node.Props)
-	if err != nil {
-		return neograph.Node{}, err
-	}
-	return neograph.Node{ID: resp.Node.ID, Labels: resp.Node.Labels, Props: props}, nil
+	return c.c.GetNode(context.Background(), id)
 }
 
 // SetNodeProp sets one node property.
 func (c *Client) SetNodeProp(id neograph.NodeID, key string, v neograph.Value) error {
-	enc, err := wire.EncodeValue(v)
-	if err != nil {
-		return err
-	}
-	_, err = c.roundTrip(&wire.Request{Op: wire.OpSetNodeProp, ID: id, Key: key, Value: enc})
-	return err
+	return c.c.SetNodeProp(context.Background(), id, key, v)
 }
 
 // AddLabel adds a label to a node.
 func (c *Client) AddLabel(id neograph.NodeID, label string) error {
-	_, err := c.roundTrip(&wire.Request{Op: wire.OpAddLabel, ID: id, Label: label})
-	return err
+	return c.c.AddLabel(context.Background(), id, label)
 }
 
 // RemoveLabel removes a label from a node.
 func (c *Client) RemoveLabel(id neograph.NodeID, label string) error {
-	_, err := c.roundTrip(&wire.Request{Op: wire.OpRemoveLabel, ID: id, Label: label})
-	return err
+	return c.c.RemoveLabel(context.Background(), id, label)
 }
 
 // DeleteNode deletes a relationship-free node.
 func (c *Client) DeleteNode(id neograph.NodeID) error {
-	_, err := c.roundTrip(&wire.Request{Op: wire.OpDeleteNode, ID: id})
-	return err
+	return c.c.DeleteNode(context.Background(), id)
 }
 
 // DetachDeleteNode deletes a node and its relationships.
 func (c *Client) DetachDeleteNode(id neograph.NodeID) error {
-	_, err := c.roundTrip(&wire.Request{Op: wire.OpDetachDelete, ID: id})
-	return err
+	return c.c.DetachDeleteNode(context.Background(), id)
 }
 
 // CreateRel creates a relationship and returns its ID.
 func (c *Client) CreateRel(relType string, start, end neograph.NodeID, props neograph.Props) (neograph.RelID, error) {
-	enc, err := wire.EncodeProps(props)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpCreateRel, Type: relType, Start: start, End: end, Props: enc})
-	if err != nil {
-		return 0, err
-	}
-	return resp.ID, nil
+	return c.c.CreateRel(context.Background(), relType, start, end, props)
 }
 
 // GetRel fetches a relationship snapshot.
 func (c *Client) GetRel(id neograph.RelID) (neograph.Relationship, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpGetRel, ID: id})
-	if err != nil {
-		return neograph.Relationship{}, err
-	}
-	props, err := wire.DecodeProps(resp.Rel.Props)
-	if err != nil {
-		return neograph.Relationship{}, err
-	}
-	return neograph.Relationship{
-		ID: resp.Rel.ID, Type: resp.Rel.Type,
-		Start: resp.Rel.Start, End: resp.Rel.End, Props: props,
-	}, nil
+	return c.c.GetRel(context.Background(), id)
 }
 
 // SetRelProp sets one relationship property.
 func (c *Client) SetRelProp(id neograph.RelID, key string, v neograph.Value) error {
-	enc, err := wire.EncodeValue(v)
-	if err != nil {
-		return err
-	}
-	_, err = c.roundTrip(&wire.Request{Op: wire.OpSetRelProp, ID: id, Key: key, Value: enc})
-	return err
+	return c.c.SetRelProp(context.Background(), id, key, v)
 }
 
 // DeleteRel deletes a relationship.
 func (c *Client) DeleteRel(id neograph.RelID) error {
-	_, err := c.roundTrip(&wire.Request{Op: wire.OpDeleteRel, ID: id})
-	return err
+	return c.c.DeleteRel(context.Background(), id)
 }
 
 // Relationships lists a node's relationships ("out", "in", "both").
 func (c *Client) Relationships(id neograph.NodeID, dir string, types ...string) ([]neograph.Relationship, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpRels, ID: id, Dir: dir, Types: types})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]neograph.Relationship, 0, len(resp.Rels))
-	for _, r := range resp.Rels {
-		props, err := wire.DecodeProps(r.Props)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, neograph.Relationship{ID: r.ID, Type: r.Type, Start: r.Start, End: r.End, Props: props})
-	}
-	return out, nil
+	return c.c.Relationships(context.Background(), id, dir, types...)
 }
 
 // Neighbors lists adjacent node IDs.
 func (c *Client) Neighbors(id neograph.NodeID, dir string, types ...string) ([]neograph.NodeID, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpNeighbors, ID: id, Dir: dir, Types: types})
-	if err != nil {
-		return nil, err
-	}
-	return resp.IDs, nil
+	return c.c.Neighbors(context.Background(), id, dir, types...)
 }
 
 // NodesByLabel lists node IDs carrying a label.
 func (c *Client) NodesByLabel(label string) ([]neograph.NodeID, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpNodesByLabel, Label: label})
-	if err != nil {
-		return nil, err
-	}
-	return resp.IDs, nil
+	return c.c.NodesByLabel(context.Background(), label)
 }
 
 // NodesByProperty lists node IDs whose property key equals v.
 func (c *Client) NodesByProperty(key string, v neograph.Value) ([]neograph.NodeID, error) {
-	enc, err := wire.EncodeValue(v)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpNodesByProp, Key: key, Value: enc})
-	if err != nil {
-		return nil, err
-	}
-	return resp.IDs, nil
+	return c.c.NodesByProperty(context.Background(), key, v)
 }
 
 // AllNodes lists every visible node ID.
 func (c *Client) AllNodes() ([]neograph.NodeID, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpAllNodes})
-	if err != nil {
-		return nil, err
-	}
-	return resp.IDs, nil
+	return c.c.AllNodes(context.Background())
 }
 
 // Stats returns the server's engine counters as raw JSON.
 func (c *Client) Stats() (json.RawMessage, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpStats})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Info, nil
+	return c.c.Stats(context.Background())
 }
 
 // GC triggers a garbage collection cycle, returning the report as JSON.
 func (c *Client) GC() (json.RawMessage, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpGC})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Info, nil
+	return c.c.GC(context.Background())
 }
 
 // Checkpoint triggers a checkpoint.
-func (c *Client) Checkpoint() error {
-	_, err := c.roundTrip(&wire.Request{Op: wire.OpCheckpoint})
-	return err
-}
+func (c *Client) Checkpoint() error { return c.c.Checkpoint(context.Background()) }
 
 // ReplStatus returns the server's replication status as raw JSON (role,
 // applied/durable positions, connected replicas).
 func (c *Client) ReplStatus() (json.RawMessage, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpReplStatus})
+	st, err := c.c.ReplStatus(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	return resp.Info, nil
+	return json.Marshal(st)
 }
 
 // Promote asks a replica server to promote itself to a writable primary
-// (failover), optionally starting a WAL shipper on addr so surviving
-// replicas can re-point. Returns the post-promotion replication status.
+// (failover). Returns the post-promotion replication status.
 func (c *Client) Promote(addr string) (json.RawMessage, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpPromote, Addr: addr})
+	st, err := c.c.Promote(context.Background(), addr)
 	if err != nil {
 		return nil, err
 	}
-	return resp.Info, nil
+	return json.Marshal(st)
 }

@@ -13,9 +13,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"neograph"
+	"neograph/internal/repl"
 	"neograph/internal/wire"
 )
 
@@ -29,14 +31,35 @@ const maxRequestBytes = 8 << 20
 // instead of holding the session forever.
 const waitLSNTimeout = 10 * time.Second
 
+// responseWriteTimeout bounds writing one response frame: a client that
+// stops reading cannot pin a handler (and its transaction) forever.
+const responseWriteTimeout = 30 * time.Second
+
+// DefaultDrainGrace is how long Close waits for in-flight requests to
+// finish before hard-closing their connections.
+const DefaultDrainGrace = 5 * time.Second
+
 // Server serves one DB over a listener.
 type Server struct {
 	db *neograph.DB
 	ln net.Listener
 
+	// DrainGrace is the bounded window Close gives in-flight handlers to
+	// write their response before their connections are hard-closed.
+	// Set before Close; zero means DefaultDrainGrace.
+	DrainGrace time.Duration
+
+	// draining is read on every request's hot path; atomic so sessions
+	// never contend on the server-wide mutex just to poll shutdown.
+	draining atomic.Bool
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+	// shedAt is when blocked WaitLSN gates give up during a drain —
+	// slightly before the hard-close so their error response still
+	// reaches the client as a complete frame.
+	shedAt time.Time
 	wg     sync.WaitGroup
 }
 
@@ -55,23 +78,70 @@ func New(db *neograph.DB, addr string) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting, closes every connection and waits for handlers.
+// Close stops accepting and drains: idle sessions are woken and closed
+// immediately (their pending read is poisoned), in-flight handlers get
+// DrainGrace to finish writing their current response — a response must
+// never be torn mid-frame by shutdown — and only laggards beyond the
+// grace period are hard-closed.
 func (s *Server) Close() error {
+	grace := s.DrainGrace
+	if grace <= 0 {
+		grace = DefaultDrainGrace
+	}
+	margin := grace / 4
+	if margin > 250*time.Millisecond {
+		margin = 250 * time.Millisecond
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.shedAt = time.Now().Add(grace - margin)
 	s.mu.Unlock()
+	s.draining.Store(true)
 	err := s.ln.Close()
+
+	// Wake idle sessions: expiring the read deadline fails the blocking
+	// Decode without touching writes, so a handler mid-response still
+	// flushes its frame and then exits on the next read.
 	s.mu.Lock()
 	for c := range s.conns {
-		c.Close()
+		c.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
+}
+
+// isDraining reports whether Close has begun.
+func (s *Server) isDraining() bool { return s.draining.Load() }
+
+// shedDeadline returns when blocked gates must give up, and whether a
+// drain is in progress at all.
+func (s *Server) shedDeadline() (time.Time, bool) {
+	if !s.draining.Load() {
+		return time.Time{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shedAt, true
 }
 
 func (s *Server) acceptLoop() {
@@ -96,11 +166,15 @@ func (s *Server) acceptLoop() {
 
 // session is one connection's state.
 type session struct {
-	db *neograph.DB
-	tx *neograph.Tx // open explicit transaction, nil otherwise
+	db  *neograph.DB
+	srv *Server      // nil only in isolated unit use
+	tx  *neograph.Tx // open explicit transaction, nil otherwise
 	// lastLSN is the commit position of the most recent auto-committed
 	// write, attached to that write's response as the RYW token.
 	lastLSN uint64
+	// deadline is the current request's time budget (from the wire
+	// deadline_ms field); zero means none. It bounds server-side waits.
+	deadline time.Time
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -111,7 +185,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	sess := &session{db: s.db}
+	sess := &session{db: s.db, srv: s}
 	defer func() {
 		if sess.tx != nil {
 			sess.tx.Abort()
@@ -126,10 +200,36 @@ func (s *Server) handle(conn net.Conn) {
 		lr.N = maxRequestBytes
 		var req wire.Request
 		if err := dec.Decode(&req); err != nil {
-			return // disconnect, garbage, or oversized frame
+			return // disconnect, garbage, oversized frame, or drain wake-up
+		}
+		sess.deadline = time.Time{}
+		if req.DeadlineMS > 0 {
+			sess.deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 		}
 		resp := sess.dispatch(&req)
+		// Bound the response write so a stalled reader cannot pin the
+		// handler; the request's own deadline tightens it, but with a
+		// floor — a budget that expired while the request executed must
+		// still get its error frame flushed, not a hangup.
+		wd := time.Now().Add(responseWriteTimeout)
+		if !sess.deadline.IsZero() {
+			floor := time.Now().Add(time.Second)
+			switch {
+			case sess.deadline.Before(floor):
+				wd = floor
+			case sess.deadline.Before(wd):
+				wd = sess.deadline
+			}
+		}
+		conn.SetWriteDeadline(wd)
 		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		conn.SetWriteDeadline(time.Time{})
+		// A drain may have begun while this request executed; the decoder
+		// could still serve pipelined requests from its buffer, so check
+		// explicitly — the response above was the session's last.
+		if s.isDraining() {
 			return
 		}
 	}
@@ -165,29 +265,174 @@ var writeOps = map[string]bool{
 	wire.OpCreateRel: true, wire.OpSetRelProp: true, wire.OpDeleteRel: true,
 }
 
-// dispatch guards replica/read-gating concerns, then executes the op and
-// stamps write responses with their commit position (the RYW token).
+// errDeadline fails a request whose wire deadline budget is spent. The
+// message deliberately contains "deadline exceeded" so clients map it
+// back to context.DeadlineExceeded.
+var errDeadline = errors.New("server: deadline exceeded")
+
+// checkDeadline fails once the request's deadline_ms budget is spent.
+func (sess *session) checkDeadline() error {
+	if !sess.deadline.IsZero() && !time.Now().Before(sess.deadline) {
+		return errDeadline
+	}
+	return nil
+}
+
+// drainPoll is how often a blocked WaitLSN gate re-checks for server
+// drain, bounding how long a gated request can delay Close.
+const drainPoll = 200 * time.Millisecond
+
+// waitGate blocks until the server reaches the requested log position —
+// read-your-writes on replicas (wait for apply), durable-read gating on
+// primaries (wait for fsync). The wait is bounded by waitLSNTimeout,
+// tightened by the request's wire deadline, and sliced so a draining
+// server sheds blocked waiters promptly instead of holding Close.
+func (sess *session) waitGate(pos uint64) error {
+	timeout := waitLSNTimeout
+	byDeadline := false
+	if !sess.deadline.IsZero() {
+		rem := time.Until(sess.deadline)
+		if rem <= 0 {
+			return errDeadline
+		}
+		if rem < timeout {
+			timeout = rem
+			byDeadline = true
+		}
+	}
+	end := time.Now().Add(timeout)
+	for {
+		chunk := time.Until(end)
+		if chunk <= 0 {
+			if byDeadline {
+				// The request's own budget (deadline_ms) cut the wait
+				// short — report that, so clients map it to their
+				// context.DeadlineExceeded.
+				return errDeadline
+			}
+			return fmt.Errorf("%w: position %d", repl.ErrWaitTimeout, pos)
+		}
+		if chunk > drainPoll {
+			chunk = drainPoll
+		}
+		if sess.srv != nil {
+			if shedAt, draining := sess.srv.shedDeadline(); draining {
+				if !time.Now().Before(shedAt) {
+					return errShuttingDown
+				}
+				// Clamp the wait so the next check lands right after the
+				// shed point — a free-running drainPoll cadence could
+				// otherwise straddle it and meet the hard-close instead.
+				if d := time.Until(shedAt) + 5*time.Millisecond; d < chunk {
+					chunk = d
+				}
+			}
+		}
+		err := sess.db.WaitApplied(pos, chunk)
+		if err == nil || !errors.Is(err, repl.ErrWaitTimeout) {
+			return err
+		}
+	}
+}
+
+// dispatch guards replica/read-gating/deadline concerns, then executes
+// the op and stamps write responses with their commit position (the RYW
+// token).
 func (sess *session) dispatch(req *wire.Request) *wire.Response {
 	if writeOps[req.Op] && sess.db.IsReplica() {
 		return fail(fmt.Errorf("%w: writes must go to the primary at %s",
 			neograph.ErrReadOnlyReplica, sess.db.PrimaryAddr()))
 	}
+	if err := sess.checkDeadline(); err != nil {
+		return fail(err)
+	}
 	if req.WaitLSN > 0 {
-		// Read-your-writes on replicas (wait for the position to apply);
-		// durable-read gating on primaries (wait for it to fsync).
-		if err := sess.db.WaitApplied(req.WaitLSN, waitLSNTimeout); err != nil {
+		if err := sess.waitGate(req.WaitLSN); err != nil {
 			return fail(err)
 		}
 	}
 	sess.lastLSN = 0
-	resp := sess.dispatchOp(req)
+	var resp *wire.Response
+	if req.Op == wire.OpBatch {
+		resp = sess.dispatchBatch(req)
+	} else {
+		resp = sess.dispatchOp(req)
+	}
 	if resp.OK && resp.LSN == 0 {
 		resp.LSN = sess.lastLSN
 	}
 	return resp
 }
 
-func fail(err error) *wire.Response { return &wire.Response{Error: err.Error()} }
+// dispatchBatch executes every sub-op of a batch inside ONE transaction —
+// the session's open one if there is one, else a transaction owned by the
+// batch and committed at the end. Atomic: the first failing sub-op aborts
+// the whole transaction (including an enclosing explicit one — its staged
+// writes cannot be separated from the batch's) and the response names the
+// failed op.
+func (sess *session) dispatchBatch(req *wire.Request) *wire.Response {
+	if err := wire.ValidateBatch(req); err != nil {
+		return fail(err)
+	}
+	if sess.db.IsReplica() {
+		for i := range req.Batch {
+			if writeOps[req.Batch[i].Op] {
+				return fail(fmt.Errorf("%w: batch op %d is a write; writes must go to the primary at %s",
+					neograph.ErrReadOnlyReplica, i, sess.db.PrimaryAddr()))
+			}
+		}
+	}
+	owned := sess.tx == nil
+	if owned {
+		sess.tx = sess.db.Begin()
+	}
+	abort := func(i int, msg string) *wire.Response {
+		if sess.tx != nil {
+			sess.tx.Abort()
+			sess.tx = nil
+		}
+		idx := i
+		return &wire.Response{
+			Error:    fmt.Sprintf("server: batch aborted at op %d: %s", i, msg),
+			FailedOp: &idx,
+		}
+	}
+	results := make([]wire.Response, 0, len(req.Batch))
+	for i := range req.Batch {
+		if err := sess.checkDeadline(); err != nil {
+			return abort(i, err.Error())
+		}
+		sub := sess.dispatchOp(&req.Batch[i])
+		if !sub.OK {
+			return abort(i, sub.Error)
+		}
+		results = append(results, *sub)
+	}
+	resp := &wire.Response{OK: true, Results: results}
+	if owned {
+		tx := sess.tx
+		sess.tx = nil
+		if err := tx.Commit(); err != nil {
+			return fail(err) // commit-time conflict: no single op to blame
+		}
+		resp.LSN = tx.CommitLSN()
+	}
+	return resp
+}
+
+func fail(err error) *wire.Response {
+	resp := &wire.Response{Error: err.Error()}
+	switch {
+	case errors.Is(err, errDeadline):
+		resp.Code = wire.CodeDeadline
+	case errors.Is(err, errShuttingDown), errors.Is(err, repl.ErrWaitTimeout):
+		resp.Code = wire.CodeUnavailable
+	}
+	return resp
+}
+
+// errShuttingDown sheds gated waiters when the server drains.
+var errShuttingDown = errors.New("server: shutting down")
 
 func parseDir(d string) (neograph.Direction, error) {
 	switch d {
@@ -205,7 +450,7 @@ func parseDir(d string) (neograph.Direction, error) {
 func (sess *session) dispatchOp(req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpPing:
-		return &wire.Response{OK: true}
+		return &wire.Response{OK: true, Proto: wire.ProtocolVersion}
 
 	case wire.OpBegin:
 		if sess.tx != nil {

@@ -163,7 +163,7 @@ func TestExplicitTransaction(t *testing.T) {
 // mustAddr digs the server address back out of a client's connection.
 func mustAddr(t *testing.T, cl *Client) string {
 	t.Helper()
-	return cl.conn.RemoteAddr().String()
+	return cl.RemoteAddr().String()
 }
 
 func TestAbortDiscardsAcrossWire(t *testing.T) {

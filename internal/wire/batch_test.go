@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestValidateBatch(t *testing.T) {
+	ok := func(sub ...Request) error {
+		return ValidateBatch(&Request{Op: OpBatch, Batch: sub})
+	}
+	if err := ok(Request{Op: OpPing}, Request{Op: OpCreateNode}); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+	if err := ok(); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := ValidateBatch(&Request{Op: OpPing}); err == nil {
+		t.Error("non-batch request validated as batch")
+	}
+	for _, bad := range []string{OpBatch, OpBegin, OpCommit, OpAbort, OpPromote, OpCheckpoint, OpGC, OpStats, OpReplStatus, "bogus"} {
+		if err := ok(Request{Op: bad}); err == nil {
+			t.Errorf("op %q accepted inside a batch", bad)
+		}
+	}
+	if err := ok(Request{Op: OpPing, WaitLSN: 7}); err == nil {
+		t.Error("per-sub-op wait_lsn accepted")
+	}
+	if err := ok(Request{Op: OpPing, DeadlineMS: 7}); err == nil {
+		t.Error("per-sub-op deadline_ms accepted")
+	}
+	over := make([]Request, MaxBatchOps+1)
+	for i := range over {
+		over[i] = Request{Op: OpPing}
+	}
+	if err := ok(over...); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized batch: %v", err)
+	}
+	exact := make([]Request, MaxBatchOps)
+	for i := range exact {
+		exact[i] = Request{Op: OpPing}
+	}
+	if err := ok(exact...); err != nil {
+		t.Errorf("batch at the limit rejected: %v", err)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	req := Request{Op: OpBatch, Batch: []Request{
+		{Op: OpCreateNode, Labels: []string{"A", "B"}},
+		{Op: OpCreateRel, Type: "KNOWS", Start: 1, End: 2},
+		{Op: OpNeighbors, ID: 3, Dir: "out", Types: []string{"KNOWS"}},
+	}}
+	data, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Request
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Batch) != 3 || back.Batch[1].Type != "KNOWS" || back.Batch[2].Dir != "out" {
+		t.Fatalf("batch round trip = %+v", back)
+	}
+	if err := ValidateBatch(&back); err != nil {
+		t.Fatal(err)
+	}
+
+	idx := 1
+	resp := Response{OK: true, LSN: 99, Results: []Response{{OK: true, ID: 7}, {OK: true}}, FailedOp: &idx}
+	data, err = json.Marshal(&resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rback Response
+	if err := json.Unmarshal(data, &rback); err != nil {
+		t.Fatal(err)
+	}
+	if len(rback.Results) != 2 || rback.Results[0].ID != 7 || rback.FailedOp == nil || *rback.FailedOp != 1 {
+		t.Fatalf("response round trip = %+v", rback)
+	}
+}
+
+// FuzzDecodeBatch hammers batch request decoding + validation with
+// arbitrary bytes: decode must never panic, and anything that validates
+// must survive a re-encode/re-validate round trip.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte(`{"op":"batch","batch":[{"op":"ping"}]}`))
+	f.Add([]byte(`{"op":"batch","batch":[{"op":"create_node","labels":["A"],"props":{"k":{"i":"1"}}}]}`))
+	f.Add([]byte(`{"op":"batch","batch":[{"op":"batch","batch":[{"op":"ping"}]}]}`))
+	f.Add([]byte(`{"op":"batch","batch":[]}`))
+	f.Add([]byte(`{"op":"batch","batch":[{"op":"set_node_prop","id":1,"key":"k","value":{"f":"1.5"},"wait_lsn":3}]}`))
+	f.Add([]byte(`{"op":"batch"`))
+	f.Add([]byte(`{"op":"ping"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		if err := ValidateBatch(&req); err != nil {
+			return
+		}
+		// A validated batch must re-encode and still validate: the server
+		// trusts ValidateBatch before executing.
+		out, err := json.Marshal(&req)
+		if err != nil {
+			t.Fatalf("validated batch failed to re-encode: %v", err)
+		}
+		var back Request
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-encoded batch failed to decode: %v", err)
+		}
+		if err := ValidateBatch(&back); err != nil {
+			t.Fatalf("re-encoded batch failed validation: %v", err)
+		}
+		if len(back.Batch) != len(req.Batch) {
+			t.Fatalf("batch length changed across round trip: %d -> %d", len(req.Batch), len(back.Batch))
+		}
+	})
+}

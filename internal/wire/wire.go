@@ -27,6 +27,18 @@ import (
 	"neograph/internal/value"
 )
 
+// ProtocolVersion is the wire protocol generation this package speaks.
+// Version 2 added the batch op and per-request deadlines; both ride in
+// optional JSON fields, so v1 clients keep working against a v2 server
+// unchanged (a v2 client can discover the server's generation from the
+// ping response's proto field).
+const ProtocolVersion = 2
+
+// MaxBatchOps bounds one batch request. A batch runs as a single
+// server-side transaction; an unbounded one would let a client pin a
+// transaction (and its memory) arbitrarily long.
+const MaxBatchOps = 4096
+
 // Op names.
 const (
 	OpPing         = "ping"
@@ -57,6 +69,12 @@ const (
 	// Request.Addr optionally names the replication address the promoted
 	// node starts shipping on — typically the dead primary's.
 	OpPromote = "promote"
+	// OpBatch submits Request.Batch — many data ops — in ONE round trip.
+	// The server executes the whole batch inside a single transaction
+	// (the session's open one, or its own auto-committed one) and replies
+	// with one Response carrying per-op Results. Atomic: the first failed
+	// op aborts the entire batch (Response.FailedOp names it).
+	OpBatch = "batch"
 )
 
 // Request is one client command.
@@ -83,6 +101,54 @@ type Request struct {
 	// position is durable (opt-in gate against acting on unsynced
 	// commits). Zero means no gating.
 	WaitLSN uint64 `json:"wait_lsn,omitempty"`
+	// DeadlineMS is the client's remaining time budget for this request
+	// in milliseconds (relative, so clock skew is irrelevant). The server
+	// bounds its own waits (WaitLSN gating, response writes) by it and
+	// fails the request once the budget is spent. Zero means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Batch holds the sub-operations of an OpBatch request.
+	Batch []Request `json:"batch,omitempty"`
+}
+
+// batchableOps are the operations allowed inside a batch: the data plane
+// (CRUD, traversals, lookups) plus ping. Session control (begin, commit,
+// abort), admin (promote, checkpoint, gc) and nested batches are not —
+// a batch already IS one transaction.
+var batchableOps = map[string]bool{
+	OpPing: true, OpCreateNode: true, OpGetNode: true, OpSetNodeProp: true,
+	OpAddLabel: true, OpRemoveLabel: true, OpDeleteNode: true,
+	OpDetachDelete: true, OpCreateRel: true, OpGetRel: true,
+	OpSetRelProp: true, OpDeleteRel: true, OpRels: true, OpNeighbors: true,
+	OpNodesByLabel: true, OpNodesByProp: true, OpAllNodes: true,
+}
+
+// Batchable reports whether op may appear inside a batch.
+func Batchable(op string) bool { return batchableOps[op] }
+
+// ValidateBatch checks the structural rules of an OpBatch request:
+// non-empty, at most MaxBatchOps sub-ops, every sub-op batchable (no
+// nesting, no session control), and no per-sub-op WaitLSN/DeadlineMS
+// (gating applies to the batch as a whole, on the outer request).
+func ValidateBatch(req *Request) error {
+	if req.Op != OpBatch {
+		return fmt.Errorf("wire: not a batch request (op %q)", req.Op)
+	}
+	if len(req.Batch) == 0 {
+		return fmt.Errorf("wire: empty batch")
+	}
+	if len(req.Batch) > MaxBatchOps {
+		return fmt.Errorf("wire: batch of %d ops exceeds limit %d", len(req.Batch), MaxBatchOps)
+	}
+	for i := range req.Batch {
+		sub := &req.Batch[i]
+		if !Batchable(sub.Op) {
+			return fmt.Errorf("wire: op %q not allowed in a batch (sub-op %d)", sub.Op, i)
+		}
+		if sub.WaitLSN != 0 || sub.DeadlineMS != 0 {
+			return fmt.Errorf("wire: wait_lsn/deadline_ms must be set on the batch, not sub-op %d", i)
+		}
+	}
+	return nil
 }
 
 // NodeJSON is a node snapshot on the wire.
@@ -101,20 +167,42 @@ type RelJSON struct {
 	Props json.RawMessage `json:"props,omitempty"`
 }
 
+// Error codes carried in Response.Code — machine-readable classification
+// so clients route on structure, not on error prose.
+const (
+	// CodeUnavailable: this server cannot serve the request right now
+	// (draining, or a gated wait timed out) — another replica might.
+	CodeUnavailable = "unavailable"
+	// CodeDeadline: the request's own deadline_ms budget expired.
+	CodeDeadline = "deadline"
+)
+
 // Response is the server's reply.
 type Response struct {
-	OK    bool            `json:"ok"`
-	Error string          `json:"error,omitempty"`
-	ID    uint64          `json:"id,omitempty"`
-	Node  *NodeJSON       `json:"node,omitempty"`
-	Rel   *RelJSON        `json:"rel,omitempty"`
-	Rels  []RelJSON       `json:"rels,omitempty"`
-	IDs   []uint64        `json:"ids,omitempty"`
-	Info  json.RawMessage `json:"info,omitempty"` // stats / gc / repl reports
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code classifies well-known failure families (see Code* constants);
+	// empty for ordinary engine errors.
+	Code string          `json:"code,omitempty"`
+	ID   uint64          `json:"id,omitempty"`
+	Node *NodeJSON       `json:"node,omitempty"`
+	Rel  *RelJSON        `json:"rel,omitempty"`
+	Rels []RelJSON       `json:"rels,omitempty"`
+	IDs  []uint64        `json:"ids,omitempty"`
+	Info json.RawMessage `json:"info,omitempty"` // stats / gc / repl reports
 	// LSN is the commit record's end position, returned by commit and by
 	// auto-committed writes — the token for read-your-writes gating
 	// (Request.WaitLSN) on replicas and for durable-read gating.
 	LSN uint64 `json:"lsn,omitempty"`
+	// Proto is the server's wire protocol generation, reported on ping so
+	// clients can detect feature support (batch needs >= 2).
+	Proto int `json:"proto,omitempty"`
+	// Results holds the per-op responses of a successful batch, in
+	// submission order.
+	Results []Response `json:"results,omitempty"`
+	// FailedOp names the sub-op whose failure aborted a batch (the
+	// top-level Error is that op's error).
+	FailedOp *int `json:"failed_op,omitempty"`
 }
 
 // EncodeValue renders a value in the tagged JSON form.
