@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race race-repl race-failover race-client bench bench-smoke bench-e11 bench-e12 lint fmt clean
+# Version-pinned staticcheck, fetched on demand via `go run` (no
+# toolchain install, no go.mod entry). Bump deliberately.
+STATICCHECK_VERSION ?= 2025.1
+
+.PHONY: all build test race race-repl race-failover race-client race-metrics bench bench-smoke bench-trend bench-e11 bench-e12 lint staticcheck fmt clean
 
 all: build test
 
@@ -33,6 +37,12 @@ race-client:
 	$(GO) test -race -count=2 ./client/... ./internal/wire/...
 	$(GO) test -race -run 'TestBatch|TestClose' ./internal/server/...
 
+## race-metrics: the metrics registry + admission-control/overload suite, twice, under race
+race-metrics:
+	$(GO) test -race -count=2 ./internal/metrics/...
+	$(GO) test -race -count=2 -run 'TestAdmission|TestServerMetrics' ./internal/server/...
+	$(GO) test -race -count=2 -run 'TestClientOverloaded|TestPoolBacksOff' ./client/...
+
 ## bench: the full experiment suite (minutes)
 bench: build
 	$(GO) run ./cmd/neograph-bench -json bench-results.json
@@ -40,6 +50,10 @@ bench: build
 ## bench-smoke: quick experiment pass; writes bench-results.json
 bench-smoke: build
 	$(GO) run ./cmd/neograph-bench -quick -json bench-results.json
+
+## bench-trend: normalise bench-results.json and gate against the newest committed BENCH_*.json
+bench-trend:
+	$(GO) run ./cmd/bench-trend -in bench-results.json -dir .
 
 ## bench-e11: the striped-commit-pipeline scaling experiment only
 bench-e11: build
@@ -49,15 +63,25 @@ bench-e11: build
 bench-e12: build
 	$(GO) run ./cmd/neograph-bench -exp E12 -json bench-e12.json
 
-## lint: go vet + gofmt diff check
-lint:
+## lint: go vet + gofmt diff check + staticcheck (pinned)
+lint: staticcheck
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+## staticcheck: honnef.co/go/tools, version-pinned via `go run`. Skips
+## with a warning when the module cannot be fetched (offline sandboxes);
+## CI always has network, so the check is never skipped there.
+staticcheck:
+	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "warning: staticcheck@$(STATICCHECK_VERSION) unavailable (offline?); skipping"; \
+	fi
 
 ## fmt: rewrite sources with gofmt
 fmt:
 	gofmt -w .
 
 clean:
-	rm -f bench-results.json bench-e11.json bench-e12.json
+	rm -f bench-results.json bench-e11.json bench-e12.json cpu.pprof

@@ -43,6 +43,12 @@ var ErrBroken = errors.New("client: connection broken")
 // it as a routing signal, not a final answer.
 var ErrUnavailable = errors.New("client: server unavailable")
 
+// ErrOverloaded reports a server-answered admission rejection: the
+// server's in-flight or queued-bytes budget is exhausted. The request
+// had no effect and the session survives — back off and retry (the Pool
+// does both automatically).
+var ErrOverloaded = errors.New("client: server overloaded")
+
 // deadlineGrace is how long past a context deadline the connection stays
 // readable, giving the server's clean deadline-error frame (flushed
 // right at the budget) time to arrive so the session survives a timeout.
@@ -210,6 +216,8 @@ func remoteError(code, msg string) error {
 		return fmt.Errorf("%w (remote: %s)", context.DeadlineExceeded, msg)
 	case wire.CodeUnavailable:
 		return fmt.Errorf("%w (remote: %s)", ErrUnavailable, msg)
+	case wire.CodeOverloaded:
+		return fmt.Errorf("%w (remote: %s)", ErrOverloaded, msg)
 	}
 	for _, sentinel := range []error{
 		neograph.ErrNotFound, neograph.ErrWriteConflict, neograph.ErrDeadlock,

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"neograph"
+	"neograph/internal/metrics"
 )
 
 // Policy selects how a Pool routes read sessions over the replica fleet.
@@ -38,6 +40,32 @@ type PoolConfig struct {
 	// refreshes per-replica applied positions (least-lag routing) and
 	// roles; default 250ms.
 	ProbeEvery time.Duration
+	// Metrics, when non-nil, receives the pool's routing counters
+	// (reads by route, availability skips, failovers, overload backoffs).
+	Metrics *metrics.Registry
+}
+
+// poolMetrics counts routing decisions; nil when no registry is given.
+type poolMetrics struct {
+	readsReplica, readsPrimary *metrics.Counter
+	readSkips                  *metrics.Counter
+	writeFailovers             *metrics.Counter
+	overloadBackoffs           *metrics.Counter
+}
+
+func newPoolMetrics(reg *metrics.Registry) *poolMetrics {
+	return &poolMetrics{
+		readsReplica: reg.Counter("neograph_pool_reads_total",
+			"pool reads by serving route", metrics.L("route", "replica")),
+		readsPrimary: reg.Counter("neograph_pool_reads_total",
+			"pool reads by serving route", metrics.L("route", "primary")),
+		readSkips: reg.Counter("neograph_pool_read_skips_total",
+			"read candidates skipped for availability errors"),
+		writeFailovers: reg.Counter("neograph_pool_write_failovers_total",
+			"writes that triggered primary re-discovery"),
+		overloadBackoffs: reg.Counter("neograph_pool_overload_backoffs_total",
+			"write retries backed off on server overload"),
+	}
 }
 
 // host is one server address with a bounded session free-list.
@@ -137,6 +165,7 @@ func (h *host) closeAll() {
 // A Pool is safe for concurrent use.
 type Pool struct {
 	cfg PoolConfig
+	pm  *poolMetrics // nil without PoolConfig.Metrics
 
 	mu       sync.Mutex
 	primary  *host
@@ -169,6 +198,9 @@ func OpenPool(ctx context.Context, cfg PoolConfig) (*Pool, error) {
 		tokens:    make(map[string]uint64),
 		probeStop: make(chan struct{}),
 		probeDone: make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		p.pm = newPoolMetrics(cfg.Metrics)
 	}
 	p.primary = p.hostFor(cfg.Primary)
 	for _, addr := range cfg.Replicas {
@@ -394,11 +426,17 @@ func (p *Pool) readOrder() []*host {
 // conflicts) return immediately without re-routing.
 func (p *Pool) Read(ctx context.Context, token string, fn func(c *Client) error) error {
 	gate := p.Token(token)
+	p.mu.Lock()
+	primary := p.primary
+	p.mu.Unlock()
 	var lastErr error
 	for _, h := range p.readOrder() {
 		c, err := h.acquire(ctx)
 		if err != nil {
 			lastErr = err
+			if p.pm != nil {
+				p.pm.readSkips.Inc()
+			}
 			continue
 		}
 		c.ReadAfter(gate)
@@ -407,11 +445,21 @@ func (p *Pool) Read(ctx context.Context, token string, fn func(c *Client) error)
 		broken := c.Broken()
 		h.release(c)
 		if err == nil {
+			if p.pm != nil {
+				if h == primary {
+					p.pm.readsPrimary.Inc()
+				} else {
+					p.pm.readsReplica.Inc()
+				}
+			}
 			return nil
 		}
 		lastErr = err
 		if !broken && !isAvailabilityErr(err) {
 			return err // the server answered; fn's error is real
+		}
+		if p.pm != nil {
+			p.pm.readSkips.Inc()
 		}
 	}
 	if lastErr == nil {
@@ -432,18 +480,65 @@ func (p *Pool) Read(ctx context.Context, token string, fn func(c *Client) error)
 // matters should make fn idempotent (e.g. keyed upserts) or disable
 // ambiguity by using a plain Client and treating transport errors as
 // in-doubt.
+//
+// A primary answering ErrOverloaded is alive but shedding load — the
+// pool backs off (jittered, doubling, context-bounded) and retries a
+// few times rather than hammering it; if the overload persists the
+// ErrOverloaded surfaces to the caller.
 func (p *Pool) Write(ctx context.Context, token string, fn func(c *Client) error) error {
-	err := p.writeOnce(ctx, token, fn)
-	if err == nil {
-		return nil
+	backoff := overloadBackoffMin
+	for attempt := 0; ; attempt++ {
+		err := p.writeOnce(ctx, token, fn)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrOverloaded) {
+			if attempt >= overloadRetries {
+				return err
+			}
+			if p.pm != nil {
+				p.pm.overloadBackoffs.Inc()
+			}
+			select {
+			case <-time.After(jitteredDelay(backoff)):
+			case <-ctx.Done():
+				return fmt.Errorf("client: pool write: %w", ctx.Err())
+			}
+			if backoff *= 2; backoff > overloadBackoffMax {
+				backoff = overloadBackoffMax
+			}
+			continue
+		}
+		if !p.shouldFailover(err) {
+			return err
+		}
+		if p.pm != nil {
+			p.pm.writeFailovers.Inc()
+		}
+		if _, derr := p.discoverPrimary(ctx); derr != nil {
+			return fmt.Errorf("client: pool write failed (%v) and no primary found: %w", err, derr)
+		}
+		return p.writeOnce(ctx, token, fn)
 	}
-	if !p.shouldFailover(err) {
-		return err
+}
+
+// Overload backoff bounds: the first retry waits ~overloadBackoffMin,
+// doubling per attempt up to overloadBackoffMax, for at most
+// overloadRetries retries before ErrOverloaded surfaces.
+const (
+	overloadBackoffMin = 5 * time.Millisecond
+	overloadBackoffMax = 250 * time.Millisecond
+	overloadRetries    = 6
+)
+
+// jitteredDelay spreads one backoff uniformly over [d/2, d] so a herd of
+// rejected writers doesn't retry in lockstep.
+func jitteredDelay(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
 	}
-	if _, derr := p.discoverPrimary(ctx); derr != nil {
-		return fmt.Errorf("client: pool write failed (%v) and no primary found: %w", err, derr)
-	}
-	return p.writeOnce(ctx, token, fn)
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(d-half)+1))
 }
 
 // writeOnce runs fn against the current primary.
@@ -481,9 +576,11 @@ func (p *Pool) shouldFailover(err error) bool {
 // draining server shedding its gated waiters, or a replica too far
 // behind to satisfy the read-your-writes gate in time. Another candidate
 // (or the primary fallback) may well serve the same read. Classified by
-// the wire error code (mapped to ErrUnavailable client-side).
+// the wire error code (mapped to ErrUnavailable / ErrOverloaded
+// client-side) — an overloaded replica is shedding load, so the read
+// should try the next candidate rather than fail.
 func isAvailabilityErr(err error) bool {
-	return errors.Is(err, ErrUnavailable)
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrOverloaded)
 }
 
 // isTransportErr detects connection-level failures (dial refused, reset,

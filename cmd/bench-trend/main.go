@@ -1,0 +1,278 @@
+// Command bench-trend normalises a bench-results.json (written by
+// neograph-bench -json) into a small versioned trend file and compares
+// its headline metrics against the newest committed baseline, failing on
+// regression. It is the CI gate that turns the bench suite into a
+// trajectory instead of a point:
+//
+//	make bench-smoke
+//	go run ./cmd/bench-trend -in bench-results.json -dir . -sha $GITHUB_SHA
+//
+// The tool writes BENCH_<date>_<sha>.json next to the committed
+// BENCH_*.json files and exits non-zero if any headline metric fell more
+// than -threshold below the baseline (the lexically greatest BENCH_*.json,
+// so the seed file BENCH_0001_seed.json naturally yields to dated ones).
+// On merge, commit the newly written file to advance the baseline.
+//
+// -handicap divides every extracted metric before writing/comparing —
+// a synthetic slowdown for verifying the gate actually fires:
+//
+//	go run ./cmd/bench-trend -in bench-results.json -handicap 2  # must fail
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// trendFile is the normalised, committed shape. Metrics are
+// higher-is-better throughput/speedup numbers only — latencies would
+// need the comparison inverted.
+type trendFile struct {
+	Schema  int                `json:"schema"`
+	Date    string             `json:"date"`
+	SHA     string             `json:"sha"`
+	Quick   bool               `json:"quick"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "bench-results.json", "bench-results.json written by neograph-bench -json")
+		dir       = flag.String("dir", ".", "directory holding committed BENCH_*.json baselines")
+		out       = flag.String("out", "", "output trend file (default <dir>/BENCH_<date>_<sha>.json)")
+		sha       = flag.String("sha", "", "commit id stamped into the file name and contents (default $GITHUB_SHA, else \"local\")")
+		threshold = flag.Float64("threshold", 0.30, "relative drop that fails the gate (0.30 = 30%)")
+		handicap  = flag.Float64("handicap", 1.0, "divide every metric by this (synthetic slowdown for gate verification)")
+	)
+	flag.Parse()
+
+	if *sha == "" {
+		*sha = os.Getenv("GITHUB_SHA")
+	}
+	if *sha == "" {
+		*sha = "local"
+	}
+	short := *sha
+	if len(short) > 12 {
+		short = short[:12]
+	}
+
+	cur, err := extract(*in, *handicap)
+	if err != nil {
+		fatal("extract %s: %v", *in, err)
+	}
+	cur.SHA = short
+	cur.Date = time.Now().UTC().Format("2006-01-02")
+
+	if *out == "" {
+		*out = filepath.Join(*dir, fmt.Sprintf("BENCH_%s_%s.json", strings.ReplaceAll(cur.Date, "-", ""), short))
+	}
+
+	base, basePath, err := latestBaseline(*dir, *out)
+	if err != nil {
+		fatal("baseline scan: %v", err)
+	}
+
+	if err := write(*out, cur); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if base == nil {
+		fmt.Println("no committed BENCH_*.json baseline; nothing to compare (commit this file to start the trajectory)")
+		return
+	}
+	if base.Quick != cur.Quick {
+		fmt.Printf("baseline %s is quick=%v but this run is quick=%v; skipping comparison (modes must match)\n",
+			basePath, base.Quick, cur.Quick)
+		return
+	}
+
+	fmt.Printf("comparing against %s (%s, %s)\n", basePath, base.Date, base.SHA)
+	var failures []string
+	names := make([]string, 0, len(cur.Metrics))
+	for name := range cur.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		now := cur.Metrics[name]
+		old, ok := base.Metrics[name]
+		if !ok || old <= 0 {
+			fmt.Printf("  %-34s %12.2f  (no baseline)\n", name, now)
+			continue
+		}
+		delta := now/old - 1
+		mark := ""
+		if delta < -*threshold {
+			mark = "  << REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s fell %.0f%% (%.2f -> %.2f, gate %.0f%%)", name, -delta*100, old, now, *threshold*100))
+		}
+		fmt.Printf("  %-34s %12.2f  vs %12.2f  (%+.1f%%)%s\n", name, now, old, delta*100, mark)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "bench-trend: FAIL")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("bench-trend: OK")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench-trend: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func write(path string, tf *trendFile) error {
+	data, err := json.MarshalIndent(tf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// latestBaseline returns the lexically greatest BENCH_*.json in dir,
+// excluding the file about to be written.
+func latestBaseline(dir, exclude string) (*trendFile, string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	sort.Strings(matches)
+	exAbs, _ := filepath.Abs(exclude)
+	for i := len(matches) - 1; i >= 0; i-- {
+		mAbs, _ := filepath.Abs(matches[i])
+		if mAbs == exAbs {
+			continue
+		}
+		data, err := os.ReadFile(matches[i])
+		if err != nil {
+			return nil, "", err
+		}
+		var tf trendFile
+		if err := json.Unmarshal(data, &tf); err != nil {
+			return nil, "", fmt.Errorf("%s: %w", matches[i], err)
+		}
+		return &tf, matches[i], nil
+	}
+	return nil, "", nil
+}
+
+// extract pulls the headline higher-is-better metrics out of a raw
+// bench-results.json. Experiments absent from the report (a partial -exp
+// run) simply contribute no metric.
+func extract(path string, handicap float64) (*trendFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report map[string]json.RawMessage
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, err
+	}
+	tf := &trendFile{Schema: 1, Metrics: map[string]float64{}}
+	if raw, ok := report["quick"]; ok {
+		_ = json.Unmarshal(raw, &tf.Quick)
+	}
+	if handicap <= 0 {
+		handicap = 1
+	}
+	put := func(name string, v float64) {
+		if v > 0 {
+			tf.Metrics[name] = v / handicap
+		}
+	}
+
+	// E2d: synced commits/s of group commit at the highest client count.
+	if raw, ok := report["E2d"]; ok {
+		var rows []struct {
+			Mode    string
+			Clients int
+			Result  struct {
+				Commits uint64
+				Elapsed int64 // time.Duration marshals as ns
+			}
+		}
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			return nil, fmt.Errorf("E2d: %w", err)
+		}
+		best := -1
+		for i, r := range rows {
+			if r.Mode == "group" && (best < 0 || r.Clients > rows[best].Clients) {
+				best = i
+			}
+		}
+		if best >= 0 && rows[best].Result.Elapsed > 0 {
+			put("e2d_synced_commits_per_sec",
+				float64(rows[best].Result.Commits)/(float64(rows[best].Result.Elapsed)/1e9))
+		}
+	}
+
+	// E9: read-throughput speedup at the highest replica count.
+	if raw, ok := report["E9"]; ok {
+		var rows []struct {
+			Replicas int     `json:"replicas"`
+			Speedup  float64 `json:"speedup"`
+		}
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			return nil, fmt.Errorf("E9: %w", err)
+		}
+		best := -1
+		for i, r := range rows {
+			if best < 0 || r.Replicas > rows[best].Replicas {
+				best = i
+			}
+		}
+		if best >= 0 {
+			put("e9_read_scaling_speedup", rows[best].Speedup)
+		}
+	}
+
+	// E11: best striped-commit speedup over the single-latch baseline.
+	if raw, ok := report["E11"]; ok {
+		var rows []struct {
+			Speedup float64
+		}
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			return nil, fmt.Errorf("E11: %w", err)
+		}
+		var best float64
+		for _, r := range rows {
+			if r.Speedup > best {
+				best = r.Speedup
+			}
+		}
+		put("e11_stripes_speedup", best)
+	}
+
+	// E12: batched-mixed throughput ratio over single-op round trips.
+	if raw, ok := report["E12"]; ok {
+		var rows []struct {
+			Mode    string  `json:"mode"`
+			Speedup float64 `json:"speedup"`
+		}
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			return nil, fmt.Errorf("E12: %w", err)
+		}
+		for _, r := range rows {
+			if r.Mode == "batched-mixed" {
+				put("e12_batch_speedup", r.Speedup)
+				break
+			}
+		}
+	}
+
+	if len(tf.Metrics) == 0 {
+		return nil, fmt.Errorf("no headline metrics found in %s (need E2d/E9/E11/E12 rows)", path)
+	}
+	return tf, nil
+}

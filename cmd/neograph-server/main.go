@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"neograph"
+	"neograph/internal/metrics"
 	"neograph/internal/server"
 )
 
@@ -43,7 +44,10 @@ func main() {
 		maxBatch   = flag.Int("commit-max-batch", 0, "queued committers at which a lingering group-commit leader flushes early (0 = default)")
 		maxDelay   = flag.Duration("commit-max-delay", 0, "how long a group-commit leader waits for more committers (0 = flush immediately)")
 		stripes    = flag.Int("commit-stripes", 0, "object-map/commit-validation stripes, rounded up to a power of two, max 256 (0 = GOMAXPROCS, 1 = single global latch)")
-		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled), e.g. 127.0.0.1:6060")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof (and /metrics) on this address (empty = disabled), e.g. 127.0.0.1:6060")
+		metricsOn  = flag.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = ride -pprof-addr if set)")
+		maxInfl    = flag.Int("max-inflight", 0, "admission control: max concurrently executing requests, excess rejected with code \"overloaded\" (0 = unlimited)")
+		maxQueued  = flag.Int64("max-queued-bytes", 0, "admission control: max admitted request-frame bytes in flight (0 = unlimited)")
 		gcEvery    = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
 		ckpEvery   = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
 		replAddr   = flag.String("repl-addr", "", "primary: stream the WAL to replicas on this address")
@@ -74,26 +78,45 @@ func main() {
 	if *fcw {
 		opts.Conflict = neograph.FirstCommitterWins
 	}
+	// One registry backs every /metrics mount. The DB-level samplers are
+	// registered after Open; the server's own series at NewWithConfig.
+	reg := metrics.NewRegistry()
 	if *pprofAddr != "" {
 		// DefaultServeMux carries the net/http/pprof handlers via its
 		// blank import; keep this listener off the public address.
+		http.Handle("/metrics", metrics.Handler(reg))
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				log.Printf("pprof listener: %v", err)
 			}
 		}()
-		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+		fmt.Printf("pprof on http://%s/debug/pprof/, metrics on http://%s/metrics\n", *pprofAddr, *pprofAddr)
+	}
+	if *metricsOn != "" && *metricsOn != *pprofAddr {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(reg))
+		go func() {
+			if err := http.ListenAndServe(*metricsOn, mux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", *metricsOn)
 	}
 
 	db, err := neograph.Open(opts)
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}
-	srv, err := server.New(db, *addr)
+	server.RegisterDBMetrics(reg, db)
+	srv, err := server.NewWithConfig(db, *addr, server.Config{
+		DrainGrace:     *drainGrace,
+		MaxInflight:    *maxInfl,
+		MaxQueuedBytes: *maxQueued,
+		Metrics:        reg,
+	})
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	srv.DrainGrace = *drainGrace
 	mode := "in-memory"
 	if *dir != "" {
 		mode = *dir

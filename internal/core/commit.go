@@ -87,6 +87,7 @@ func (t *Tx) Commit() error {
 					for _, n := range []ids.ID{w.rel.Start, w.rel.End} {
 						if err := t.validateEndpointAlive(n); err != nil {
 							t.e.stats.conflicts.Add(1)
+							t.e.stripeOf(entKey{lock.KindNode, n}).conflicts.Add(1)
 							t.abortStaged()
 							return err
 						}
@@ -97,6 +98,7 @@ func (t *Tx) Commit() error {
 			o := t.e.getObject(w.key)
 			if o == nil || o.chain.Head() != w.base {
 				t.e.stats.conflicts.Add(1)
+				t.e.stripeOf(w.key).conflicts.Add(1)
 				t.abortStaged()
 				return fmt.Errorf("%w: %s modified by concurrent transaction (first-committer-wins)",
 					ErrWriteConflict, fmtKey(w.key))

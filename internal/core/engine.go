@@ -241,6 +241,11 @@ type stripe struct {
 	// install. With CommitStripes=1 this degenerates to the old single
 	// global latch.
 	valMu sync.Mutex
+
+	// conflicts counts FCW validation failures attributed to an entity
+	// hashed here — the per-stripe contention series on /metrics. A
+	// lopsided distribution means hot keys, not insufficient stripes.
+	conflicts atomic.Uint64
 }
 
 // Engine is the database engine.
@@ -486,6 +491,21 @@ func (e *Engine) Stats() Stats {
 		CheckpointBytes:  e.stats.checkpointBytes.Load(),
 	}
 }
+
+// StripeConflicts snapshots the per-stripe FCW conflict counters, in
+// stripe-index order — the contention-skew series on /metrics.
+func (e *Engine) StripeConflicts() []uint64 {
+	out := make([]uint64, len(e.stripes))
+	for i := range e.stripes {
+		out[i] = e.stripes[i].conflicts.Load()
+	}
+	return out
+}
+
+// CommitBatcher exposes the group-commit batcher for metrics sampling
+// (queue depth, fsync latency). Nil when commits are unsynced or group
+// commit is disabled.
+func (e *Engine) CommitBatcher() *wal.Batcher { return e.batcher }
 
 // Watermark exposes the current commit watermark (newest stable snapshot).
 func (e *Engine) Watermark() mvcc.TS { return e.oracle.Watermark() }

@@ -1,0 +1,14 @@
+package metrics
+
+import "net/http"
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format — mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the header are write failures to a gone client;
+		// nothing useful to do with them.
+		_ = r.WriteText(w)
+	})
+}

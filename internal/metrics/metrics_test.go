@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("neograph_test_ops_total", "ops executed", L("op", "get"))
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("neograph_test_inflight", "in-flight requests")
+	g.Set(7)
+	g.Add(-2)
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# HELP neograph_test_ops_total ops executed\n",
+		"# TYPE neograph_test_ops_total counter\n",
+		`neograph_test_ops_total{op="get"} 42` + "\n",
+		"# TYPE neograph_test_inflight gauge\n",
+		"neograph_test_inflight 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	var v float64 = 3
+	r.CounterFunc("sampled_total", "sampled", func() float64 { return v })
+	r.GaugeFunc("sampled_gauge", "sampled", func() float64 { return v / 2 })
+	out := scrape(t, r)
+	if !strings.Contains(out, "sampled_total 3\n") || !strings.Contains(out, "sampled_gauge 1.5\n") {
+		t.Fatalf("func metrics not rendered:\n%s", out)
+	}
+}
+
+func TestLabelEscapingAndSorting(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", `a "help" with \slashes`+"\nand newline",
+		L("zeta", "z"), L("alpha", `quote " slash \ newline`+"\n"))
+	out := scrape(t, r)
+	wantHelp := `# HELP esc_total a "help" with \\slashes\nand newline` + "\n"
+	if !strings.Contains(out, wantHelp) {
+		t.Errorf("help not escaped, want %q in:\n%s", wantHelp, out)
+	}
+	// Labels render sorted by name, values escaped.
+	wantSeries := `esc_total{alpha="quote \" slash \\ newline\n",zeta="z"} 0` + "\n"
+	if !strings.Contains(out, wantSeries) {
+		t.Errorf("labels not sorted/escaped, want %q in:\n%s", wantSeries, out)
+	}
+}
+
+func TestHistogramCumulativeInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1, 1})
+	obs := []float64{0.0005, 0.001, 0.002, 0.05, 0.5, 5, 50}
+	var sum float64
+	for _, v := range obs {
+		h.Observe(v)
+		sum += v
+	}
+	out := scrape(t, r)
+	assertHistogramInvariants(t, out, "lat_seconds", "")
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.001"} 2`, // 0.0005 and the bound-equal 0.001 (le is inclusive)
+		`lat_seconds_bucket{le="0.01"} 3`,
+		`lat_seconds_bucket{le="0.1"} 4`,
+		`lat_seconds_bucket{le="1"} 5`,
+		`lat_seconds_bucket{le="+Inf"} 7`,
+		fmt.Sprintf("lat_seconds_sum %s", strconv.FormatFloat(sum, 'g', -1, 64)),
+		"lat_seconds_count 7",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count() = %d, want 7", h.Count())
+	}
+}
+
+// assertHistogramInvariants parses one histogram family out of a scrape
+// and checks the exposition-format invariants: bucket counts cumulative
+// and monotone non-decreasing, terminated by +Inf, and _count equal to
+// the +Inf bucket.
+func assertHistogramInvariants(t *testing.T, scrape, name, labelPrefix string) {
+	t.Helper()
+	var last uint64
+	var inf, count uint64
+	var sawInf, sawCount bool
+	sc := bufio.NewScanner(strings.NewReader(scrape))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, name+"_bucket{"+labelPrefix):
+			parts := strings.Fields(line)
+			n, err := strconv.ParseUint(parts[len(parts)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if n < last {
+				t.Errorf("bucket counts not cumulative: %q after %d", line, last)
+			}
+			last = n
+			if strings.Contains(line, `le="+Inf"`) {
+				inf, sawInf = n, true
+			}
+		case strings.HasPrefix(line, name+"_count"):
+			parts := strings.Fields(line)
+			n, _ := strconv.ParseUint(parts[len(parts)-1], 10, 64)
+			count, sawCount = n, true
+		}
+	}
+	if !sawInf || !sawCount {
+		t.Fatalf("histogram %s missing +Inf bucket or _count in:\n%s", name, scrape)
+	}
+	if inf != count {
+		t.Errorf("+Inf bucket %d != _count %d", inf, count)
+	}
+}
+
+func TestHistogramStandaloneAttach(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 4)) // 1 2 4 8
+	h.ObserveDuration(3 * time.Second)
+	r := NewRegistry()
+	r.AttachHistogram("fsync_seconds", "fsync latency", h)
+	out := scrape(t, r)
+	if !strings.Contains(out, `fsync_seconds_bucket{le="4"} 1`+"\n") {
+		t.Fatalf("attached histogram not rendered:\n%s", out)
+	}
+}
+
+func TestRegistrationIdempotentAndTypeChecked(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("dup_total", "dup")
+	c2 := r.Counter("dup_total", "dup")
+	if c1 != c2 {
+		t.Error("same-name same-labels counter registration not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "dup")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "a-b", "a b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+// TestConcurrentScrapeWhileWriting hammers every metric kind from many
+// goroutines while scraping continuously; under -race this proves the
+// hot paths and the encoder share no unsynchronised state, and every
+// scrape must still satisfy the histogram invariants.
+func TestConcurrentScrapeWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "")
+	g := r.Gauge("cc_gauge", "")
+	h := r.Histogram("cc_seconds", "", LatencyBuckets(), L("op", "mixed"))
+	r.GaugeFunc("cc_sampled", "", func() float64 { return float64(c.Value()) })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			v := float64(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(1)
+				h.Observe(math.Mod(v, 2.0))
+				v += 0.37
+			}
+		}(i)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		out := scrape(t, r)
+		assertHistogramInvariants(t, out, "cc_seconds", `op="mixed",`)
+	}
+	close(stop)
+	wg.Wait()
+	if c.Value() == 0 || h.Count() == 0 {
+		t.Error("writers made no progress")
+	}
+}

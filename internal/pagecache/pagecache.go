@@ -87,6 +87,10 @@ type shard struct {
 	capacity int
 	lruHead  *Page
 	lruTail  *Page
+
+	// Per-shard effectiveness counters (atomic so Stats/ShardStats scrape
+	// without taking shard locks). The cache-wide Stats sums them.
+	hits, misses, evictions, flushes atomic.Uint64
 }
 
 // Cache is a sharded LRU page cache over a single file.
@@ -97,8 +101,6 @@ type Cache struct {
 	closed    atomic.Bool
 	lifeMu    sync.Mutex    // serialises Flush/Close/Discard against each other
 	grown     atomic.Uint64 // number of pages known to exist in the file
-
-	hits, misses, evictions, flushes atomic.Uint64
 }
 
 // shardCount picks the power-of-two number of segments for a capacity:
@@ -153,14 +155,34 @@ func (c *Cache) shard(pageID uint64) *shard {
 // PageCount returns the number of pages the backing file logically holds.
 func (c *Cache) PageCount() uint64 { return c.grown.Load() }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters summed over shards.
 func (c *Cache) Stats() Stats {
-	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Flushes:   c.flushes.Load(),
+	var out Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		out.Hits += s.hits.Load()
+		out.Misses += s.misses.Load()
+		out.Evictions += s.evictions.Load()
+		out.Flushes += s.flushes.Load()
 	}
+	return out
+}
+
+// ShardStats returns one counter snapshot per LRU segment — the
+// per-shard hit-ratio series on /metrics, and the view that shows a
+// pathological access pattern piling onto one segment.
+func (c *Cache) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		out[i] = Stats{
+			Hits:      s.hits.Load(),
+			Misses:    s.misses.Load(),
+			Evictions: s.evictions.Load(),
+			Flushes:   s.flushes.Load(),
+		}
+	}
+	return out
 }
 
 // Pin returns the page with the given number, faulting it in from the file
@@ -175,11 +197,11 @@ func (c *Cache) Pin(pageID uint64) (*Page, error) {
 		return nil, ErrClosed
 	}
 	if p, ok := s.pages[pageID]; ok {
-		c.hits.Add(1)
+		s.hits.Add(1)
 		s.pin(p)
 		return p, nil
 	}
-	c.misses.Add(1)
+	s.misses.Add(1)
 	if len(s.pages) >= s.capacity {
 		if err := c.evictLocked(s); err != nil {
 			return nil, err
@@ -277,7 +299,7 @@ func (c *Cache) evictLocked(s *shard) error {
 	}
 	s.lruRemove(p)
 	delete(s.pages, p.id)
-	c.evictions.Add(1)
+	s.evictions.Add(1)
 	return nil
 }
 
@@ -288,7 +310,7 @@ func (c *Cache) writeBack(p *Page) error {
 		return fmt.Errorf("pagecache: write page %d: %w", p.id, err)
 	}
 	p.dirty = false
-	c.flushes.Add(1)
+	c.shard(p.id).flushes.Add(1)
 	return nil
 }
 

@@ -42,7 +42,11 @@ type ApplierStatus struct {
 	// PrimaryDurable is the primary's durability horizon from the last
 	// heartbeat; PrimaryDurable - AppliedPos is the byte lag.
 	PrimaryDurable uint64 `json:"primary_durable"`
-	LastError      string `json:"last_error,omitempty"`
+	// LagSeconds is how long the replica has continuously been behind the
+	// primary's durability horizon (0 when caught up) — the wall-clock
+	// companion to the byte lag above, and the series operators alert on.
+	LagSeconds float64 `json:"lag_seconds"`
+	LastError  string  `json:"last_error,omitempty"`
 }
 
 // ErrApplierClosed reports a wait cut off by Close.
@@ -68,14 +72,19 @@ type Applier struct {
 	id uint64
 
 	applied atomic.Uint64
+	// primaryDurable is the primary's durability horizon from the last
+	// heartbeat (atomic so lag accounting and scrapes skip a.mu).
+	primaryDurable atomic.Uint64
+	// behindSince is the UnixNano instant the replica last fell behind the
+	// primary's horizon, 0 while caught up. LagSeconds derives from it.
+	behindSince atomic.Int64
 
-	mu             sync.Mutex
-	conn           net.Conn // live connection, for Close to sever
-	connected      bool
-	primaryDurable uint64
-	lastErr        error
-	notifyC        chan struct{} // closed when applied advances
-	closed         bool
+	mu        sync.Mutex
+	conn      net.Conn // live connection, for Close to sever
+	connected bool
+	lastErr   error
+	notifyC   chan struct{} // closed when applied advances
+	closed    bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -147,7 +156,8 @@ func (a *Applier) Status() ApplierStatus {
 		PrimaryAddr:    a.primary,
 		Connected:      a.connected,
 		AppliedPos:     a.applied.Load(),
-		PrimaryDurable: a.primaryDurable,
+		PrimaryDurable: a.primaryDurable.Load(),
+		LagSeconds:     a.LagSeconds(),
 	}
 	if a.lastErr != nil {
 		st.LastError = a.lastErr.Error()
@@ -333,9 +343,8 @@ func (a *Applier) streamOnce() error {
 			}
 			a.advanceApplied(a.e.AppliedLSN())
 		case frameHeartbeat:
-			a.mu.Lock()
-			a.primaryDurable = lsn
-			a.mu.Unlock()
+			a.primaryDurable.Store(lsn)
+			a.updateLag()
 			// Heartbeats close every shipped batch — far too often to pay
 			// an fsync each, so local durability is rate-limited — unless
 			// the primary runs synchronous replication and asked for a
@@ -370,7 +379,40 @@ func (a *Applier) streamOnce() error {
 // advanceApplied publishes a new applied position and wakes waiters.
 func (a *Applier) advanceApplied(pos uint64) {
 	a.applied.Store(pos)
+	a.updateLag()
 	a.mu.Lock()
 	a.wakeLocked()
 	a.mu.Unlock()
+}
+
+// updateLag reconciles behindSince with the current applied/horizon gap:
+// caught up clears it, falling behind stamps the instant it started. The
+// CAS keeps the stamp at the *first* fall-behind instant when heartbeats
+// and applies race.
+func (a *Applier) updateLag() {
+	if a.applied.Load() >= a.primaryDurable.Load() {
+		a.behindSince.Store(0)
+	} else {
+		a.behindSince.CompareAndSwap(0, time.Now().UnixNano())
+	}
+}
+
+// LagSeconds reports how long the replica has continuously been behind
+// the primary's durability horizon, 0 when caught up.
+func (a *Applier) LagSeconds() float64 {
+	s := a.behindSince.Load()
+	if s == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, s)).Seconds()
+}
+
+// LagBytes reports the byte gap to the primary's durability horizon
+// (0 when caught up or before the first heartbeat).
+func (a *Applier) LagBytes() uint64 {
+	d, ap := a.primaryDurable.Load(), a.applied.Load()
+	if d <= ap {
+		return 0
+	}
+	return d - ap
 }

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"strconv"
+	"time"
+
+	"neograph"
+	"neograph/internal/metrics"
+	"neograph/internal/wire"
+)
+
+// Op classes for the per-op latency histograms: one series per family
+// keeps label cardinality bounded while still separating the latency
+// populations that differ by orders of magnitude.
+const (
+	classRead  = "read"
+	classWrite = "write"
+	classBatch = "batch"
+	classTx    = "tx"
+	classAdmin = "admin"
+)
+
+// opClass maps a wire op to its latency family.
+func opClass(op string) string {
+	switch op {
+	case wire.OpBatch:
+		return classBatch
+	case wire.OpBegin, wire.OpCommit, wire.OpAbort:
+		return classTx
+	case wire.OpPing, wire.OpStats, wire.OpGC, wire.OpCheckpoint,
+		wire.OpReplStatus, wire.OpPromote:
+		return classAdmin
+	default:
+		if writeOps[op] {
+			return classWrite
+		}
+		return classRead
+	}
+}
+
+// serverMetrics holds the per-server hot-path instruments. Everything a
+// request touches is an atomic op on a pre-registered series — no lock,
+// no allocation, no map write.
+type serverMetrics struct {
+	sessions *metrics.Gauge
+	latency  map[string]*metrics.Histogram
+	batchOps *metrics.Histogram
+}
+
+// newServerMetrics registers the server's operational series on reg,
+// sampling admission state straight from s.
+func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		sessions: reg.Gauge("neograph_server_sessions", "open client sessions"),
+		latency:  make(map[string]*metrics.Histogram, 5),
+	}
+	for _, class := range []string{classRead, classWrite, classBatch, classTx, classAdmin} {
+		m.latency[class] = reg.Histogram("neograph_server_request_seconds",
+			"request dispatch latency by op class", metrics.LatencyBuckets(),
+			metrics.L("class", class))
+	}
+	m.batchOps = reg.Histogram("neograph_server_batch_ops",
+		"sub-operations per batch request", metrics.ExpBuckets(1, 4, 8))
+	reg.GaugeFunc("neograph_server_requests_inflight",
+		"requests admitted and not yet responded",
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("neograph_server_queued_bytes",
+		"admitted request-frame bytes held in flight",
+		func() float64 { return float64(s.queuedBytes.Load()) })
+	reg.CounterFunc("neograph_server_requests_admitted_total",
+		"requests past admission control",
+		func() float64 { return float64(s.admitted.Load()) })
+	reg.CounterFunc("neograph_server_requests_rejected_total",
+		"requests rejected with the overloaded code",
+		func() float64 { return float64(s.rejected.Load()) })
+	return m
+}
+
+// observe records one dispatched request.
+func (m *serverMetrics) observe(req *wire.Request, d time.Duration) {
+	if h := m.latency[opClass(req.Op)]; h != nil {
+		h.ObserveDuration(d)
+	}
+	if req.Op == wire.OpBatch {
+		m.batchOps.Observe(float64(len(req.Batch)))
+	}
+}
+
+// RegisterDBMetrics wires a database's engine, WAL, page-cache and
+// replication series into reg. Everything is sampled at scrape time from
+// the components' own atomic counters — registering metrics adds zero
+// work to commit or read paths. Call once per DB per registry.
+func RegisterDBMetrics(reg *metrics.Registry, db *neograph.DB) {
+	e := db.Engine()
+
+	// Engine: transaction outcomes and MVCC state.
+	reg.CounterFunc("neograph_txn_begun_total", "transactions begun",
+		func() float64 { return float64(db.Stats().Begun) })
+	reg.CounterFunc("neograph_txn_committed_total", "transactions committed",
+		func() float64 { return float64(db.Stats().Committed) })
+	reg.CounterFunc("neograph_txn_aborted_total", "transactions aborted",
+		func() float64 { return float64(db.Stats().Aborted) })
+	reg.CounterFunc("neograph_txn_conflicts_total", "first-committer-wins validation failures",
+		func() float64 { return float64(db.Stats().WriteConflicts) })
+	reg.CounterFunc("neograph_txn_deadlocks_total", "lock-wait deadlocks broken",
+		func() float64 { return float64(db.Stats().Deadlocks) })
+	reg.GaugeFunc("neograph_txn_active", "currently active transactions",
+		func() float64 { return float64(e.ActiveTransactions()) })
+	reg.GaugeFunc("neograph_oracle_watermark", "newest stable snapshot timestamp",
+		func() float64 { return float64(e.Watermark()) })
+	reg.CounterFunc("neograph_gc_runs_total", "version GC passes",
+		func() float64 { return float64(db.Stats().GCRuns) })
+	reg.CounterFunc("neograph_gc_collected_total", "versions reclaimed by GC",
+		func() float64 { return float64(db.Stats().GCCollected) })
+	reg.CounterFunc("neograph_checkpoints_total", "checkpoints written",
+		func() float64 { return float64(db.Stats().Checkpoints) })
+
+	// Per-stripe FCW conflicts: the contention-skew view. One series per
+	// stripe, sampled from the stripe's own atomic.
+	for i := range e.StripeConflicts() {
+		i := i
+		reg.CounterFunc("neograph_stripe_conflicts_total",
+			"FCW validation failures by commit stripe",
+			func() float64 { return float64(e.StripeConflicts()[i]) },
+			metrics.L("stripe", strconv.Itoa(i)))
+	}
+
+	// WAL: durability horizon and the group-commit batcher.
+	reg.GaugeFunc("neograph_wal_durable_lsn", "WAL durability horizon",
+		func() float64 { return float64(db.DurableLSN()) })
+	reg.GaugeFunc("neograph_wal_applied_lsn", "one past the last WAL record held locally",
+		func() float64 { return float64(db.AppliedLSN()) })
+	reg.CounterFunc("neograph_wal_flushes_total", "group-commit fsyncs issued",
+		func() float64 { return float64(db.Stats().WALFlushes) })
+	reg.CounterFunc("neograph_wal_synced_commits_total", "commits made durable",
+		func() float64 { return float64(db.Stats().WALSyncedCommits) })
+	if b := e.CommitBatcher(); b != nil {
+		reg.GaugeFunc("neograph_wal_batcher_depth", "committers parked in group commit",
+			func() float64 { return float64(b.Depth()) })
+		reg.AttachHistogram("neograph_wal_fsync_seconds", "group-commit fsync latency",
+			b.SyncLatency())
+	}
+
+	// Page cache: per-file aggregates plus the per-shard hit/miss split.
+	if st := e.Store(); st != nil {
+		for _, file := range []string{"nodes", "rels", "props", "dyn"} {
+			file := file
+			reg.CounterFunc("neograph_pagecache_hits_total", "page-cache hits by store file",
+				func() float64 { return float64(st.CacheStats()[file].Hits) },
+				metrics.L("file", file))
+			reg.CounterFunc("neograph_pagecache_misses_total", "page-cache misses by store file",
+				func() float64 { return float64(st.CacheStats()[file].Misses) },
+				metrics.L("file", file))
+			reg.CounterFunc("neograph_pagecache_evictions_total", "page evictions by store file",
+				func() float64 { return float64(st.CacheStats()[file].Evictions) },
+				metrics.L("file", file))
+			reg.CounterFunc("neograph_pagecache_flushes_total", "dirty page write-backs by store file",
+				func() float64 { return float64(st.CacheStats()[file].Flushes) },
+				metrics.L("file", file))
+			for shard := range st.CacheShardStats()[file] {
+				shard := shard
+				lbls := []metrics.Label{metrics.L("file", file), metrics.L("shard", strconv.Itoa(shard))}
+				reg.CounterFunc("neograph_pagecache_shard_hits_total",
+					"page-cache hits by LRU segment",
+					func() float64 { return float64(st.CacheShardStats()[file][shard].Hits) }, lbls...)
+				reg.CounterFunc("neograph_pagecache_shard_misses_total",
+					"page-cache misses by LRU segment",
+					func() float64 { return float64(st.CacheShardStats()[file][shard].Misses) }, lbls...)
+			}
+		}
+	}
+
+	// Replication: role, lag, and sync-quorum health. Sampled through
+	// ReplStatus so promotion/demotion is reflected live.
+	reg.GaugeFunc("neograph_repl_connected", "1 when a replica's stream is connected",
+		func() float64 {
+			if db.ReplStatus().Connected {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("neograph_repl_lag_bytes", "byte gap to the primary durability horizon",
+		func() float64 {
+			st := db.ReplStatus()
+			if st.PrimaryDurable <= st.AppliedLSN {
+				return 0
+			}
+			return float64(st.PrimaryDurable - st.AppliedLSN)
+		})
+	reg.GaugeFunc("neograph_repl_lag_seconds",
+		"how long this replica has continuously been behind the primary",
+		func() float64 { return db.ReplStatus().LagSeconds })
+	reg.CounterFunc("neograph_repl_degraded_commits_total",
+		"commits acknowledged without the sync quorum",
+		func() float64 { return float64(db.ReplStatus().DegradedCommits) })
+	reg.GaugeFunc("neograph_repl_replicas", "replicas connected to this primary",
+		func() float64 { return float64(len(db.ReplStatus().Replicas)) })
+	reg.GaugeFunc("neograph_repl_epoch", "replication generation (bumped by promotion)",
+		func() float64 {
+			epoch, _ := db.Epoch()
+			return float64(epoch)
+		})
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"neograph"
+	"neograph/internal/metrics"
 	"neograph/internal/repl"
 	"neograph/internal/wire"
 )
@@ -39,6 +40,26 @@ const responseWriteTimeout = 30 * time.Second
 // finish before hard-closing their connections.
 const DefaultDrainGrace = 5 * time.Second
 
+// Config tunes a server beyond its listen address.
+type Config struct {
+	// DrainGrace is the bounded window Close gives in-flight handlers to
+	// write their response before their connections are hard-closed.
+	// Zero means DefaultDrainGrace.
+	DrainGrace time.Duration
+	// MaxInflight caps concurrently executing requests across all
+	// sessions; the excess is rejected immediately with the structured
+	// "overloaded" code rather than queued. Zero means unlimited.
+	MaxInflight int
+	// MaxQueuedBytes caps the sum of admitted request-frame bytes held
+	// in flight — the server's request-memory budget. A single frame
+	// larger than the budget is always rejected. Zero means unlimited.
+	MaxQueuedBytes int64
+	// Metrics, when non-nil, receives the server's operational series
+	// (sessions, per-op latency, admission) — pass the registry mounted
+	// at /metrics.
+	Metrics *metrics.Registry
+}
+
 // Server serves one DB over a listener.
 type Server struct {
 	db *neograph.DB
@@ -48,6 +69,21 @@ type Server struct {
 	// write their response before their connections are hard-closed.
 	// Set before Close; zero means DefaultDrainGrace.
 	DrainGrace time.Duration
+
+	// Admission control (Config.MaxInflight / MaxQueuedBytes). The
+	// gauges are maintained even when the limits are off — they are the
+	// load series on /metrics; add-then-check-then-revert keeps the
+	// check race-free without a lock on the request hot path.
+	maxInflight    int64
+	maxQueuedBytes int64
+	inflight       atomic.Int64
+	queuedBytes    atomic.Int64
+	inflightPeak   atomic.Int64
+	queuedPeak     atomic.Int64
+	admitted       atomic.Uint64
+	rejected       atomic.Uint64
+
+	sm *serverMetrics // nil when Config.Metrics is nil
 
 	// draining is read on every request's hot path; atomic so sessions
 	// never contend on the server-wide mutex just to poll shutdown.
@@ -63,16 +99,91 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// New creates a server for db listening on addr (e.g. "127.0.0.1:7475").
+// New creates a server for db listening on addr (e.g. "127.0.0.1:7475")
+// with default Config.
 func New(db *neograph.DB, addr string) (*Server, error) {
+	return NewWithConfig(db, addr, Config{})
+}
+
+// NewWithConfig creates a server for db listening on addr.
+func NewWithConfig(db *neograph.DB, addr string, cfg Config) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listen: %w", err)
 	}
-	s := &Server{db: db, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		db:             db,
+		ln:             ln,
+		conns:          make(map[net.Conn]struct{}),
+		DrainGrace:     cfg.DrainGrace,
+		maxInflight:    int64(cfg.MaxInflight),
+		maxQueuedBytes: cfg.MaxQueuedBytes,
+	}
+	if cfg.Metrics != nil {
+		s.sm = newServerMetrics(cfg.Metrics, s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// AdmissionStats snapshots the admission-control counters.
+type AdmissionStats struct {
+	// Inflight / QueuedBytes are the current load; the peaks are
+	// high-water marks over the server's lifetime (admitted requests
+	// only — rejected ones never contribute).
+	Inflight, InflightPeak       int64
+	QueuedBytes, QueuedBytesPeak int64
+	Admitted, Rejected           uint64
+}
+
+// Admission snapshots the admission-control state.
+func (s *Server) Admission() AdmissionStats {
+	return AdmissionStats{
+		Inflight:        s.inflight.Load(),
+		InflightPeak:    s.inflightPeak.Load(),
+		QueuedBytes:     s.queuedBytes.Load(),
+		QueuedBytesPeak: s.queuedPeak.Load(),
+		Admitted:        s.admitted.Load(),
+		Rejected:        s.rejected.Load(),
+	}
+}
+
+// admit charges one request frame against the admission budget. On
+// rejection the charge is fully reverted and errOverloaded returned; the
+// session stays open. Add-then-check makes the decision race-free and a
+// frame larger than MaxQueuedBytes deterministically rejected.
+func (s *Server) admit(frameBytes int64) error {
+	infl := s.inflight.Add(1)
+	qb := s.queuedBytes.Add(frameBytes)
+	if (s.maxInflight > 0 && infl > s.maxInflight) ||
+		(s.maxQueuedBytes > 0 && qb > s.maxQueuedBytes) {
+		s.inflight.Add(-1)
+		s.queuedBytes.Add(-frameBytes)
+		s.rejected.Add(1)
+		return errOverloaded
+	}
+	s.admitted.Add(1)
+	peakMax(&s.inflightPeak, infl)
+	peakMax(&s.queuedPeak, qb)
+	return nil
+}
+
+// release returns a request's admission charge after its response is
+// written.
+func (s *Server) release(frameBytes int64) {
+	s.inflight.Add(-1)
+	s.queuedBytes.Add(-frameBytes)
+}
+
+// peakMax raises a high-water mark monotonically.
+func peakMax(p *atomic.Int64, v int64) {
+	for {
+		cur := p.Load()
+		if v <= cur || p.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Addr returns the bound address (useful with ":0").
@@ -191,9 +302,16 @@ func (s *Server) handle(conn net.Conn) {
 			sess.tx.Abort()
 		}
 	}()
+	if s.sm != nil {
+		s.sm.sessions.Add(1)
+		defer s.sm.sessions.Add(-1)
+	}
 	lr := &io.LimitedReader{R: conn, N: maxRequestBytes}
 	dec := json.NewDecoder(lr)
 	enc := json.NewEncoder(conn)
+	// lastOff tracks the decoder's stream position so each frame's exact
+	// byte size (the admission charge) is the offset delta across Decode.
+	var lastOff int64
 	for {
 		// Reset the budget per request; a single frame larger than the
 		// limit starves the decoder mid-value and closes the session.
@@ -202,17 +320,34 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // disconnect, garbage, oversized frame, or drain wake-up
 		}
-		sess.deadline = time.Time{}
-		if req.DeadlineMS > 0 {
-			sess.deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+		off := dec.InputOffset()
+		frameBytes := off - lastOff
+		lastOff = off
+
+		// Admission: reject over-budget requests before any dispatch work,
+		// with a complete structured error frame — the session survives and
+		// the client backs off on the code.
+		admitted := s.admit(frameBytes)
+		var resp *wire.Response
+		if admitted != nil {
+			resp = fail(admitted)
+		} else {
+			sess.deadline = time.Time{}
+			if req.DeadlineMS > 0 {
+				sess.deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+			}
+			t0 := time.Now()
+			resp = sess.dispatch(&req)
+			if s.sm != nil {
+				s.sm.observe(&req, time.Since(t0))
+			}
 		}
-		resp := sess.dispatch(&req)
 		// Bound the response write so a stalled reader cannot pin the
 		// handler; the request's own deadline tightens it, but with a
 		// floor — a budget that expired while the request executed must
 		// still get its error frame flushed, not a hangup.
 		wd := time.Now().Add(responseWriteTimeout)
-		if !sess.deadline.IsZero() {
+		if admitted == nil && !sess.deadline.IsZero() {
 			floor := time.Now().Add(time.Second)
 			switch {
 			case sess.deadline.Before(floor):
@@ -222,7 +357,11 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 		conn.SetWriteDeadline(wd)
-		if err := enc.Encode(resp); err != nil {
+		err := enc.Encode(resp)
+		if admitted == nil {
+			s.release(frameBytes)
+		}
+		if err != nil {
 			return
 		}
 		conn.SetWriteDeadline(time.Time{})
@@ -427,12 +566,17 @@ func fail(err error) *wire.Response {
 		resp.Code = wire.CodeDeadline
 	case errors.Is(err, errShuttingDown), errors.Is(err, repl.ErrWaitTimeout):
 		resp.Code = wire.CodeUnavailable
+	case errors.Is(err, errOverloaded):
+		resp.Code = wire.CodeOverloaded
 	}
 	return resp
 }
 
 // errShuttingDown sheds gated waiters when the server drains.
 var errShuttingDown = errors.New("server: shutting down")
+
+// errOverloaded rejects requests past the admission budget.
+var errOverloaded = errors.New("server: overloaded: admission budget exhausted")
 
 func parseDir(d string) (neograph.Direction, error) {
 	switch d {

@@ -8,6 +8,7 @@ import (
 
 	"neograph/internal/faultfs"
 	"neograph/internal/ids"
+	"neograph/internal/pagecache"
 	"neograph/internal/record"
 	"neograph/internal/value"
 )
@@ -122,6 +123,27 @@ func (s *Store) Crash() error {
 		}
 	}
 	return firstErr
+}
+
+// CacheStats reports page-cache effectiveness per record file, keyed by
+// the short file name used on /metrics ("nodes", "rels", "props", "dyn").
+func (s *Store) CacheStats() map[string]pagecache.Stats {
+	return map[string]pagecache.Stats{
+		"nodes": s.nodes.cache.Stats(),
+		"rels":  s.rels.cache.Stats(),
+		"props": s.props.cache.Stats(),
+		"dyn":   s.dyn.cache.Stats(),
+	}
+}
+
+// CacheShardStats reports per-LRU-segment counters for each record file.
+func (s *Store) CacheShardStats() map[string][]pagecache.Stats {
+	return map[string][]pagecache.Stats{
+		"nodes": s.nodes.cache.ShardStats(),
+		"rels":  s.rels.cache.ShardStats(),
+		"props": s.props.cache.ShardStats(),
+		"dyn":   s.dyn.cache.ShardStats(),
+	}
 }
 
 // FileSizes reports the byte size of each store file, for the F1 report.

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"neograph/internal/metrics"
 )
 
 // Syncer is the slice of WAL the batcher drives: it needs to know how far
@@ -76,6 +78,13 @@ type Batcher struct {
 
 	flushes atomic.Uint64
 	synced  atomic.Uint64
+	// depth mirrors waiting with an atomic so scrapes never touch mu —
+	// the batcher-depth gauge on /metrics.
+	depth atomic.Int64
+	// syncHist records each fsync's wall-clock latency in seconds. Always
+	// on (one Observe per flush, not per commit); the metrics registry
+	// attaches it at server startup.
+	syncHist *metrics.Histogram
 }
 
 // NewBatcher creates a group-commit batcher over s.
@@ -86,10 +95,18 @@ func NewBatcher(s Syncer, opts BatcherOptions) *Batcher {
 	if opts.MaxDelay < 0 {
 		opts.MaxDelay = 0
 	}
-	b := &Batcher{s: s, opts: opts}
+	b := &Batcher{s: s, opts: opts, syncHist: metrics.NewHistogram(metrics.LatencyBuckets())}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
+
+// Depth returns the number of committers currently parked in
+// WaitDurable — the group-commit queue depth.
+func (b *Batcher) Depth() int64 { return b.depth.Load() }
+
+// SyncLatency exposes the per-fsync latency histogram (seconds) for
+// metrics registration.
+func (b *Batcher) SyncLatency() *metrics.Histogram { return b.syncHist }
 
 // WaitDurable blocks until every record below lsn+1 is durable — i.e.
 // until a sync that started after the caller's Append has completed.
@@ -98,6 +115,8 @@ func NewBatcher(s Syncer, opts BatcherOptions) *Batcher {
 func (b *Batcher) WaitDurable(lsn uint64) error {
 	b.mu.Lock()
 	b.waiting++
+	b.depth.Add(1)
+	defer b.depth.Add(-1)
 	if b.waiting >= b.opts.MaxBatch {
 		// The batch a lingering leader is waiting for is here: flush now.
 		b.cutLingerLocked()
@@ -161,7 +180,9 @@ func (b *Batcher) flushLocked() {
 
 	// Everything appended up to here rides this fsync.
 	target := b.s.NextLSN()
+	t0 := time.Now()
 	err := b.s.Sync()
+	b.syncHist.ObserveDuration(time.Since(t0))
 
 	b.mu.Lock()
 	b.flushing = false

@@ -175,6 +175,10 @@ const (
 	CodeUnavailable = "unavailable"
 	// CodeDeadline: the request's own deadline_ms budget expired.
 	CodeDeadline = "deadline"
+	// CodeOverloaded: the server's admission budget (in-flight requests
+	// or queued bytes) is exhausted — back off and retry; the session
+	// stays open and the request had no effect.
+	CodeOverloaded = "overloaded"
 )
 
 // Response is the server's reply.

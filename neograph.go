@@ -404,7 +404,10 @@ type ReplStatus struct {
 	PrimaryAddr    string `json:"primary_addr,omitempty"`
 	Connected      bool   `json:"connected,omitempty"`
 	PrimaryDurable uint64 `json:"primary_durable,omitempty"`
-	LastError      string `json:"last_error,omitempty"`
+	// LagSeconds is how long this replica has continuously been behind
+	// the primary's durability horizon (0 when caught up).
+	LagSeconds float64 `json:"lag_seconds,omitempty"`
+	LastError  string  `json:"last_error,omitempty"`
 	// Primary-side details (Role == "primary").
 	ReplicationAddr string             `json:"replication_addr,omitempty"`
 	Replicas        []repl.ReplicaInfo `json:"replicas,omitempty"`
@@ -465,6 +468,7 @@ func (db *DB) ReplStatus() ReplStatus {
 		st.PrimaryAddr = as.PrimaryAddr
 		st.Connected = as.Connected
 		st.PrimaryDurable = as.PrimaryDurable
+		st.LagSeconds = as.LagSeconds
 		st.LastError = as.LastError
 	case s != nil:
 		st.Role = "primary"
