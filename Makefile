@@ -7,7 +7,7 @@ GO ?= go
 # toolchain install, no go.mod entry). Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race race-repl race-failover race-client race-metrics bench bench-smoke bench-trend bench-e11 bench-e12 lint staticcheck fmt clean
+.PHONY: all build test race race-repl race-failover race-client race-metrics race-trace bench bench-smoke bench-trend bench-e11 bench-e12 lint staticcheck fmt clean
 
 all: build test
 
@@ -43,6 +43,11 @@ race-metrics:
 	$(GO) test -race -count=2 -run 'TestAdmission|TestServerMetrics' ./internal/server/...
 	$(GO) test -race -count=2 -run 'TestClientOverloaded|TestPoolBacksOff' ./client/...
 
+## race-trace: the tracing/logging suite (span rings, propagation, echo, slow-op) under race
+race-trace:
+	$(GO) test -race -count=2 ./internal/trace/... ./internal/slog/...
+	$(GO) test -race -run 'TestTrace|TestResponseEchoes|TestServerSpan|TestPoolOverloadRetrySingleTrace|TestPoolFailoverSingleTrace|TestClusterTraceEndToEnd' ./internal/server/... ./client/...
+
 ## bench: the full experiment suite (minutes)
 bench: build
 	$(GO) run ./cmd/neograph-bench -json bench-results.json
@@ -63,11 +68,16 @@ bench-e11: build
 bench-e12: build
 	$(GO) run ./cmd/neograph-bench -exp E12 -json bench-e12.json
 
-## lint: go vet + gofmt diff check + staticcheck (pinned)
+## lint: go vet + gofmt diff check + log.Printf gate + staticcheck (pinned)
 lint: staticcheck
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out=$$(grep -rn 'log\.Printf\|log\.Println\|log\.Print(' \
+		--include='*.go' --exclude='*_test.go' \
+		. | grep -v '^\./cmd/' | grep -v '^\./examples/' | grep -v 'slog\.' || true); \
+	if [ -n "$$out" ]; then \
+		echo "raw stdlib log calls found (use internal/slog):"; echo "$$out"; exit 1; fi
 
 ## staticcheck: honnef.co/go/tools, version-pinned via `go run`. Skips
 ## with a warning when the module cannot be fetched (offline sandboxes);

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"neograph"
+	"neograph/internal/trace"
 	"neograph/internal/wire"
 )
 
@@ -73,6 +74,18 @@ type Client struct {
 	// — the next borrower's "auto-committed" writes would silently stage
 	// into the leftover transaction and never commit.
 	txOpen bool
+	// tracer, when set, head-samples a root span for every call whose
+	// context does not already carry one (a Pool's spans do); sampled
+	// calls ship their trace context in the request's trace field.
+	tracer *trace.Tracer
+	// seq numbers the requests of this session; the server echoes it in
+	// every response frame, catching request/response mispairing.
+	seq uint64
+	// span, when set, is the parent every call on this session records
+	// under. The Pool installs it for the duration of a borrow so a
+	// routed operation's retries and failover land in one trace even
+	// though fn closes over the caller's own context.
+	span *trace.Span
 }
 
 // Dial connects to a server. The context bounds the dial only; calls
@@ -116,6 +129,14 @@ func (c *Client) LastCommitLSN() uint64 { return c.lastLSN }
 // clears the gate.
 func (c *Client) ReadAfter(pos uint64) { c.readAfter = pos }
 
+// SetTracer enables client-side tracing: calls are head-sampled at the
+// tracer's rate, and a sampled call's trace context travels with the
+// request so the server (and through it the engine, WAL and replicas)
+// records spans under the same trace ID. Calls whose context already
+// carries a span (see trace.ContextWith) join that trace instead of
+// starting one.
+func (c *Client) SetTracer(t *trace.Tracer) { c.tracer = t }
+
 // roundTrip sends req and reads the response under ctx: a context
 // deadline becomes the request's wire deadline_ms budget and the
 // connection I/O deadline; cancellation poisons the connection (the
@@ -131,6 +152,25 @@ func (c *Client) roundTrip(ctx context.Context, req *wire.Request) (*wire.Respon
 	}
 	if req.WaitLSN == 0 {
 		req.WaitLSN = c.readAfter
+	}
+	c.seq++
+	req.Seq = c.seq
+	// Tracing: join the span carried by ctx, else the session's
+	// pool-installed one, else head-sample a new root. A nil span is
+	// free and ships no context.
+	sp := trace.SpanFrom(ctx)
+	if sp == nil {
+		sp = c.span
+	}
+	if sp != nil {
+		sp = sp.Child("client." + req.Op)
+	} else {
+		sp = c.tracer.StartRoot("client." + req.Op)
+	}
+	if sp != nil {
+		sc := sp.Context()
+		req.Trace = &wire.TraceContext{TraceID: sc.TraceID, SpanID: sc.SpanID}
+		defer sp.Finish()
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		rem := time.Until(dl)
@@ -175,12 +215,20 @@ func (c *Client) roundTrip(ctx context.Context, req *wire.Request) (*wire.Respon
 	}
 	if err := c.enc.Encode(req); err != nil {
 		c.broken = true
+		sp.Set("error", "send failed")
 		return nil, c.callErr(ctx, "send", err)
 	}
 	var resp wire.Response
 	if err := c.dec.Decode(&resp); err != nil {
 		c.broken = true
+		sp.Set("error", "recv failed")
 		return nil, c.callErr(ctx, "recv", err)
+	}
+	// The server echoes the request's seq (wire v2); a mismatch means the
+	// session's framing slipped — treat it like any mid-frame tear.
+	if resp.Seq != 0 && resp.Seq != req.Seq {
+		c.broken = true
+		return nil, fmt.Errorf("client: response seq %d for request seq %d: %w", resp.Seq, req.Seq, ErrBroken)
 	}
 	if !resp.OK {
 		return &resp, remoteError(resp.Code, resp.Error)

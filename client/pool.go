@@ -12,6 +12,7 @@ import (
 
 	"neograph"
 	"neograph/internal/metrics"
+	"neograph/internal/trace"
 )
 
 // Policy selects how a Pool routes read sessions over the replica fleet.
@@ -43,6 +44,11 @@ type PoolConfig struct {
 	// Metrics, when non-nil, receives the pool's routing counters
 	// (reads by route, availability skips, failovers, overload backoffs).
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, head-samples a root span per Write/Read. The
+	// root spans the whole routed operation — overload backoffs, primary
+	// re-discovery and the retry all record under ONE trace ID — and the
+	// sessions fn borrows join it automatically.
+	Tracer *trace.Tracer
 }
 
 // poolMetrics counts routing decisions; nil when no registry is given.
@@ -425,6 +431,9 @@ func (p *Pool) readOrder() []*host {
 // the primary is the final fallback. Semantic errors from fn (not-found,
 // conflicts) return immediately without re-routing.
 func (p *Pool) Read(ctx context.Context, token string, fn func(c *Client) error) error {
+	sp := p.cfg.Tracer.StartRoot("pool.read")
+	defer sp.Finish()
+	ctx = trace.ContextWith(ctx, sp)
 	gate := p.Token(token)
 	p.mu.Lock()
 	primary := p.primary
@@ -440,7 +449,9 @@ func (p *Pool) Read(ctx context.Context, token string, fn func(c *Client) error)
 			continue
 		}
 		c.ReadAfter(gate)
+		c.span = trace.SpanFrom(ctx)
 		err = fn(c)
+		c.span = nil
 		c.ReadAfter(0)
 		broken := c.Broken()
 		h.release(c)
@@ -486,6 +497,11 @@ func (p *Pool) Read(ctx context.Context, token string, fn func(c *Client) error)
 // few times rather than hammering it; if the overload persists the
 // ErrOverloaded surfaces to the caller.
 func (p *Pool) Write(ctx context.Context, token string, fn func(c *Client) error) error {
+	// One root span covers the whole routed write: every attempt's calls,
+	// the backoffs and the post-failover retry share its trace ID.
+	sp := p.cfg.Tracer.StartRoot("pool.write")
+	defer sp.Finish()
+	ctx = trace.ContextWith(ctx, sp)
 	backoff := overloadBackoffMin
 	for attempt := 0; ; attempt++ {
 		err := p.writeOnce(ctx, token, fn)
@@ -554,7 +570,9 @@ func (p *Pool) writeOnce(ctx context.Context, token string, fn func(c *Client) e
 	// LSN; credit the token only with commits fn itself performed, not a
 	// previous borrower's leftovers.
 	before := c.LastCommitLSN()
+	c.span = trace.SpanFrom(ctx)
 	err = fn(c)
+	c.span = nil
 	if after := c.LastCommitLSN(); after > before {
 		p.noteLSN(token, after)
 	}

@@ -271,8 +271,26 @@ func extract(path string, handicap float64) (*trendFile, error) {
 		}
 	}
 
+	// E13: 1%-sampled tracing throughput relative to untraced (1.0 = free;
+	// higher is better, so an overhead regression trips the gate).
+	if raw, ok := report["E13"]; ok {
+		var rows []struct {
+			Sample   float64 `json:"Sample"`
+			Overhead float64 `json:"Overhead"`
+		}
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			return nil, fmt.Errorf("E13: %w", err)
+		}
+		for _, r := range rows {
+			if r.Sample == 0.01 {
+				put("e13_trace_sampled_rel_tput", r.Overhead)
+				break
+			}
+		}
+	}
+
 	if len(tf.Metrics) == 0 {
-		return nil, fmt.Errorf("no headline metrics found in %s (need E2d/E9/E11/E12 rows)", path)
+		return nil, fmt.Errorf("no headline metrics found in %s (need E2d/E9/E11/E12/E13 rows)", path)
 	}
 	return tf, nil
 }

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: E1..E12, E2d, F1 or all")
+		exp      = flag.String("exp", "all", "experiment to run: E1..E13, E2d, F1 or all")
 		quick    = flag.Bool("quick", false, "small configurations (seconds, not minutes)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonPath = flag.String("json", "", "write structured results to this file")
@@ -240,12 +240,20 @@ func main() {
 			Seed:     *seed,
 		})
 	})
+	run("E13", func() (any, error) {
+		return bench.RunE13(w, bench.E13Config{
+			People:   scale(2000, 500),
+			Clients:  scale(16, 8),
+			Duration: dur(2*time.Second, 500*time.Millisecond),
+			Seed:     *seed,
+		})
+	})
 	run("F1", func() (any, error) {
 		return nil, bench.RunF1(w, scale(5_000, 500), *seed)
 	})
 
 	if matched == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E12, E2d, F1 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E13, E2d, F1 or all)\n", *exp)
 		exit(2)
 	}
 

@@ -15,12 +15,17 @@
 //
 //	neograph-server -dir /var/lib/ng  -addr :7475 -repl-addr :7476
 //	neograph-server -dir /var/lib/ng2 -addr :7575 -replica-of primary:7476
+//
+// Observability: -log-level selects the structured-log floor (key=value
+// records on stderr); -trace-sample enables distributed tracing (traced
+// requests are readable as JSONL from /debug/traces on the -pprof-addr
+// or -metrics-addr listener); -slow-op logs the full span tree of any
+// traced request slower than the threshold.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -31,32 +36,45 @@ import (
 	"neograph"
 	"neograph/internal/metrics"
 	"neograph/internal/server"
+	"neograph/internal/slog"
+	"neograph/internal/trace"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7475", "listen address")
-		dir        = flag.String("dir", "", "database directory (empty = in-memory)")
-		rc         = flag.Bool("read-committed", false, "default to read committed instead of snapshot isolation")
-		fcw        = flag.Bool("first-committer-wins", false, "use first-committer-wins conflict policy")
-		noSync     = flag.Bool("no-sync", false, "disable commit WAL fsync entirely")
-		noGroup    = flag.Bool("no-group-commit", false, "one fsync per commit instead of batched group commit")
-		maxBatch   = flag.Int("commit-max-batch", 0, "queued committers at which a lingering group-commit leader flushes early (0 = default)")
-		maxDelay   = flag.Duration("commit-max-delay", 0, "how long a group-commit leader waits for more committers (0 = flush immediately)")
-		stripes    = flag.Int("commit-stripes", 0, "object-map/commit-validation stripes, rounded up to a power of two, max 256 (0 = GOMAXPROCS, 1 = single global latch)")
-		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof (and /metrics) on this address (empty = disabled), e.g. 127.0.0.1:6060")
-		metricsOn  = flag.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = ride -pprof-addr if set)")
-		maxInfl    = flag.Int("max-inflight", 0, "admission control: max concurrently executing requests, excess rejected with code \"overloaded\" (0 = unlimited)")
-		maxQueued  = flag.Int64("max-queued-bytes", 0, "admission control: max admitted request-frame bytes in flight (0 = unlimited)")
-		gcEvery    = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
-		ckpEvery   = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
-		replAddr   = flag.String("repl-addr", "", "primary: stream the WAL to replicas on this address")
-		replicaOf  = flag.String("replica-of", "", "replica: stream the WAL from this primary replication address (read-only; promote with the 'promote' wire op)")
-		syncReps   = flag.Int("sync-replicas", 0, "primary: acknowledge a commit only after this many replicas durably acked it (0 = async)")
-		syncTmo    = flag.Duration("sync-timeout", 0, "primary: degrade a waiting commit to async after this long (0 = 1s default, negative = never)")
-		drainGrace = flag.Duration("drain-grace", 0, "how long shutdown waits for in-flight requests to finish before hard-closing (0 = 5s default)")
+		addr        = flag.String("addr", "127.0.0.1:7475", "listen address")
+		dir         = flag.String("dir", "", "database directory (empty = in-memory)")
+		rc          = flag.Bool("read-committed", false, "default to read committed instead of snapshot isolation")
+		fcw         = flag.Bool("first-committer-wins", false, "use first-committer-wins conflict policy")
+		noSync      = flag.Bool("no-sync", false, "disable commit WAL fsync entirely")
+		noGroup     = flag.Bool("no-group-commit", false, "one fsync per commit instead of batched group commit")
+		maxBatch    = flag.Int("commit-max-batch", 0, "queued committers at which a lingering group-commit leader flushes early (0 = default)")
+		maxDelay    = flag.Duration("commit-max-delay", 0, "how long a group-commit leader waits for more committers (0 = flush immediately)")
+		stripes     = flag.Int("commit-stripes", 0, "object-map/commit-validation stripes, rounded up to a power of two, max 256 (0 = GOMAXPROCS, 1 = single global latch)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof (and /metrics, /debug/traces) on this address (empty = disabled), e.g. 127.0.0.1:6060")
+		metricsOn   = flag.String("metrics-addr", "", "serve Prometheus /metrics (and /debug/traces) on this address (empty = ride -pprof-addr if set)")
+		maxInfl     = flag.Int("max-inflight", 0, "admission control: max concurrently executing requests, excess rejected with code \"overloaded\" (0 = unlimited)")
+		maxQueued   = flag.Int64("max-queued-bytes", 0, "admission control: max admitted request-frame bytes in flight (0 = unlimited)")
+		gcEvery     = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
+		ckpEvery    = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
+		replAddr    = flag.String("repl-addr", "", "primary: stream the WAL to replicas on this address")
+		replicaOf   = flag.String("replica-of", "", "replica: stream the WAL from this primary replication address (read-only; promote with the 'promote' wire op)")
+		syncReps    = flag.Int("sync-replicas", 0, "primary: acknowledge a commit only after this many replicas durably acked it (0 = async)")
+		syncTmo     = flag.Duration("sync-timeout", 0, "primary: degrade a waiting commit to async after this long (0 = 1s default, negative = never)")
+		drainGrace  = flag.Duration("drain-grace", 0, "how long shutdown waits for in-flight requests to finish before hard-closing (0 = 5s default)")
+		logLevel    = flag.String("log-level", "info", "log floor: debug, info, warn or error")
+		traceSample = flag.Float64("trace-sample", 0, "head-sampling rate in [0,1] for traces rooted at this server; requests arriving with a client-minted trace context always record regardless")
+		traceBuf    = flag.Int("trace-buffer", 0, "finished traces retained for /debug/traces (0 = 256)")
+		slowOp      = flag.Duration("slow-op", 0, "log the full span tree of traced requests slower than this (0 = disabled)")
 	)
 	flag.Parse()
+
+	lvl, err := slog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := slog.New(os.Stderr, lvl)
 
 	opts := neograph.Options{
 		Dir:                *dir,
@@ -71,6 +89,7 @@ func main() {
 		ReplicaOf:          *replicaOf,
 		SyncReplicas:       *syncReps,
 		SyncReplicaTimeout: *syncTmo,
+		Logger:             logger,
 	}
 	if *rc {
 		opts.Isolation = neograph.ReadCommitted
@@ -78,6 +97,11 @@ func main() {
 	if *fcw {
 		opts.Conflict = neograph.FirstCommitterWins
 	}
+	// One tracer backs every layer: requests arriving with a client-minted
+	// trace context always record here, and -trace-sample additionally
+	// head-samples untraced work server-side.
+	tracer := trace.New(*traceSample, *traceBuf)
+	opts.Tracer = tracer
 	// One registry backs every /metrics mount. The DB-level samplers are
 	// registered after Open; the server's own series at NewWithConfig.
 	reg := metrics.NewRegistry()
@@ -85,27 +109,33 @@ func main() {
 		// DefaultServeMux carries the net/http/pprof handlers via its
 		// blank import; keep this listener off the public address.
 		http.Handle("/metrics", metrics.Handler(reg))
+		http.Handle("/debug/traces", trace.Handler(tracer))
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof listener: %v", err)
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
 			}
 		}()
-		fmt.Printf("pprof on http://%s/debug/pprof/, metrics on http://%s/metrics\n", *pprofAddr, *pprofAddr)
+		logger.Info("debug listener up", "pprof", "http://"+*pprofAddr+"/debug/pprof/",
+			"metrics", "http://"+*pprofAddr+"/metrics",
+			"traces", "http://"+*pprofAddr+"/debug/traces")
 	}
 	if *metricsOn != "" && *metricsOn != *pprofAddr {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler(reg))
+		mux.Handle("/debug/traces", trace.Handler(tracer))
 		go func() {
 			if err := http.ListenAndServe(*metricsOn, mux); err != nil {
-				log.Printf("metrics listener: %v", err)
+				logger.Error("metrics listener failed", "addr", *metricsOn, "err", err)
 			}
 		}()
-		fmt.Printf("metrics on http://%s/metrics\n", *metricsOn)
+		logger.Info("metrics listener up", "metrics", "http://"+*metricsOn+"/metrics",
+			"traces", "http://"+*metricsOn+"/debug/traces")
 	}
 
 	db, err := neograph.Open(opts)
 	if err != nil {
-		log.Fatalf("open: %v", err)
+		logger.Error("open failed", "dir", *dir, "err", err)
+		os.Exit(1)
 	}
 	server.RegisterDBMetrics(reg, db)
 	srv, err := server.NewWithConfig(db, *addr, server.Config{
@@ -113,35 +143,41 @@ func main() {
 		MaxInflight:    *maxInfl,
 		MaxQueuedBytes: *maxQueued,
 		Metrics:        reg,
+		Tracer:         tracer,
+		Logger:         logger.With("component", "server"),
+		SlowOp:         *slowOp,
 	})
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		db.Close()
+		os.Exit(1)
 	}
 	mode := "in-memory"
 	if *dir != "" {
 		mode = *dir
 	}
-	fmt.Printf("neograph-server listening on %s (store: %s, isolation: %v, conflict: %v)\n",
-		srv.Addr(), mode, opts.Isolation, opts.Conflict)
+	logger.Info("neograph-server listening", "addr", srv.Addr(), "store", mode,
+		"isolation", fmt.Sprint(opts.Isolation), "conflict", fmt.Sprint(opts.Conflict))
 	switch {
 	case db.IsReplica():
-		fmt.Printf("replica of %s (read-only; writes are redirected; promote via the 'promote' op)\n", *replicaOf)
+		logger.Info("running as replica (read-only; writes are redirected; promote via the 'promote' op)",
+			"primary", *replicaOf)
 	case *replAddr != "":
-		mode := "async"
+		repl := "async"
 		if *syncReps > 0 {
-			mode = fmt.Sprintf("sync quorum %d", *syncReps)
+			repl = fmt.Sprintf("sync quorum %d", *syncReps)
 		}
-		fmt.Printf("shipping WAL to replicas on %s (%s)\n", db.ReplicationAddress(), mode)
+		logger.Info("shipping WAL to replicas", "addr", db.ReplicationAddress(), "mode", repl)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down...")
+	logger.Info("shutting down")
 	if err := srv.Close(); err != nil {
-		log.Printf("server close: %v", err)
+		logger.Warn("server close", "err", err)
 	}
 	if err := db.Close(); err != nil {
-		log.Printf("db close: %v", err)
+		logger.Warn("db close", "err", err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"neograph/internal/lock"
 	"neograph/internal/mvcc"
+	"neograph/internal/trace"
 	"neograph/internal/wal"
 )
 
@@ -65,6 +66,7 @@ func (e *Engine) ApplyReplicated(lsn uint64, payload []byte) error {
 	// appended (the local WAL only ever holds verified prefix bytes).
 	var cts mvcc.TS
 	var muts []mutation
+	var stash trace.Context
 	isCommit := false
 	if len(payload) == 0 {
 		return fmt.Errorf("core: empty replicated record at lsn %d", lsn)
@@ -73,6 +75,14 @@ func (e *Engine) ApplyReplicated(lsn uint64, payload []byte) error {
 	case recCheckpoint:
 		// The primary's checkpoint markers are no-ops on redo but still
 		// occupy log bytes — append them to keep positions aligned.
+	case recTrace:
+		// Trace-context records likewise install nothing but occupy log
+		// bytes; the context they carry spans the NEXT record's apply.
+		var err error
+		stash, err = decodeTrace(payload)
+		if err != nil {
+			return err
+		}
 	case recCommit:
 		var err error
 		cts, muts, err = decodeCommit(payload)
@@ -82,6 +92,19 @@ func (e *Engine) ApplyReplicated(lsn uint64, payload []byte) error {
 		isCommit = true
 	default:
 		return fmt.Errorf("core: unknown WAL record tag %q at lsn %d", payload[0], lsn)
+	}
+
+	// The pending trace context belongs to exactly the record that
+	// immediately follows its 'T' record: consume it here, replacing it
+	// with this record's own stash (empty except for 'T' records), so an
+	// orphaned context can never mislabel a later commit.
+	e.replTraceMu.Lock()
+	pending := e.replTrace
+	e.replTrace = stash
+	e.replTraceMu.Unlock()
+	var asp *trace.Span
+	if isCommit && pending.Valid() {
+		asp = e.opts.Tracer.StartRemote(pending, "replica.apply")
 	}
 
 	e.commitGate.RLock()
@@ -102,6 +125,7 @@ func (e *Engine) ApplyReplicated(lsn uint64, payload []byte) error {
 	if isCommit {
 		e.oracle.ObserveCommit(cts)
 	}
+	asp.Finish()
 	return nil
 }
 

@@ -3,11 +3,13 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"neograph/internal/ids"
 	"neograph/internal/lock"
 	"neograph/internal/mvcc"
+	"neograph/internal/trace"
 	"neograph/internal/value"
 )
 
@@ -77,9 +79,31 @@ func (t *Tx) Commit() error {
 		}
 		latched = nil
 	}
+	// Tracing: sp is nil on unsampled commits, making every span call a
+	// nil check. finishValidate is idempotent (Finish records once), so
+	// it both runs deferred for the conflict-return paths and explicitly
+	// on the success path for an accurate validation end time.
+	sp := t.span
+	var vsp *trace.Span
+	var stripeSpans []*trace.Span
+	finishValidate := func() {
+		for i := len(stripeSpans) - 1; i >= 0; i-- {
+			stripeSpans[i].Finish()
+		}
+		vsp.Finish()
+	}
+	defer finishValidate()
 	if t.iso == SnapshotIsolation && t.e.opts.Conflict == FirstCommitterWins {
+		vsp = sp.Child("commit.validate")
 		latched = t.e.latchFCW(t.writes)
 		defer unlatch()
+		if vsp != nil {
+			for _, st := range latched {
+				ss := vsp.Child("validate.stripe")
+				ss.Set("stripe", strconv.Itoa(t.e.stripeIndexOf(st)))
+				stripeSpans = append(stripeSpans, ss)
+			}
+		}
 		for _, w := range t.writes {
 			if w.created {
 				// Relationship creations validate endpoint liveness.
@@ -104,6 +128,7 @@ func (t *Tx) Commit() error {
 					ErrWriteConflict, fmtKey(w.key))
 			}
 		}
+		finishValidate()
 	}
 
 	// Durability: the redo record precedes installation (write-ahead).
@@ -130,11 +155,28 @@ func (t *Tx) Commit() error {
 		buf := commitBufPool.Get().(*commitBuf)
 		buf.b = appendCommit(buf.b[:0], 0, muts)
 		payloadLen := len(buf.b)
+		// A traced commit announces its context to replicas with a 'T'
+		// record appended (inside walSeqMu) immediately before its commit
+		// record: the far side of the shipper stream stashes it and spans
+		// the very next commit's apply. Encoded outside the mutex.
+		var traceRec []byte
+		if sp != nil {
+			traceRec = encodeTrace(sp.Context())
+		}
+		wsp := sp.Child("wal.append")
 		t.e.walSeqMu.Lock()
 		cts = t.e.oracle.BeginCommit()
 		binary.LittleEndian.PutUint64(buf.b[1:], cts)
-		lsn, err := t.e.wal.Append(buf.b)
+		var lsn uint64
+		var err error
+		if traceRec != nil {
+			_, err = t.e.wal.Append(traceRec)
+		}
+		if err == nil {
+			lsn, err = t.e.wal.Append(buf.b)
+		}
 		t.e.walSeqMu.Unlock()
+		wsp.Finish()
 		commitBufPool.Put(buf)
 		if err != nil {
 			t.e.commitGate.RUnlock()
@@ -148,7 +190,10 @@ func (t *Tx) Commit() error {
 			// Per-commit fsync baseline (Options.NoGroupCommit): the record
 			// is made durable before install, so a failed sync can still
 			// abort the transaction cleanly.
-			if err := t.e.wal.Sync(); err != nil {
+			ssp := sp.Child("wal.sync")
+			err := t.e.wal.Sync()
+			ssp.Finish()
+			if err != nil {
 				t.e.commitGate.RUnlock()
 				t.e.oracle.AbortCommit(cts)
 				t.abortStaged()
@@ -157,6 +202,7 @@ func (t *Tx) Commit() error {
 		}
 	}
 
+	isp := sp.Child("commit.install")
 	keys := make([]entKey, 0, len(muts))
 	for _, m := range muts {
 		t.e.install(m, cts)
@@ -166,6 +212,7 @@ func (t *Tx) Commit() error {
 	if t.e.store != nil {
 		t.e.commitGate.RUnlock()
 	}
+	isp.Finish()
 
 	t.e.oracle.FinishCommit(cts)
 	unlatch()
@@ -176,7 +223,10 @@ func (t *Tx) Commit() error {
 	// versions are already installed — so it poisons the batcher and every
 	// durable commit from here on fails loudly.
 	if t.e.batcher != nil {
-		if err := t.e.batcher.WaitDurable(commitLSN); err != nil {
+		fsp := sp.Child("wal.fsync_batch")
+		err := t.e.batcher.WaitDurable(commitLSN)
+		fsp.Finish()
+		if err != nil {
 			return fmt.Errorf("core: commit %d installed but not durable: %w", cts, err)
 		}
 	}
@@ -186,7 +236,10 @@ func (t *Tx) Commit() error {
 	// after its timeout). Like the durability wait, this runs outside
 	// every latch.
 	if fn := t.e.commitSyncWait(); fn != nil && t.commitEnd > 0 {
-		if err := fn(t.commitEnd); err != nil {
+		qsp := sp.Child("repl.quorum_wait")
+		err := fn(t.commitEnd)
+		qsp.Finish()
+		if err != nil {
 			return fmt.Errorf("core: commit %d durable but not replicated: %w", cts, err)
 		}
 	}
@@ -459,7 +512,57 @@ func (e *Engine) indexRelDiff(id ids.ID, old, new *RelState, cts mvcc.TS) {
 const (
 	recCommit     = 'C'
 	recCheckpoint = 'K'
+	// recTrace carries a sampled commit's tracing context to replicas:
+	// it is appended immediately before its commit record (both inside
+	// walSeqMu, so nothing interleaves) and installs nothing. Recovery
+	// skips it; a replica stashes it and spans the next commit's apply.
+	recTrace = 'T'
 )
+
+// encodeTrace renders a trace-context record: tag, then the trace ID
+// and parent span ID as length-prefixed strings.
+func encodeTrace(c trace.Context) []byte {
+	buf := make([]byte, 0, 3+len(c.TraceID)+len(c.SpanID))
+	buf = append(buf, recTrace)
+	buf = append(buf, byte(len(c.TraceID)))
+	buf = append(buf, c.TraceID...)
+	buf = append(buf, byte(len(c.SpanID)))
+	buf = append(buf, c.SpanID...)
+	return buf
+}
+
+// decodeTrace parses a trace-context record.
+func decodeTrace(payload []byte) (trace.Context, error) {
+	if len(payload) < 3 || payload[0] != recTrace {
+		return trace.Context{}, fmt.Errorf("core: not a trace record")
+	}
+	off := 1
+	tl := int(payload[off])
+	off++
+	if off+tl+1 > len(payload) {
+		return trace.Context{}, fmt.Errorf("core: corrupt trace record (trace id)")
+	}
+	tid := string(payload[off : off+tl])
+	off += tl
+	sl := int(payload[off])
+	off++
+	if off+sl != len(payload) {
+		return trace.Context{}, fmt.Errorf("core: corrupt trace record (span id)")
+	}
+	return trace.Context{TraceID: tid, SpanID: string(payload[off : off+sl])}, nil
+}
+
+// stripeIndexOf resolves a latched stripe back to its index (tracing
+// attrs only — a linear scan bounded by maxCommitStripes, paid solely
+// on sampled commits).
+func (e *Engine) stripeIndexOf(st *stripe) int {
+	for i := range e.stripes {
+		if &e.stripes[i] == st {
+			return i
+		}
+	}
+	return -1
+}
 
 // commitBuf wraps the pooled commit-record encode buffer (boxed so the
 // pool traffics in pointers, not slice headers).

@@ -28,6 +28,7 @@ import (
 	"neograph/internal/lock"
 	"neograph/internal/mvcc"
 	"neograph/internal/store"
+	"neograph/internal/trace"
 	"neograph/internal/value"
 	"neograph/internal/wal"
 )
@@ -172,6 +173,11 @@ type Options struct {
 	// nil means the real OS. Crash tests substitute a faultfs.Injector to
 	// kill the engine's I/O at scripted points.
 	FS faultfs.FS
+	// Tracer records commit-pipeline spans (validate per stripe, WAL
+	// append, group fsync, quorum wait) for transactions that carry a
+	// trace span, and replica.apply spans for trace contexts arriving
+	// through the WAL stream. Nil disables tracing entirely.
+	Tracer *trace.Tracer
 }
 
 // Stats are cumulative engine counters.
@@ -300,6 +306,12 @@ type Engine struct {
 	// position so connected replicas can still be served their backlog.
 	retainMu  sync.Mutex
 	retainWAL func() (uint64, bool)
+
+	// replTraceMu guards replTrace, the trace context a replicated 'T'
+	// record stashed for the commit record that immediately follows it
+	// in the stream (consumed — or discarded — by the very next record).
+	replTraceMu sync.Mutex
+	replTrace   trace.Context
 
 	// syncWaitMu guards syncWait, the synchronous-replication hook the
 	// shipper installs when Options.SyncReplicas > 0: a durable commit's
@@ -537,6 +549,9 @@ func (e *Engine) GCBacklog() int { return e.gcList.Len() }
 // CommitStripes reports the resolved stripe count (the power of two
 // Options.CommitStripes rounded up to).
 func (e *Engine) CommitStripes() int { return len(e.stripes) }
+
+// Tracer exposes the engine's tracer (nil when tracing is disabled).
+func (e *Engine) Tracer() *trace.Tracer { return e.opts.Tracer }
 
 // Store exposes the underlying persistent store (nil in memory mode), for
 // the F1 architecture report.

@@ -77,6 +77,10 @@ func (e *Engine) recover() error {
 		switch payload[0] {
 		case recCheckpoint:
 			return nil
+		case recTrace:
+			// Trace-context records only matter to a live replica stream;
+			// replay has nobody to hand the span to.
+			return nil
 		case recCommit:
 			cts, muts, err := decodeCommit(payload)
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"neograph/internal/ids"
 	"neograph/internal/lock"
 	"neograph/internal/mvcc"
+	"neograph/internal/trace"
 	"neograph/internal/value"
 )
 
@@ -48,6 +49,11 @@ type Tx struct {
 	writes    map[entKey]*writeEntry
 	order     []entKey // staging order, for deterministic install
 	done      bool
+	// span, when non-nil, is the tracing span Commit hangs its pipeline
+	// child spans off (validate-per-stripe, WAL append, group fsync,
+	// quorum wait); its context also rides the WAL to replicas as a 'T'
+	// record. Nil — the unsampled case — costs a nil check per stage.
+	span *trace.Span
 }
 
 // Begin starts a transaction at the engine's default isolation level.
@@ -91,6 +97,11 @@ func (t *Tx) CommitLSN() uint64 { return t.commitEnd }
 
 // Isolation returns the transaction's isolation level.
 func (t *Tx) Isolation() IsolationLevel { return t.iso }
+
+// SetTraceSpan attaches the tracing span the commit pipeline's child
+// spans become children of (the server's per-op span, or any embedded
+// caller's). A nil span — the unsampled case — is free.
+func (t *Tx) SetTraceSpan(s *trace.Span) { t.span = s }
 
 func (t *Tx) check() error {
 	if t.done {

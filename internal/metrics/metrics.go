@@ -78,6 +78,16 @@ type Histogram struct {
 	// sumBits carries the observation sum as float64 bits, updated with
 	// a CAS loop (atomic float add).
 	sumBits atomic.Uint64
+	// ex holds the most recent traced observation (see ObserveExemplar);
+	// a single slot is enough to hand operators a concrete trace ID to
+	// look up for any latency population they see on the scrape.
+	ex atomic.Pointer[exemplar]
+}
+
+// exemplar pairs one observation with the trace that produced it.
+type exemplar struct {
+	v       float64
+	traceID string
 }
 
 // NewHistogram creates a standalone histogram with the given bucket
@@ -120,6 +130,27 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records one observation and, when traceID is non-empty,
+// remembers it as the histogram's exemplar. The exposition appends it to
+// the covering bucket line in OpenMetrics exemplar syntax
+// (`... # {trace_id="..."} <v>`), linking the latency series to a
+// concrete trace retrievable from /debug/traces.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.ex.Store(&exemplar{v: v, traceID: traceID})
+	}
+}
+
+// Exemplar returns the most recent traced observation, if any.
+func (h *Histogram) Exemplar() (v float64, traceID string, ok bool) {
+	e := h.ex.Load()
+	if e == nil {
+		return 0, "", false
+	}
+	return e.v, e.traceID, true
+}
 
 // Snapshot returns per-bucket (non-cumulative) counts — one entry per
 // bound plus the +Inf overflow bucket — and the observation sum.
@@ -433,12 +464,24 @@ func writeSeries(b *strings.Builder, f *family, s *series) {
 		// they are monotone non-decreasing and _count == the +Inf bucket
 		// even while observations race the scrape.
 		var cum uint64
+		ev, etid, eok := h.Exemplar()
+		// The exemplar annotates the lowest bucket whose bound covers it.
+		exAt := len(h.bounds)
+		if eok {
+			exAt = sort.SearchFloat64s(h.bounds, ev)
+		}
+		exSuffix := func(i int) string {
+			if !eok || i != exAt {
+				return ""
+			}
+			return fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabelValue(etid), formatFloat(ev))
+		}
 		for i, bound := range h.bounds {
 			cum += counts[i]
-			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, withLE(s.labels, formatFloat(bound)), cum)
+			fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name, withLE(s.labels, formatFloat(bound)), cum, exSuffix(i))
 		}
 		cum += counts[len(h.bounds)]
-		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, withLE(s.labels, "+Inf"), cum)
+		fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name, withLE(s.labels, "+Inf"), cum, exSuffix(len(h.bounds)))
 		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(sum))
 		fmt.Fprintf(b, "%s_count%s %d\n", f.name, s.labels, cum)
 	}

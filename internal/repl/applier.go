@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"neograph/internal/core"
+	"neograph/internal/slog"
 )
 
 // ApplierOptions tune the replica side.
@@ -31,6 +32,10 @@ type ApplierOptions struct {
 	// re-fetches the unsynced tail from the primary, so the window trades
 	// re-fetch volume, not correctness. Zero means 200ms.
 	SyncEvery time.Duration
+	// Logger receives connection state changes (info/warn) and the
+	// per-attempt reconnect failures (debug — they repeat on the backoff
+	// cadence for as long as the primary is down). Nil is silent.
+	Logger *slog.Logger
 }
 
 // ApplierStatus snapshots the replica's replication state.
@@ -69,7 +74,12 @@ type Applier struct {
 	// id identifies this applier instance across reconnects (random,
 	// non-zero) so the primary's quorum accounting can deduplicate a
 	// replica's old and new connections.
-	id uint64
+	id  uint64
+	log *slog.Logger
+	// sessionUp flags that the current streamOnce established its
+	// connection, so run can tell a lost session (warn — a state change)
+	// from a failed reconnect attempt (debug — backoff spam).
+	sessionUp atomic.Bool
 
 	applied atomic.Uint64
 	// primaryDurable is the primary's durability horizon from the last
@@ -112,6 +122,7 @@ func NewApplier(e *core.Engine, primaryAddr string, opts ApplierOptions) (*Appli
 		opts.SyncEvery = 200 * time.Millisecond
 	}
 	a := &Applier{e: e, primary: primaryAddr, opts: opts, stop: make(chan struct{})}
+	a.log = opts.Logger.With("component", "repl.applier", "primary", primaryAddr)
 	for a.id == 0 {
 		a.id = rand.Uint64()
 	}
@@ -228,9 +239,19 @@ func (a *Applier) run() {
 		}
 		start := time.Now()
 		err := a.streamOnce()
+		hadConn := a.sessionUp.Swap(false)
 		a.mu.Lock()
 		a.lastErr = err
+		closed := a.closed
 		a.mu.Unlock()
+		switch {
+		case closed || errors.Is(err, ErrApplierClosed):
+			// Shutting down; the teardown error is not news.
+		case hadConn:
+			a.log.Warn("primary connection lost", "err", err)
+		default:
+			a.log.Debug("reconnect attempt failed", "err", err, "backoff", backoff)
+		}
 		if time.Since(start) > 5*time.Second {
 			backoff = a.opts.RetryMin // the session was healthy; reset
 		}
@@ -273,6 +294,8 @@ func (a *Applier) streamOnce() error {
 	a.conn = conn
 	a.connected = true
 	a.mu.Unlock()
+	a.sessionUp.Store(true)
+	a.log.Info("connected to primary", "resume_from", a.e.AppliedLSN())
 	defer func() {
 		conn.Close()
 		a.mu.Lock()

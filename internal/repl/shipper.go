@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"neograph/internal/core"
+	"neograph/internal/slog"
 	"neograph/internal/wal"
 )
 
@@ -33,6 +34,9 @@ type ShipperOptions struct {
 	// Degraded (availability over consistency, like a primary whose
 	// replicas all died). Zero means 1s; negative means wait forever.
 	SyncTimeout time.Duration
+	// Logger receives replica connect/disconnect and stream refusals;
+	// nil is silent.
+	Logger *slog.Logger
 }
 
 // DefaultSyncTimeout is the degrade-to-async window when unset.
@@ -72,6 +76,7 @@ type Shipper struct {
 	e    *core.Engine
 	ln   net.Listener
 	opts ShipperOptions
+	log  *slog.Logger
 
 	mu     sync.Mutex
 	conns  map[*shipConn]struct{}
@@ -110,6 +115,7 @@ func NewShipper(e *core.Engine, addr string, opts ShipperOptions) (*Shipper, err
 		e:     e,
 		ln:    ln,
 		opts:  opts,
+		log:   opts.Logger.With("component", "repl.shipper"),
 		conns: make(map[*shipConn]struct{}),
 		stop:  make(chan struct{}),
 	}
@@ -296,10 +302,16 @@ func (s *Shipper) handle(conn net.Conn) {
 	}
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
+	log := s.log.With("replica", conn.RemoteAddr().String())
+	log.Info("replica connected", "resume_from", from)
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, c)
+		closed := s.closed
 		s.mu.Unlock()
+		if !closed {
+			log.Info("replica disconnected", "shipped", c.pos.Load(), "acked", c.acked.Load())
+		}
 		// Quorum waiters must re-count: this replica no longer votes.
 		s.wakeAcks()
 	}()
@@ -308,6 +320,7 @@ func (s *Shipper) handle(conn net.Conn) {
 	w := s.e.WAL()
 
 	sendErr := func(msg string) {
+		log.Warn("refusing replica stream", "reason", msg)
 		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		writeFrame(bw, frameError, 0, []byte(msg))
 		bw.Flush()

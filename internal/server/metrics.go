@@ -76,10 +76,15 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	return m
 }
 
-// observe records one dispatched request.
-func (m *serverMetrics) observe(req *wire.Request, d time.Duration) {
+// observe records one dispatched request; a traced request leaves its
+// trace ID as the latency histogram's exemplar.
+func (m *serverMetrics) observe(req *wire.Request, d time.Duration, traceID string) {
 	if h := m.latency[opClass(req.Op)]; h != nil {
-		h.ObserveDuration(d)
+		if traceID != "" {
+			h.ObserveExemplar(d.Seconds(), traceID)
+		} else {
+			h.ObserveDuration(d)
+		}
 	}
 	if req.Op == wire.OpBatch {
 		m.batchOps.Observe(float64(len(req.Batch)))

@@ -19,6 +19,8 @@ import (
 	"neograph"
 	"neograph/internal/metrics"
 	"neograph/internal/repl"
+	"neograph/internal/slog"
+	"neograph/internal/trace"
 	"neograph/internal/wire"
 )
 
@@ -58,6 +60,16 @@ type Config struct {
 	// (sessions, per-op latency, admission) — pass the registry mounted
 	// at /metrics.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records a server-side span tree for every
+	// request that arrives carrying a trace context (the client made the
+	// sampling decision at the head). Mount trace.Handler on the same
+	// listener as /metrics to read the ring back.
+	Tracer *trace.Tracer
+	// Logger receives the server's structured log records; nil is silent.
+	Logger *slog.Logger
+	// SlowOp, when positive and Tracer is set, logs the full span tree of
+	// any traced request slower than this threshold.
+	SlowOp time.Duration
 }
 
 // Server serves one DB over a listener.
@@ -83,7 +95,9 @@ type Server struct {
 	admitted       atomic.Uint64
 	rejected       atomic.Uint64
 
-	sm *serverMetrics // nil when Config.Metrics is nil
+	sm     *serverMetrics // nil when Config.Metrics is nil
+	tracer *trace.Tracer  // nil disables server-side spans
+	log    *slog.Logger   // nil is silent
 
 	// draining is read on every request's hot path; atomic so sessions
 	// never contend on the server-wide mutex just to poll shutdown.
@@ -118,9 +132,21 @@ func NewWithConfig(db *neograph.DB, addr string, cfg Config) (*Server, error) {
 		DrainGrace:     cfg.DrainGrace,
 		maxInflight:    int64(cfg.MaxInflight),
 		maxQueuedBytes: cfg.MaxQueuedBytes,
+		tracer:         cfg.Tracer,
+		log:            cfg.Logger,
 	}
 	if cfg.Metrics != nil {
 		s.sm = newServerMetrics(cfg.Metrics, s)
+	}
+	if cfg.Tracer != nil && cfg.SlowOp > 0 {
+		slowLog := cfg.Logger
+		cfg.Tracer.SetSlowOp(cfg.SlowOp, func(tr trace.TraceRecord, root trace.SpanRecord) {
+			tree, _ := json.Marshal(tr.Spans)
+			slowLog.WithTrace(tr.TraceID).Warn("slow op",
+				"op", root.Name,
+				"dur", time.Duration(root.DurUS)*time.Microsecond,
+				"spans", string(tree))
+		})
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -286,6 +312,10 @@ type session struct {
 	// deadline is the current request's time budget (from the wire
 	// deadline_ms field); zero means none. It bounds server-side waits.
 	deadline time.Time
+	// span is the current request's server-side span (nil untraced); the
+	// commit sites hand it to the transaction so the engine's pipeline
+	// stages appear under it.
+	span *trace.Span
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -336,11 +366,35 @@ func (s *Server) handle(conn net.Conn) {
 			if req.DeadlineMS > 0 {
 				sess.deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 			}
+			// A request arriving with a trace context was sampled at the
+			// head (the client); open this process's view of the trace.
+			// An untraced request may still be head-sampled here, rooting
+			// the trace at the server (the -trace-sample knob).
+			if req.Trace != nil {
+				sess.span = s.tracer.StartRemote(
+					trace.Context{TraceID: req.Trace.TraceID, SpanID: req.Trace.SpanID},
+					"server."+req.Op)
+			} else {
+				sess.span = s.tracer.StartRoot("server." + req.Op)
+			}
 			t0 := time.Now()
 			resp = sess.dispatch(&req)
-			if s.sm != nil {
-				s.sm.observe(&req, time.Since(t0))
+			if !resp.OK {
+				sess.span.Set("error", resp.Error)
 			}
+			tid := sess.span.TraceID()
+			sess.span.Finish()
+			sess.span = nil
+			if s.sm != nil {
+				s.sm.observe(&req, time.Since(t0), tid)
+			}
+		}
+		// Correlation: every response frame — success, error, even an
+		// admission rejection — echoes the request's seq and trace ID so
+		// pipelined clients can pair frames and logs can be joined.
+		resp.Seq = req.Seq
+		if req.Trace != nil {
+			resp.TraceID = req.Trace.TraceID
 		}
 		// Bound the response write so a stalled reader cannot pin the
 		// handler; the request's own deadline tightens it, but with a
@@ -380,6 +434,7 @@ func (sess *session) inTx(write bool, fn func(tx *neograph.Tx) error) error {
 		return fn(sess.tx)
 	}
 	tx := sess.db.Begin()
+	tx.SetTraceSpan(sess.span)
 	if err := fn(tx); err != nil {
 		tx.Abort()
 		return err
@@ -551,6 +606,7 @@ func (sess *session) dispatchBatch(req *wire.Request) *wire.Response {
 	if owned {
 		tx := sess.tx
 		sess.tx = nil
+		tx.SetTraceSpan(sess.span)
 		if err := tx.Commit(); err != nil {
 			return fail(err) // commit-time conflict: no single op to blame
 		}
@@ -616,6 +672,7 @@ func (sess *session) dispatchOp(req *wire.Request) *wire.Response {
 		}
 		tx := sess.tx
 		sess.tx = nil
+		tx.SetTraceSpan(sess.span)
 		if err := tx.Commit(); err != nil {
 			return fail(err)
 		}

@@ -1,0 +1,201 @@
+// Package slog is a small leveled, structured (key=value) logger shared
+// by every neograph component. It exists so the engine, server, and
+// replication layers log through one seam — levels settable at runtime,
+// fields pre-bindable per component, trace IDs stamped when present —
+// without pulling in a logging dependency. (The name predates any
+// stdlib; internal packages never import the standard log/slog.)
+//
+// A nil *Logger is valid and silent, so library code logs
+// unconditionally and tests stay quiet by default.
+package slog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities. Records below the logger's level are
+// dropped before formatting.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("LEVEL(%d)", int32(l))
+}
+
+// ParseLevel maps a -log-level flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("slog: unknown level %q (want debug, info, warn or error)", s)
+}
+
+// sink is the shared write end: every Logger derived via With points at
+// the same sink, so SetLevel anywhere governs the whole family and
+// lines never interleave.
+type sink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+}
+
+// Logger formats records as
+//
+//	2006-01-02T15:04:05.000Z LEVEL message key=value ...
+//
+// Bound fields (With) render before per-call ones.
+type Logger struct {
+	s      *sink
+	fields string // pre-rendered " k=v ..." suffix
+}
+
+// New builds a Logger writing to w at the given minimum level.
+func New(w io.Writer, level Level) *Logger {
+	s := &sink{w: w}
+	s.level.Store(int32(level))
+	return &Logger{s: s}
+}
+
+// SetLevel changes the minimum level for this logger and everything
+// sharing its sink (all With-derived loggers).
+func (l *Logger) SetLevel(level Level) {
+	if l == nil {
+		return
+	}
+	l.s.level.Store(int32(level))
+}
+
+// Enabled reports whether a record at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= Level(l.s.level.Load())
+}
+
+// With returns a Logger that prefixes every record with the given
+// key/value pairs. With(nil receiver) stays nil.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	var b strings.Builder
+	b.WriteString(l.fields)
+	appendKV(&b, kv)
+	return &Logger{s: l.s, fields: b.String()}
+}
+
+// WithTrace binds a trace ID field; an empty ID binds nothing, so call
+// sites can stamp unconditionally.
+func (l *Logger) WithTrace(traceID string) *Logger {
+	if traceID == "" {
+		return l
+	}
+	return l.With("trace", traceID)
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(64 + len(msg) + len(l.fields))
+	b.WriteString(time.Now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteByte(' ')
+	b.WriteString(level.String())
+	b.WriteByte(' ')
+	b.WriteString(quoteIfNeeded(msg))
+	b.WriteString(l.fields)
+	appendKV(&b, kv)
+	b.WriteByte('\n')
+	l.s.mu.Lock()
+	io.WriteString(l.s.w, b.String())
+	l.s.mu.Unlock()
+}
+
+// appendKV renders " k=v" pairs; a dangling key gets an explicit
+// missing-value marker instead of silently shifting the rest.
+func appendKV(b *strings.Builder, kv []any) {
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(keyString(kv[i]))
+		b.WriteByte('=')
+		b.WriteString(quoteIfNeeded(valueString(kv[i+1])))
+	}
+	if len(kv)%2 == 1 {
+		b.WriteByte(' ')
+		b.WriteString(keyString(kv[len(kv)-1]))
+		b.WriteString(`=!MISSING`)
+	}
+}
+
+func keyString(k any) string {
+	if s, ok := k.(string); ok {
+		return s
+	}
+	return fmt.Sprint(k)
+}
+
+func valueString(v any) string {
+	switch t := v.(type) {
+	case string:
+		return t
+	case error:
+		if t == nil {
+			return "<nil>"
+		}
+		return t.Error()
+	case time.Duration:
+		return t.String()
+	case fmt.Stringer:
+		return t.String()
+	}
+	return fmt.Sprint(v)
+}
+
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package slog
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the concurrency test read while loggers write.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestLevels(t *testing.T) {
+	var buf syncBuffer
+	l := New(&buf, LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	out := buf.String()
+	if strings.Contains(out, "DEBUG") || strings.Contains(out, "INFO") {
+		t.Fatalf("below-level records written: %q", out)
+	}
+	if !strings.Contains(out, "WARN w") || !strings.Contains(out, "ERROR e") {
+		t.Fatalf("missing records: %q", out)
+	}
+	l.SetLevel(LevelDebug)
+	if !l.Enabled(LevelDebug) {
+		t.Fatalf("SetLevel(debug) not effective")
+	}
+	l.Debug("now")
+	if !strings.Contains(buf.String(), "DEBUG now") {
+		t.Fatalf("debug record missing after SetLevel")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "WARN": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "": LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatalf("ParseLevel accepted garbage")
+	}
+}
+
+func TestFieldsAndFormatting(t *testing.T) {
+	var buf syncBuffer
+	l := New(&buf, LevelInfo).With("component", "wal")
+	l.Info("fsync done", "batch", 12, "took", 250*time.Millisecond,
+		"err", errors.New("disk on fire"), "path", "/var/lib/ng data")
+	out := buf.String()
+	for _, w := range []string{
+		"component=wal",
+		"batch=12",
+		"took=250ms",
+		`err="disk on fire"`,
+		`path="/var/lib/ng data"`,
+		`"fsync done"`,
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("output %q missing %q", out, w)
+		}
+	}
+	// Dangling key is marked, not silently dropped.
+	l.Info("odd", "lonely")
+	if !strings.Contains(buf.String(), "lonely=!MISSING") {
+		t.Fatalf("dangling key not marked: %q", buf.String())
+	}
+}
+
+func TestWithTrace(t *testing.T) {
+	var buf syncBuffer
+	l := New(&buf, LevelInfo)
+	l.WithTrace("abc123").Info("traced op")
+	l.WithTrace("").Info("untraced op")
+	out := buf.String()
+	if !strings.Contains(out, "trace=abc123") {
+		t.Fatalf("trace id not stamped: %q", out)
+	}
+	if strings.Count(out, "trace=") != 1 {
+		t.Fatalf("empty trace id stamped a field: %q", out)
+	}
+}
+
+func TestNilLoggerIsSilent(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Warn("x")
+	l.Error("x")
+	l.SetLevel(LevelDebug)
+	if l.With("k", "v") != nil {
+		t.Fatalf("With on nil logger allocated")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatalf("nil logger claims enabled")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	var buf syncBuffer
+	l := New(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			sub := l.With("writer", n)
+			for j := 0; j < 100; j++ {
+				sub.Info("tick", "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Every line must be whole: timestamp-first, newline-terminated.
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "INFO tick") {
+			t.Fatalf("torn line: %q", line)
+		}
+	}
+}

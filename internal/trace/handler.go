@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the tracer's ring as JSONL: one trace per line, oldest
+// first. Query parameters: ?trace_id=<id> filters to one trace,
+// ?n=<count> keeps only the newest count traces.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traces := t.Traces()
+		if want := r.URL.Query().Get("trace_id"); want != "" {
+			kept := traces[:0]
+			for _, tr := range traces {
+				if tr.TraceID == want {
+					kept = append(kept, tr)
+				}
+			}
+			traces = kept
+		}
+		if ns := r.URL.Query().Get("n"); ns != "" {
+			if n, err := strconv.Atoi(ns); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[len(traces)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		enc := json.NewEncoder(w) // Encode terminates each value with \n
+		for _, tr := range traces {
+			if err := enc.Encode(tr); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,325 @@
+// Package trace is a dependency-free distributed tracing layer for the
+// commit pipeline: trace ID + span ID + parent, monotonic-clock span
+// timings, head-based sampling, and a bounded in-memory ring of traces.
+//
+// The sampling decision is made once, at the head (StartRoot): a request
+// the head chose not to trace carries no context and costs nothing
+// downstream. A sampled trace's context travels over the wire (the
+// request's optional `trace` field) and through the WAL to replicas (the
+// 'T' record), and every hop records its spans into its own Tracer's
+// ring — one trace ID, one causal tree, per process a partial view.
+//
+// Spans are recorded into their trace when they finish, so a trace in
+// the ring grows as late spans (a replica apply, a quorum ack) land;
+// /debug/traces always shows the tree as currently known.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Context is the wire-portable identity of a span: enough for the far
+// side to attach children to the right place in the right trace.
+type Context struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether the context names a trace.
+func (c Context) Valid() bool { return c.TraceID != "" }
+
+// SpanRecord is one finished span as stored and serialized.
+type SpanRecord struct {
+	ID      string            `json:"id"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"` // offset from the trace's first-seen instant
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceRecord is one trace as serialized to /debug/traces (one JSON
+// object per line) and handed to the slow-op hook.
+type TraceRecord struct {
+	TraceID string       `json:"trace_id"`
+	Start   time.Time    `json:"start"`
+	Spans   []SpanRecord `json:"spans"`
+}
+
+// traceEntry is a trace accumulating finished spans in the ring.
+type traceEntry struct {
+	id    string
+	start time.Time // first span's start; carries the monotonic clock
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+func (e *traceEntry) record(s SpanRecord) {
+	e.mu.Lock()
+	e.spans = append(e.spans, s)
+	e.mu.Unlock()
+}
+
+func (e *traceEntry) snapshot() TraceRecord {
+	e.mu.Lock()
+	spans := make([]SpanRecord, len(e.spans))
+	copy(spans, e.spans)
+	e.mu.Unlock()
+	return TraceRecord{TraceID: e.id, Start: e.start.Round(0), Spans: spans}
+}
+
+// Tracer owns a sampling rate and a bounded ring of traces. The zero
+// Tracer is not usable; a nil *Tracer is a valid no-op (every method on
+// a nil Tracer or nil Span is safe and free).
+type Tracer struct {
+	sample   float64
+	capacity int
+
+	mu   sync.Mutex
+	byID map[string]*traceEntry
+	ring []*traceEntry // circular once len == capacity
+	next int           // eviction cursor
+
+	slowMu        sync.Mutex
+	slowThreshold time.Duration
+	slowFn        func(TraceRecord, SpanRecord)
+}
+
+// DefaultCapacity bounds the trace ring when New is given zero.
+const DefaultCapacity = 256
+
+// New builds a Tracer that head-samples new roots at rate sample
+// (0 disables, 1 traces everything) and retains the last capacity
+// traces (0 means DefaultCapacity).
+func New(sample float64, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{
+		sample:   sample,
+		capacity: capacity,
+		byID:     make(map[string]*traceEntry),
+	}
+}
+
+// SetSlowOp installs the slow-op hook: whenever a local-root span (a
+// StartRoot or StartRemote span) finishes with duration ≥ threshold, fn
+// receives the trace as currently known plus the offending span.
+// A zero threshold disables the hook.
+func (t *Tracer) SetSlowOp(threshold time.Duration, fn func(TraceRecord, SpanRecord)) {
+	if t == nil {
+		return
+	}
+	t.slowMu.Lock()
+	t.slowThreshold = threshold
+	t.slowFn = fn
+	t.slowMu.Unlock()
+}
+
+func (t *Tracer) sampled() bool {
+	if t.sample <= 0 {
+		return false
+	}
+	return t.sample >= 1 || rand.Float64() < t.sample
+}
+
+// entry returns the ring slot for traceID, creating (and, at capacity,
+// evicting the oldest trace) as needed.
+func (t *Tracer) entry(traceID string, start time.Time) *traceEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.byID[traceID]; ok {
+		return e
+	}
+	e := &traceEntry{id: traceID, start: start}
+	t.byID[traceID] = e
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, e)
+	} else {
+		delete(t.byID, t.ring[t.next].id)
+		t.ring[t.next] = e
+		t.next = (t.next + 1) % t.capacity
+	}
+	return e
+}
+
+func newTraceID() string { return fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64()) }
+func newSpanID() string  { return fmt.Sprintf("%016x", rand.Uint64()) }
+
+func (t *Tracer) newSpan(traceID, parent, name string, localRoot bool, start time.Time) *Span {
+	return &Span{
+		tracer: t,
+		tr:     t.entry(traceID, start),
+		id:     newSpanID(),
+		parent: parent,
+		name:   name,
+		local:  localRoot,
+		start:  start,
+	}
+}
+
+// StartRoot makes the head sampling decision and, when sampled, opens a
+// new trace rooted at a span named name. Returns nil (a free no-op
+// span) when unsampled or t is nil.
+func (t *Tracer) StartRoot(name string) *Span {
+	if t == nil || !t.sampled() {
+		return nil
+	}
+	return t.newSpan(newTraceID(), "", name, true, time.Now())
+}
+
+// StartRemote continues a trace begun elsewhere (the head already chose
+// to sample it) with a local-root span: its finish drives the slow-op
+// hook on this process.
+func (t *Tracer) StartRemote(c Context, name string) *Span {
+	if t == nil || !c.Valid() {
+		return nil
+	}
+	return t.newSpan(c.TraceID, c.SpanID, name, true, time.Now())
+}
+
+// Traces snapshots the ring, oldest first.
+func (t *Tracer) Traces() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	entries := make([]*traceEntry, 0, len(t.ring))
+	// next is the oldest slot once the ring has wrapped.
+	for i := 0; i < len(t.ring); i++ {
+		entries = append(entries, t.ring[(t.next+i)%len(t.ring)])
+	}
+	t.mu.Unlock()
+	out := make([]TraceRecord, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.snapshot())
+	}
+	return out
+}
+
+// Span is one timed operation within a trace. All methods are safe on a
+// nil receiver — the unsampled path costs a nil check per call site.
+type Span struct {
+	tracer *Tracer
+	tr     *traceEntry
+	id     string
+	parent string
+	name   string
+	local  bool
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]string
+	done  bool
+}
+
+// Context returns the span's wire-portable identity.
+func (s *Span) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return Context{TraceID: s.tr.id, SpanID: s.id}
+}
+
+// TraceID returns the owning trace's ID ("" on a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.id
+}
+
+// Child opens a child span in the same trace on the same tracer.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.newSpan(s.tr.id, s.id, name, false, time.Now())
+}
+
+// Set attaches a key=value attribute to the span.
+func (s *Span) Set(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Finish records the span into its trace; duration comes from the
+// monotonic clock. Finishing twice records once. Finishing a local-root
+// span runs the tracer's slow-op hook when the threshold is met.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	dur := time.Since(s.start)
+	rec := SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.Sub(s.tr.start).Microseconds(),
+		DurUS:   dur.Microseconds(),
+		Attrs:   attrs,
+	}
+	s.tr.record(rec)
+
+	if s.local {
+		s.tracer.slowMu.Lock()
+		threshold, fn := s.tracer.slowThreshold, s.tracer.slowFn
+		s.tracer.slowMu.Unlock()
+		if fn != nil && threshold > 0 && dur >= threshold {
+			fn(s.tr.snapshot(), rec)
+		}
+	}
+}
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying s (nil s returns ctx unchanged).
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpanCtx opens a span as a child of the one carried by ctx, or —
+// when ctx carries none — as a new sampled root on t. The returned
+// context carries the new span for further nesting; when unsampled it
+// is ctx unchanged and the span is nil.
+func (t *Tracer) StartSpanCtx(ctx context.Context, name string) (context.Context, *Span) {
+	if parent := SpanFrom(ctx); parent != nil {
+		sp := parent.Child(name)
+		return ContextWith(ctx, sp), sp
+	}
+	sp := t.StartRoot(name)
+	if sp == nil {
+		return ctx, nil
+	}
+	return ContextWith(ctx, sp), sp
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSampling(t *testing.T) {
+	off := New(0, 8)
+	if sp := off.StartRoot("x"); sp != nil {
+		t.Fatalf("sample=0 minted a span")
+	}
+	on := New(1, 8)
+	sp := on.StartRoot("x")
+	if sp == nil {
+		t.Fatalf("sample=1 returned nil span")
+	}
+	if !sp.Context().Valid() || sp.TraceID() == "" {
+		t.Fatalf("sampled span has no identity: %+v", sp.Context())
+	}
+	// A nil tracer and nil span are free no-ops end to end.
+	var nilT *Tracer
+	nsp := nilT.StartRoot("x")
+	nsp.Set("k", "v")
+	nsp.Child("c").Finish()
+	nsp.Finish()
+	if got := nilT.Traces(); got != nil {
+		t.Fatalf("nil tracer returned traces: %v", got)
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	tr := New(1, 8)
+	root := tr.StartRoot("client.call")
+	child := root.Child("server.op")
+	grand := child.Child("commit.validate")
+	grand.Set("stripe", "3")
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.TraceID != root.TraceID() {
+		t.Fatalf("trace id %q, want %q", got.TraceID, root.TraceID())
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(got.Spans), got.Spans)
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range got.Spans {
+		byName[s.Name] = s
+	}
+	if byName["client.call"].Parent != "" {
+		t.Fatalf("root has parent %q", byName["client.call"].Parent)
+	}
+	if byName["server.op"].Parent != byName["client.call"].ID {
+		t.Fatalf("server.op parent %q, want %q", byName["server.op"].Parent, byName["client.call"].ID)
+	}
+	if byName["commit.validate"].Parent != byName["server.op"].ID {
+		t.Fatalf("commit.validate parent mismatch")
+	}
+	if byName["commit.validate"].Attrs["stripe"] != "3" {
+		t.Fatalf("attr lost: %+v", byName["commit.validate"].Attrs)
+	}
+}
+
+func TestStartRemoteJoinsTrace(t *testing.T) {
+	client := New(1, 8)
+	server := New(0, 8) // remote side records regardless of its own rate
+	root := client.StartRoot("client.call")
+	sp := server.StartRemote(root.Context(), "server.op")
+	if sp == nil {
+		t.Fatalf("StartRemote returned nil for a valid context")
+	}
+	if sp.TraceID() != root.TraceID() {
+		t.Fatalf("remote span on trace %q, want %q", sp.TraceID(), root.TraceID())
+	}
+	sp.Finish()
+	root.Finish()
+	if got := server.Traces(); len(got) != 1 || got[0].Spans[0].Parent != root.Context().SpanID {
+		t.Fatalf("server side tree wrong: %+v", got)
+	}
+	if sp2 := server.StartRemote(Context{}, "x"); sp2 != nil {
+		t.Fatalf("invalid context minted a span")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(1, 2)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		sp := tr.StartRoot("op")
+		ids = append(ids, sp.TraceID())
+		sp.Finish()
+	}
+	traces := tr.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("ring holds %d, want 2", len(traces))
+	}
+	if traces[0].TraceID != ids[1] || traces[1].TraceID != ids[2] {
+		t.Fatalf("ring kept %q,%q; want newest two of %v", traces[0].TraceID, traces[1].TraceID, ids)
+	}
+	// The evicted trace must not resurrect through a stale span.
+	for _, got := range tr.Traces() {
+		if got.TraceID == ids[0] {
+			t.Fatalf("evicted trace still present")
+		}
+	}
+}
+
+func TestSlowOpHook(t *testing.T) {
+	tr := New(1, 8)
+	var mu sync.Mutex
+	var fired []SpanRecord
+	tr.SetSlowOp(5*time.Millisecond, func(_ TraceRecord, root SpanRecord) {
+		mu.Lock()
+		fired = append(fired, root)
+		mu.Unlock()
+	})
+	fast := tr.StartRoot("fast")
+	fast.Finish()
+	slow := tr.StartRoot("slow")
+	time.Sleep(10 * time.Millisecond)
+	// Child finishes never fire the hook — only local roots do.
+	c := slow.Child("inner")
+	c.Finish()
+	slow.Finish()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 1 || fired[0].Name != "slow" {
+		t.Fatalf("slow-op hook fired for %+v, want exactly [slow]", fired)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	tr := New(1, 8)
+	ctx := context.Background()
+	if SpanFrom(ctx) != nil {
+		t.Fatalf("empty ctx carries a span")
+	}
+	ctx, root := tr.StartSpanCtx(ctx, "root")
+	if root == nil || SpanFrom(ctx) != root {
+		t.Fatalf("root not threaded through ctx")
+	}
+	ctx2, child := tr.StartSpanCtx(ctx, "child")
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child on different trace")
+	}
+	if SpanFrom(ctx2) != child {
+		t.Fatalf("ctx2 does not carry the child")
+	}
+	// Unsampled tracer: ctx passes through unchanged.
+	off := New(0, 8)
+	ctx3, sp := off.StartSpanCtx(context.Background(), "x")
+	if sp != nil || SpanFrom(ctx3) != nil {
+		t.Fatalf("unsampled StartSpanCtx minted state")
+	}
+}
+
+func TestHandlerJSONL(t *testing.T) {
+	tr := New(1, 8)
+	a := tr.StartRoot("a")
+	a.Finish()
+	b := tr.StartRoot("b")
+	b.Child("b.child").Finish()
+	b.Finish()
+
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var lines []TraceRecord
+	sc := bufio.NewScanner(strings.NewReader(rec.Body.String()))
+	for sc.Scan() {
+		var tl TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &tl); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, tl)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	if lines[0].TraceID != a.TraceID() || lines[1].TraceID != b.TraceID() {
+		t.Fatalf("order wrong: %q then %q", lines[0].TraceID, lines[1].TraceID)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace_id="+b.TraceID(), nil))
+	out := strings.TrimSpace(rec.Body.String())
+	if strings.Count(out, "\n")+1 != 1 || !strings.Contains(out, b.TraceID()) {
+		t.Fatalf("trace_id filter returned %q", out)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=1", nil))
+	if got := strings.TrimSpace(rec.Body.String()); !strings.Contains(got, b.TraceID()) || strings.Contains(got, a.TraceID()) {
+		t.Fatalf("n=1 kept %q, want only the newest", got)
+	}
+}
+
+func TestTraceConcurrency(t *testing.T) {
+	tr := New(1, 4)
+	root := tr.StartRoot("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c := root.Child("c")
+				c.Set("j", "x")
+				c.Finish()
+				// Interleave unrelated roots to churn the ring.
+				tr.StartRoot("noise").Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	root.Finish()
+	_ = tr.Traces()
+}

@@ -31,7 +31,8 @@ import (
 // Version 2 added the batch op and per-request deadlines; both ride in
 // optional JSON fields, so v1 clients keep working against a v2 server
 // unchanged (a v2 client can discover the server's generation from the
-// ping response's proto field).
+// ping response's proto field). Request correlation (seq) and trace
+// propagation (trace) are likewise optional fields within v2.
 const ProtocolVersion = 2
 
 // MaxBatchOps bounds one batch request. A batch runs as a single
@@ -108,6 +109,23 @@ type Request struct {
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Batch holds the sub-operations of an OpBatch request.
 	Batch []Request `json:"batch,omitempty"`
+	// Seq is an opaque client-chosen correlation number. The server
+	// echoes it verbatim in the response frame — error and overload
+	// frames included — so pipelined requests stay correlatable even
+	// when a reply carries none of the request's entity fields. Zero
+	// means the client did not ask for correlation.
+	Seq uint64 `json:"seq,omitempty"`
+	// Trace carries the request's distributed-tracing context; the
+	// server opens its per-op span as a child of Trace.SpanID and echoes
+	// Trace.TraceID in the response. Absent on unsampled requests.
+	Trace *TraceContext `json:"trace,omitempty"`
+}
+
+// TraceContext is a trace's wire identity: which trace this request
+// belongs to and which client span is the parent of the server's work.
+type TraceContext struct {
+	TraceID string `json:"tid"`
+	SpanID  string `json:"sid,omitempty"`
 }
 
 // batchableOps are the operations allowed inside a batch: the data plane
@@ -207,6 +225,12 @@ type Response struct {
 	// FailedOp names the sub-op whose failure aborted a batch (the
 	// top-level Error is that op's error).
 	FailedOp *int `json:"failed_op,omitempty"`
+	// Seq echoes the request's correlation number — on every frame,
+	// error and overload frames included.
+	Seq uint64 `json:"seq,omitempty"`
+	// TraceID echoes the request's trace ID so a client can tie the
+	// reply (and the server's /debug/traces entry) back to its span.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // EncodeValue renders a value in the tagged JSON form.

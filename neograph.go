@@ -44,6 +44,8 @@ import (
 
 	"neograph/internal/core"
 	"neograph/internal/repl"
+	"neograph/internal/slog"
+	"neograph/internal/trace"
 )
 
 // Isolation levels for transactions.
@@ -163,6 +165,15 @@ type Options struct {
 	// WALSegmentSize overrides the WAL segment rotation size (testing and
 	// replication experiments; zero = 16 MiB default).
 	WALSegmentSize int64
+	// Tracer, when non-nil, records commit-pipeline span trees for traced
+	// transactions (see Tx.SetTraceSpan): per-stripe validation, WAL
+	// append and group fsync, the sync-replication quorum wait, and — on
+	// a replica fed by this primary — the replicated apply, all under the
+	// trace ID the caller minted. Nil disables engine-side tracing.
+	Tracer *trace.Tracer
+	// Logger receives the replication endpoints' structured log records
+	// (connection state changes, stream refusals). Nil is silent.
+	Logger *slog.Logger
 }
 
 // DB is a neograph database handle, safe for concurrent use.
@@ -175,6 +186,7 @@ type DB struct {
 	applier  *repl.Applier       // replica mode: the stream applier
 	shipper  *repl.Shipper       // primary mode: the WAL shipper
 	shipOpts repl.ShipperOptions // shipper tuning, reused by Promote
+	logger   *slog.Logger        // replication endpoint logger, reused by Promote
 	// promoted records a successful engine promotion in this process, so
 	// a Promote whose shipper failed to bind (port still in use) can be
 	// retried to start shipping instead of wedging as "not a replica".
@@ -214,16 +226,18 @@ func Open(opts Options) (*DB, error) {
 		StoreCachePages:  opts.CachePages,
 		Replica:          opts.ReplicaOf != "",
 		WALSegmentSize:   opts.WALSegmentSize,
+		Tracer:           opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{e: e, shipOpts: repl.ShipperOptions{
+	db := &DB{e: e, logger: opts.Logger, shipOpts: repl.ShipperOptions{
 		SyncReplicas: opts.SyncReplicas,
 		SyncTimeout:  opts.SyncReplicaTimeout,
+		Logger:       opts.Logger,
 	}}
 	if opts.ReplicaOf != "" {
-		a, err := repl.NewApplier(e, opts.ReplicaOf, repl.ApplierOptions{})
+		a, err := repl.NewApplier(e, opts.ReplicaOf, repl.ApplierOptions{Logger: opts.Logger})
 		if err != nil {
 			e.Close()
 			return nil, err
@@ -262,7 +276,7 @@ func (db *DB) Promote(replicationAddr string) error {
 		if err := db.e.Promote(); err != nil {
 			// The engine is still a replica; restart the applier rather
 			// than leave the node following nothing.
-			a, aerr := repl.NewApplier(db.e, db.applier.Status().PrimaryAddr, repl.ApplierOptions{})
+			a, aerr := repl.NewApplier(db.e, db.applier.Status().PrimaryAddr, repl.ApplierOptions{Logger: db.logger})
 			if aerr == nil {
 				a.Start()
 				db.applier = a

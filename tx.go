@@ -2,6 +2,7 @@ package neograph
 
 import (
 	"neograph/internal/core"
+	"neograph/internal/trace"
 	"neograph/internal/value"
 )
 
@@ -45,6 +46,12 @@ func (tx *Tx) StartTS() uint64 { return tx.t.StartTS() }
 // databases). It is the read-your-writes token: hand it to a replica's
 // WaitApplied — or to WaitDurable — before reading.
 func (tx *Tx) CommitLSN() uint64 { return tx.t.CommitLSN() }
+
+// SetTraceSpan attaches a tracing span to the transaction: Commit's
+// pipeline stages (per-stripe validation, WAL append, group fsync,
+// quorum wait) record child spans under it, and the trace context rides
+// the WAL to replicas. A nil span (the unsampled case) is free.
+func (tx *Tx) SetTraceSpan(s *trace.Span) { tx.t.SetTraceSpan(s) }
 
 // CreateNode creates a node with labels and properties, private to this
 // transaction until commit.
