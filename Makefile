@@ -7,7 +7,7 @@ GO ?= go
 # toolchain install, no go.mod entry). Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race race-repl race-failover race-client race-metrics race-trace bench bench-smoke bench-trend bench-e11 bench-e12 lint staticcheck fmt clean
+.PHONY: all build test race race-repl race-failover race-client race-metrics race-trace race-query bench bench-smoke bench-trend bench-e11 bench-e12 lint staticcheck fmt clean
 
 all: build test
 
@@ -47,6 +47,12 @@ race-metrics:
 race-trace:
 	$(GO) test -race -count=2 ./internal/trace/... ./internal/slog/...
 	$(GO) test -race -run 'TestTrace|TestResponseEchoes|TestServerSpan|TestPoolOverloadRetrySingleTrace|TestPoolFailoverSingleTrace|TestClusterTraceEndToEnd' ./internal/server/... ./client/...
+
+## race-query: the query-pushdown suite (plan decode, pipeline-vs-BFS
+## equivalence under writers, streaming, mid-stream cancel/failover) under race
+race-query:
+	$(GO) test -race -count=2 ./internal/query/...
+	$(GO) test -race -count=2 -run 'TestQuery|TestFuzzSeedCorpus|FuzzDecodeQueryPlan' ./internal/wire/... ./internal/server/... ./client/...
 
 ## bench: the full experiment suite (minutes)
 bench: build

@@ -55,6 +55,40 @@ func (b *Batch) GetNode(id neograph.NodeID) int {
 	return b.add(wire.Request{Op: wire.OpGetNode, ID: id})
 }
 
+// CreateRelRef queues a relationship creation whose endpoints are batch-
+// local back references: startOp and endOp are the indexes (as returned
+// by CreateNode) of EARLIER ops in this batch, and the relationship
+// connects the nodes those ops created — so a node and its edges land in
+// ONE round trip, no intermediate ID fetch. A reference to an op that is
+// not earlier in the batch, or that did not create an entity, aborts the
+// batch with a structured error naming the op.
+func (b *Batch) CreateRelRef(relType string, startOp, endOp int, props neograph.Props) int {
+	enc, err := wire.EncodeProps(props)
+	if err != nil {
+		return b.fail(wire.Request{Op: wire.OpCreateRel}, err)
+	}
+	s, e := startOp, endOp
+	return b.add(wire.Request{Op: wire.OpCreateRel, Type: relType, StartRef: &s, EndRef: &e, Props: enc})
+}
+
+// SetNodePropRef queues a property write on the node created by an
+// earlier op of this batch (see CreateRelRef).
+func (b *Batch) SetNodePropRef(op int, key string, v neograph.Value) int {
+	enc, err := wire.EncodeValue(v)
+	if err != nil {
+		return b.fail(wire.Request{Op: wire.OpSetNodeProp}, err)
+	}
+	o := op
+	return b.add(wire.Request{Op: wire.OpSetNodeProp, IDRef: &o, Key: key, Value: enc})
+}
+
+// AddLabelRef queues a label addition on the node created by an earlier
+// op of this batch (see CreateRelRef).
+func (b *Batch) AddLabelRef(op int, label string) int {
+	o := op
+	return b.add(wire.Request{Op: wire.OpAddLabel, IDRef: &o, Label: label})
+}
+
 // SetNodeProp queues a node property write.
 func (b *Batch) SetNodeProp(id neograph.NodeID, key string, v neograph.Value) int {
 	enc, err := wire.EncodeValue(v)

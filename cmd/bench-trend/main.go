@@ -289,8 +289,25 @@ func extract(path string, handicap float64) (*trendFile, error) {
 		}
 	}
 
+	// E14: server-side k-hop plan over client-looped per-hop round trips.
+	if raw, ok := report["E14"]; ok {
+		var rows []struct {
+			Mode    string  `json:"mode"`
+			Speedup float64 `json:"speedup"`
+		}
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			return nil, fmt.Errorf("E14: %w", err)
+		}
+		for _, r := range rows {
+			if r.Mode == "server-khop" {
+				put("e14_khop_pushdown_speedup", r.Speedup)
+				break
+			}
+		}
+	}
+
 	if len(tf.Metrics) == 0 {
-		return nil, fmt.Errorf("no headline metrics found in %s (need E2d/E9/E11/E12/E13 rows)", path)
+		return nil, fmt.Errorf("no headline metrics found in %s (need E2d/E9/E11/E12/E13/E14 rows)", path)
 	}
 	return tf, nil
 }

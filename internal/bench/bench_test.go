@@ -594,3 +594,53 @@ func TestE12BatchingSpeedup(t *testing.T) {
 		t.Errorf("pooled mode served no reads: %+v", rows)
 	}
 }
+
+func TestE14QueryPushdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed experiment")
+	}
+	rows, err := RunE14(io.Discard, E14Config{
+		Nodes: 3_000, OutDegree: 6, Starts: 2, Depth: 3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	get := func(mode string) E14Row {
+		for _, r := range rows {
+			if r.Mode == mode {
+				return r
+			}
+		}
+		t.Fatalf("mode %q missing from %+v", mode, rows)
+		return E14Row{}
+	}
+	// RunE14 itself fails if the two traversals visit different node
+	// sets, so by here the plan is correct; the shape assertions are
+	// about cost.
+	looped, pushed := get("client-looped"), get("server-khop")
+	if looped.Visited == 0 || looped.Rounds <= uint64(looped.Starts) {
+		t.Fatalf("client-looped did not traverse: %+v", looped)
+	}
+	if pushed.Rounds != uint64(pushed.Starts) {
+		t.Errorf("server-khop used %d round trips for %d starts, want one plan each", pushed.Rounds, pushed.Starts)
+	}
+	// Headline acceptance (ISSUE): the server-side 3-hop is >= 2x the
+	// client-looped traversal — it pays one round trip per chunk instead
+	// of one per frontier node. Race instrumentation inflates server-side
+	// traversal CPU until it rivals the round trips the plan amortises,
+	// so under the detector only a weaker bar is asserted.
+	want := 2.0
+	if raceEnabled {
+		want = 1.2
+	}
+	if pushed.Speedup < want {
+		t.Errorf("server-khop speedup = %.2fx, want >= %.2fx (%+v)", pushed.Speedup, want, rows)
+	}
+	// The unfiltered stream must deliver the whole graph.
+	if full := get("full-stream"); full.Visited != 3_000 {
+		t.Errorf("full-stream rows = %d, want 3000", full.Visited)
+	}
+}

@@ -417,9 +417,11 @@ func (e *Engine) install(m mutation, cts mvcc.TS) {
 	// Adjacency: a created relationship attaches to both endpoints.
 	if m.key.kind == lock.KindRel && m.created && m.rel != nil {
 		o.start, o.end = m.rel.Start, m.rel.End
-		e.addAdjacency(m.rel.Start, m.key.id)
-		if m.rel.End != m.rel.Start {
-			e.addAdjacency(m.rel.End, m.key.id)
+		if m.rel.End == m.rel.Start {
+			e.addAdjacency(m.rel.Start, m.key.id, adjOut|adjIn)
+		} else {
+			e.addAdjacency(m.rel.Start, m.key.id, adjOut)
+			e.addAdjacency(m.rel.End, m.key.id, adjIn)
 		}
 	}
 

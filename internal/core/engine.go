@@ -236,10 +236,10 @@ type RelState struct {
 // plus the first-committer-wins validation latch for the entities that
 // hash here. Transactions touching disjoint stripes never contend.
 type stripe struct {
-	mu    sync.RWMutex                   // guards the maps below
-	nodes map[ids.ID]*object             // node objects hashed to this stripe
-	rels  map[ids.ID]*object             // rel objects hashed to this stripe
-	adj   map[ids.ID]map[ids.ID]struct{} // node -> set of rel IDs ever attached (pruned on rel death)
+	mu    sync.RWMutex                 // guards the maps below
+	nodes map[ids.ID]*object           // node objects hashed to this stripe
+	rels  map[ids.ID]*object           // rel objects hashed to this stripe
+	adj   map[ids.ID]map[ids.ID]adjDir // node -> rel IDs ever attached, with orientation (pruned on rel death)
 
 	// valMu is the per-stripe FCW commit latch: a committing FCW
 	// transaction latches every stripe in its write footprint (in index
@@ -395,7 +395,7 @@ func Open(opts Options) (*Engine, error) {
 		s := &e.stripes[i]
 		s.nodes = make(map[ids.ID]*object)
 		s.rels = make(map[ids.ID]*object)
-		s.adj = make(map[ids.ID]map[ids.ID]struct{})
+		s.adj = make(map[ids.ID]map[ids.ID]adjDir)
 	}
 	e.fs = faultfs.OrOS(opts.FS)
 	e.replica.Store(opts.Replica)
@@ -744,31 +744,50 @@ func (e *Engine) ensureObject(k entKey) *object {
 	return o
 }
 
-// addAdjacency records rel as attached to node.
-func (e *Engine) addAdjacency(node, rel ids.ID) {
+// adjDir records how a relationship is oriented relative to the node
+// that owns the adjacency entry. A self-loop carries both bits.
+type adjDir uint8
+
+const (
+	adjOut adjDir = 1 << iota
+	adjIn
+)
+
+// addAdjacency records rel as attached to node with orientation d.
+func (e *Engine) addAdjacency(node, rel ids.ID, d adjDir) {
 	s := e.nodeStripe(node)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	set := s.adj[node]
 	if set == nil {
-		set = make(map[ids.ID]struct{})
+		set = make(map[ids.ID]adjDir)
 		s.adj[node] = set
 	}
-	set[rel] = struct{}{}
+	set[rel] |= d
 }
 
-// adjacentRels snapshots the rel IDs ever attached to node. Visibility is
-// decided per relationship by its own version chain.
-func (e *Engine) adjacentRels(node ids.ID) []ids.ID {
+// adjacentRels snapshots the rel IDs ever attached to node, pre-filtered
+// by orientation: a directed traversal never pays a version-chain walk
+// for a relationship pointing the wrong way. Visibility is still decided
+// per relationship by its own version chain. The returned IDs are
+// duplicate-free (the adjacency entry is a set), appended to buf.
+func (e *Engine) adjacentRels(node ids.ID, dir Direction, buf []ids.ID) []ids.ID {
+	want := adjOut | adjIn
+	switch dir {
+	case Outgoing:
+		want = adjOut
+	case Incoming:
+		want = adjIn
+	}
 	s := e.nodeStripe(node)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	set := s.adj[node]
-	out := make([]ids.ID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
+	for id, d := range s.adj[node] {
+		if d&want != 0 {
+			buf = append(buf, id)
+		}
 	}
-	return out
+	return buf
 }
 
 // markDirty queues committed entities for the checkpointer.

@@ -52,9 +52,11 @@ func (e *Engine) recover() error {
 		v := &mvcc.Version{CommitTS: rd.CommitTS, Deleted: rd.Tombstone, Data: st}
 		k := entKey{lock.KindRel, rd.ID}
 		seed(k, v, rd.StartNode, rd.EndNode)
-		e.addAdjacency(rd.StartNode, rd.ID)
-		if rd.EndNode != rd.StartNode {
-			e.addAdjacency(rd.EndNode, rd.ID)
+		if rd.EndNode == rd.StartNode {
+			e.addAdjacency(rd.StartNode, rd.ID, adjOut|adjIn)
+		} else {
+			e.addAdjacency(rd.StartNode, rd.ID, adjOut)
+			e.addAdjacency(rd.EndNode, rd.ID, adjIn)
 		}
 		if !rd.Tombstone {
 			e.indexRelDiff(rd.ID, nil, st, rd.CommitTS)

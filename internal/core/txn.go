@@ -54,6 +54,12 @@ type Tx struct {
 	// quorum wait); its context also rides the WAL to replicas as a 'T'
 	// record. Nil — the unsampled case — costs a nil check per stage.
 	span *trace.Span
+	// adjBuf is the reusable candidate buffer for forEachVisibleRel: a
+	// traversal expands thousands of frontier nodes on one Tx, and one
+	// buffer serves them all. adjBusy guards reentrancy (a callback that
+	// reads adjacency mid-iteration just allocates a fresh buffer).
+	adjBuf  []ids.ID
+	adjBusy bool
 }
 
 // Begin starts a transaction at the engine's default isolation level.

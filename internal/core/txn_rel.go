@@ -189,43 +189,74 @@ func (t *Tx) DeleteRel(id ids.ID) error {
 // staged creations; each candidate's visibility is decided by its version
 // chain, and staged deletions are excluded — read-your-own-writes.
 func (t *Tx) Relationships(node ids.ID, dir Direction, relTypes ...string) ([]RelSnapshot, error) {
-	if err := t.check(); err != nil {
+	var out []RelSnapshot
+	err := t.forEachVisibleRel(node, dir, relTypes, func(rid ids.ID, st *RelState) {
+		out = append(out, RelSnapshot{
+			ID: rid, Type: st.Type, Start: st.Start, End: st.End, Props: st.Props.Clone(),
+		})
+	})
+	if err != nil {
 		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// forEachVisibleRel drives the enriched iterator without materialising
+// snapshots: fn receives each visible relationship's state borrowed from
+// the version chain — NOT cloned, valid only during the call. Traversals
+// that only need endpoints (Neighbors, and through it every BFS frontier
+// expansion) skip the per-relationship props clone that dominates
+// adjacency cost on property-bearing graphs.
+func (t *Tx) forEachVisibleRel(node ids.ID, dir Direction, relTypes []string, fn func(rid ids.ID, st *RelState)) error {
+	if err := t.check(); err != nil {
+		return err
 	}
 	if _, ok, err := t.visibleNode(node); err != nil {
-		return nil, err
+		return err
 	} else if !ok {
-		return nil, fmt.Errorf("%w: node %d", ErrNotFound, node)
+		return fmt.Errorf("%w: node %d", ErrNotFound, node)
 	}
-	var typeFilter map[string]bool
-	if len(relTypes) > 0 {
-		typeFilter = make(map[string]bool, len(relTypes))
-		for _, rt := range relTypes {
-			typeFilter[rt] = true
+	var candidates []ids.ID
+	if !t.adjBusy {
+		t.adjBusy = true
+		defer func() {
+			t.adjBuf = candidates[:0]
+			t.adjBusy = false
+		}()
+		candidates = t.e.adjacentRels(node, dir, t.adjBuf[:0])
+	} else {
+		candidates = t.e.adjacentRels(node, dir, nil)
+	}
+	// Merge staged creations touching this node (their IDs are fresh, so
+	// they cannot collide with installed candidates — but dedup anyway in
+	// case that invariant ever changes).
+	staged := 0
+	if len(t.writes) > 0 {
+		for k, w := range t.writes {
+			if k.kind != lock.KindRel || !w.created || w.deleted || w.rel == nil {
+				continue
+			}
+			if w.rel.Start == node || w.rel.End == node {
+				candidates = append(candidates, k.id)
+				staged++
+			}
 		}
 	}
-
-	candidates := t.e.adjacentRels(node)
-	// Merge staged creations touching this node.
-	for k, w := range t.writes {
-		if k.kind != lock.KindRel || !w.created || w.deleted || w.rel == nil {
-			continue
-		}
-		if w.rel.Start == node || w.rel.End == node {
-			candidates = append(candidates, k.id)
-		}
+	var seen map[ids.ID]bool
+	if staged > 0 {
+		seen = make(map[ids.ID]bool, len(candidates))
 	}
-
-	seen := make(map[ids.ID]bool, len(candidates))
-	var out []RelSnapshot
 	for _, rid := range candidates {
-		if seen[rid] {
-			continue
+		if seen != nil {
+			if seen[rid] {
+				continue
+			}
+			seen[rid] = true
 		}
-		seen[rid] = true
 		st, ok, err := t.visibleRel(rid)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
 			continue
@@ -243,42 +274,69 @@ func (t *Tx) Relationships(node ids.ID, dir Direction, relTypes ...string) ([]Re
 				continue
 			}
 		}
-		if typeFilter != nil && !typeFilter[st.Type] {
+		if len(relTypes) > 0 && !typeMatch(relTypes, st.Type) {
 			continue
 		}
-		out = append(out, RelSnapshot{
-			ID: rid, Type: st.Type, Start: st.Start, End: st.End, Props: st.Props.Clone(),
-		})
+		fn(rid, st)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out, nil
+	return nil
+}
+
+// typeMatch reports whether rt is one of types. Type lists are one or
+// two entries in practice, so a linear scan beats a per-call map.
+func typeMatch(types []string, rt string) bool {
+	for _, t := range types {
+		if t == rt {
+			return true
+		}
+	}
+	return false
 }
 
 // Degree returns the number of visible relationships on node.
 func (t *Tx) Degree(node ids.ID, dir Direction, relTypes ...string) (int, error) {
-	rels, err := t.Relationships(node, dir, relTypes...)
+	n := 0
+	err := t.forEachVisibleRel(node, dir, relTypes, func(ids.ID, *RelState) { n++ })
 	if err != nil {
 		return 0, err
 	}
-	return len(rels), nil
+	return n, nil
+}
+
+// ForEachNeighbor streams the ID at the far end of each of node's
+// visible relationships — the allocation-free path under Neighbors: no
+// snapshot, no per-call set or sort. fn may see the same neighbor more
+// than once (parallel edges); traversals dedup against the seen set they
+// already carry.
+func (t *Tx) ForEachNeighbor(node ids.ID, dir Direction, relTypes []string, fn func(ids.ID)) error {
+	return t.forEachVisibleRel(node, dir, relTypes, func(_ ids.ID, st *RelState) {
+		other := st.End
+		if st.End == node && st.Start != node {
+			other = st.Start
+		} else if st.Start == node {
+			other = st.End
+		}
+		fn(other)
+	})
 }
 
 // Neighbors returns the IDs of nodes adjacent to node over visible
-// relationships, deduplicated and sorted.
+// relationships, deduplicated and sorted. It rides the enriched iterator
+// directly — endpoints come from the borrowed relationship state, so no
+// snapshot (and no props clone) is built per relationship.
 func (t *Tx) Neighbors(node ids.ID, dir Direction, relTypes ...string) ([]ids.ID, error) {
-	rels, err := t.Relationships(node, dir, relTypes...)
-	if err != nil {
-		return nil, err
-	}
-	set := make(map[ids.ID]struct{}, len(rels))
-	for _, r := range rels {
-		other := r.End
-		if r.End == node && r.Start != node {
-			other = r.Start
-		} else if r.Start == node {
-			other = r.End
+	set := make(map[ids.ID]struct{})
+	err := t.forEachVisibleRel(node, dir, relTypes, func(_ ids.ID, st *RelState) {
+		other := st.End
+		if st.End == node && st.Start != node {
+			other = st.Start
+		} else if st.Start == node {
+			other = st.End
 		}
 		set[other] = struct{}{}
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := make([]ids.ID, 0, len(set))
 	for id := range set {

@@ -105,16 +105,19 @@ func mustProps(t *testing.T, p neograph.Props) json.RawMessage {
 func TestAdmissionOverloadBoundedAndRecovers(t *testing.T) {
 	const (
 		maxInflight = 2
-		maxQueued   = 64 << 10
-		hammers     = 8
+		maxQueued   = 256 << 10
+		hammers     = 16
 	)
 	srv := startAdmissionServer(t, Config{MaxInflight: maxInflight, MaxQueuedBytes: maxQueued})
 
-	// Each hammer loops a 200-op batch — slow enough to dispatch that
-	// concurrent arrivals exceed MaxInflight and get rejected.
+	// Each hammer loops a property-bearing 1000-op batch — slow enough to
+	// execute that concurrent arrivals exceed MaxInflight and get
+	// rejected, even on hardware fast enough to finish a light batch
+	// before the next hammer's request lands.
+	props := mustProps(t, neograph.Props{"k": neograph.String("0123456789abcdef")})
 	batch := &wire.Request{Op: wire.OpBatch}
-	for i := 0; i < 200; i++ {
-		batch.Batch = append(batch.Batch, wire.Request{Op: wire.OpCreateNode})
+	for i := 0; i < 1000; i++ {
+		batch.Batch = append(batch.Batch, wire.Request{Op: wire.OpCreateNode, Props: props})
 	}
 
 	var oks, rejects atomic.Uint64

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"neograph"
+	"neograph/internal/query"
+	"neograph/internal/trace"
+	"neograph/internal/wire"
+)
+
+// streamQuery executes a query plan and streams its result as chunked
+// response frames. The whole plan runs inside ONE transaction — the
+// session's open one, or a read transaction owned by the query — so
+// every stage sees a single MVCC snapshot (the paper's §1 argument: a
+// path that exists when the traversal starts cannot vanish under it).
+//
+// Streaming contract (wire.OpQuery): at most wire.QueryChunkRows rows
+// buffer server-side before a chunk frame (OK, More set) flushes, so a
+// million-row result costs chunk-sized memory on both ends; the final
+// frame has More unset and may carry trailing rows. Pipeline errors,
+// spent deadlines, and server drain all end the stream with a clean,
+// complete error frame — never a torn chunk. Every frame echoes the
+// request's Seq and TraceID.
+//
+// The returned error is non-nil only for frame-write failures, after
+// which the session is unusable (a frame may be half-written).
+func (sess *session) streamQuery(conn net.Conn, enc *json.Encoder, req *wire.Request) error {
+	s := sess.srv
+	sess.deadline = time.Time{}
+	if req.DeadlineMS > 0 {
+		sess.deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	if req.Trace != nil {
+		sess.span = s.tracer.StartRemote(
+			trace.Context{TraceID: req.Trace.TraceID, SpanID: req.Trace.SpanID},
+			"server.query")
+	} else {
+		sess.span = s.tracer.StartRoot("server.query")
+	}
+	t0 := time.Now()
+	tid := sess.span.TraceID()
+	defer func() {
+		sess.span.Finish()
+		sess.span = nil
+		if s.sm != nil {
+			s.sm.observe(req, time.Since(t0), tid)
+		}
+	}()
+
+	// writeFrame flushes one complete frame under the same write bound as
+	// unary responses: responseWriteTimeout, tightened by the request's
+	// deadline with a floor so a spent budget still gets its error frame.
+	writeFrame := func(resp *wire.Response) error {
+		resp.Seq = req.Seq
+		if req.Trace != nil {
+			resp.TraceID = req.Trace.TraceID
+		}
+		wd := time.Now().Add(responseWriteTimeout)
+		if !sess.deadline.IsZero() {
+			floor := time.Now().Add(time.Second)
+			switch {
+			case sess.deadline.Before(floor):
+				wd = floor
+			case sess.deadline.Before(wd):
+				wd = sess.deadline
+			}
+		}
+		conn.SetWriteDeadline(wd)
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+		conn.SetWriteDeadline(time.Time{})
+		return nil
+	}
+	// failStream ends the stream with a final error frame; the client has
+	// a frame boundary and a structured code, not a torn chunk.
+	failStream := func(err error) error {
+		resp := fail(err)
+		sess.span.Set("error", resp.Error)
+		return writeFrame(resp)
+	}
+
+	if err := sess.checkDeadline(); err != nil {
+		return failStream(err)
+	}
+	if req.WaitLSN > 0 {
+		if err := sess.waitGate(req.WaitLSN); err != nil {
+			return failStream(err)
+		}
+	}
+
+	tx := sess.tx
+	if tx == nil {
+		tx = sess.db.Begin()
+		tx.SetTraceSpan(sess.span)
+		defer tx.Abort()
+	}
+	p, err := query.Compile(tx, req.Plan)
+	if err != nil {
+		return failStream(err)
+	}
+
+	buf := make([]wire.QueryRow, 0, wire.QueryChunkRows)
+	var rows, chunks int
+	for {
+		row, ok, err := p.Next()
+		if err != nil {
+			return failStream(err)
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, row.WireRow())
+		rows++
+		if len(buf) < wire.QueryChunkRows {
+			continue
+		}
+		// Chunk boundary: the stream's cancellation points. A spent
+		// deadline or a drain past its shed point ends the stream with a
+		// clean error frame mid-result rather than running to completion.
+		if err := sess.checkDeadline(); err != nil {
+			return failStream(err)
+		}
+		if shedAt, draining := s.shedDeadline(); draining && !time.Now().Before(shedAt) {
+			return failStream(errShuttingDown)
+		}
+		if err := writeFrame(&wire.Response{OK: true, More: true, Rows: buf}); err != nil {
+			return err
+		}
+		chunks++
+		buf = buf[:0]
+	}
+	sess.span.Set("rows", fmt.Sprint(rows))
+	sess.span.Set("chunks", fmt.Sprint(chunks+1))
+	return writeFrame(&wire.Response{OK: true, Rows: buf})
+}
+
+// resolveBatchRefs substitutes a sub-op's $n back references with the
+// IDs created by earlier sub-ops of the same batch. ValidateBatch has
+// already bounded the indexes; what remains is the execution-time rule
+// that the referenced op actually created an entity. Returns the request
+// to dispatch (a resolved shallow copy when refs are present) or the
+// message for a structured batch abort.
+func resolveBatchRefs(sub *wire.Request, i int, ids []neograph.NodeID, hasID []bool) (*wire.Request, string) {
+	if sub.IDRef == nil && sub.StartRef == nil && sub.EndRef == nil {
+		return sub, ""
+	}
+	r := *sub
+	for _, ref := range []struct {
+		name string
+		src  *int
+		dst  *uint64
+	}{
+		{"id_ref", sub.IDRef, &r.ID},
+		{"start_ref", sub.StartRef, &r.Start},
+		{"end_ref", sub.EndRef, &r.End},
+	} {
+		if ref.src == nil {
+			continue
+		}
+		j := *ref.src
+		if j < 0 || j >= i || !hasID[j] {
+			return nil, fmt.Sprintf("server: %s $%d: op %d did not create an entity", ref.name, j, j)
+		}
+		*ref.dst = ids[j]
+	}
+	return &r, ""
+}

@@ -358,6 +358,18 @@ func (s *Server) handle(conn net.Conn) {
 		// with a complete structured error frame — the session survives and
 		// the client backs off on the code.
 		admitted := s.admit(frameBytes)
+		// An admitted query streams its response as chunked frames and
+		// owns its span/deadline/frame writing; a rejected one falls
+		// through to the unary path — a single error frame (More unset)
+		// is a complete, valid stream.
+		if admitted == nil && req.Op == wire.OpQuery {
+			werr := sess.streamQuery(conn, enc, &req)
+			s.release(frameBytes)
+			if werr != nil || s.isDraining() {
+				return
+			}
+			continue
+		}
 		var resp *wire.Response
 		if admitted != nil {
 			resp = fail(admitted)
@@ -537,6 +549,9 @@ func (sess *session) dispatch(req *wire.Request) *wire.Response {
 		return fail(fmt.Errorf("%w: writes must go to the primary at %s",
 			neograph.ErrReadOnlyReplica, sess.db.PrimaryAddr()))
 	}
+	if req.IDRef != nil || req.StartRef != nil || req.EndRef != nil {
+		return fail(errors.New("server: id references are only valid inside a batch"))
+	}
 	if err := sess.checkDeadline(); err != nil {
 		return fail(err)
 	}
@@ -592,13 +607,24 @@ func (sess *session) dispatchBatch(req *wire.Request) *wire.Response {
 		}
 	}
 	results := make([]wire.Response, 0, len(req.Batch))
+	// Created-entity IDs by sub-op index, for $n back references
+	// (ValidateBatch has already bounded every index to earlier ops).
+	ids := make([]neograph.NodeID, len(req.Batch))
+	hasID := make([]bool, len(req.Batch))
 	for i := range req.Batch {
 		if err := sess.checkDeadline(); err != nil {
 			return abort(i, err.Error())
 		}
-		sub := sess.dispatchOp(&req.Batch[i])
+		op, msg := resolveBatchRefs(&req.Batch[i], i, ids, hasID)
+		if op == nil {
+			return abort(i, msg)
+		}
+		sub := sess.dispatchOp(op)
 		if !sub.OK {
 			return abort(i, sub.Error)
+		}
+		if op.Op == wire.OpCreateNode || op.Op == wire.OpCreateRel {
+			ids[i], hasID[i] = sub.ID, true
 		}
 		results = append(results, *sub)
 	}

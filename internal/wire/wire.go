@@ -93,6 +93,17 @@ type Request struct {
 	Start     uint64          `json:"start,omitempty"`
 	End       uint64          `json:"end,omitempty"`
 	Dir       string          `json:"dir,omitempty"` // "out" | "in" | "both"
+	// IDRef / StartRef / EndRef are batch-local back references ("$n"):
+	// inside a batch, the value is the INDEX of an earlier sub-op whose
+	// created entity ID substitutes for ID / Start / End — so one round
+	// trip can create a node and an edge to it without the client ever
+	// seeing the node's ID. Only valid on batch sub-ops, only pointing
+	// backwards, and only at sub-ops that created an entity.
+	IDRef    *int `json:"id_ref,omitempty"`
+	StartRef *int `json:"start_ref,omitempty"`
+	EndRef   *int `json:"end_ref,omitempty"`
+	// Plan is the query op's execution plan.
+	Plan *QueryPlan `json:"plan,omitempty"`
 	// Addr is the replication address a promoted node should ship on
 	// (promote op only).
 	Addr string `json:"addr,omitempty"`
@@ -145,8 +156,9 @@ func Batchable(op string) bool { return batchableOps[op] }
 
 // ValidateBatch checks the structural rules of an OpBatch request:
 // non-empty, at most MaxBatchOps sub-ops, every sub-op batchable (no
-// nesting, no session control), and no per-sub-op WaitLSN/DeadlineMS
-// (gating applies to the batch as a whole, on the outer request).
+// nesting, no session control), no per-sub-op WaitLSN/DeadlineMS
+// (gating applies to the batch as a whole, on the outer request), and
+// every batch-local back reference pointing strictly backwards.
 func ValidateBatch(req *Request) error {
 	if req.Op != OpBatch {
 		return fmt.Errorf("wire: not a batch request (op %q)", req.Op)
@@ -164,6 +176,17 @@ func ValidateBatch(req *Request) error {
 		}
 		if sub.WaitLSN != 0 || sub.DeadlineMS != 0 {
 			return fmt.Errorf("wire: wait_lsn/deadline_ms must be set on the batch, not sub-op %d", i)
+		}
+		for _, r := range []struct {
+			name string
+			ref  *int
+		}{{"id_ref", sub.IDRef}, {"start_ref", sub.StartRef}, {"end_ref", sub.EndRef}} {
+			if r.ref == nil {
+				continue
+			}
+			if *r.ref < 0 || *r.ref >= i {
+				return fmt.Errorf("wire: sub-op %d: %s %d out of range (must name an earlier op, 0..%d)", i, r.name, *r.ref, i-1)
+			}
 		}
 	}
 	return nil
@@ -226,8 +249,17 @@ type Response struct {
 	// top-level Error is that op's error).
 	FailedOp *int `json:"failed_op,omitempty"`
 	// Seq echoes the request's correlation number — on every frame,
-	// error and overload frames included.
+	// error and overload frames included, and on every chunk of a
+	// streaming response.
 	Seq uint64 `json:"seq,omitempty"`
+	// More marks an intermediate frame of a streaming response (query
+	// op): further frames for the same request follow on this session.
+	// The stream's final frame has More unset — it may still carry
+	// trailing rows — or is an error frame.
+	More bool `json:"more,omitempty"`
+	// Rows carries one chunk of a streaming query result (at most
+	// QueryChunkRows per frame).
+	Rows []QueryRow `json:"rows,omitempty"`
 	// TraceID echoes the request's trace ID so a client can tie the
 	// reply (and the server's /debug/traces entry) back to its span.
 	TraceID string `json:"trace_id,omitempty"`

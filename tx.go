@@ -130,6 +130,15 @@ func (tx *Tx) Neighbors(node NodeID, dir Direction, relTypes ...string) ([]NodeI
 	return tx.t.Neighbors(node, dir, relTypes...)
 }
 
+// ForEachNeighbor calls fn with the ID at the far end of each visible
+// relationship on node — the allocation-free fast path under Neighbors
+// (no per-call set or sort). fn may see the same neighbor more than once
+// when parallel edges connect the pair; traversal loops dedup against
+// the seen set they already carry.
+func (tx *Tx) ForEachNeighbor(node NodeID, dir Direction, fn func(NodeID), relTypes ...string) error {
+	return tx.t.ForEachNeighbor(node, dir, relTypes, fn)
+}
+
 // NodesByLabel returns the IDs of nodes carrying label (versioned label
 // index merged with this transaction's writes).
 func (tx *Tx) NodesByLabel(label string) ([]NodeID, error) { return tx.t.NodesByLabel(label) }
