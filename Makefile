@@ -7,7 +7,7 @@ GO ?= go
 # toolchain install, no go.mod entry). Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race race-repl race-failover race-client race-metrics race-trace race-query bench bench-smoke bench-trend bench-e11 bench-e12 lint staticcheck fmt clean
+.PHONY: all build test race race-repl race-failover race-client race-metrics race-trace race-query race-cluster bench bench-smoke bench-trend bench-e11 bench-e12 lint staticcheck fmt clean
 
 all: build test
 
@@ -53,6 +53,14 @@ race-trace:
 race-query:
 	$(GO) test -race -count=2 ./internal/query/...
 	$(GO) test -race -count=2 -run 'TestQuery|TestFuzzSeedCorpus|FuzzDecodeQueryPlan' ./internal/wire/... ./internal/server/... ./client/...
+
+## race-cluster: the self-driving-cluster suite under race — controller
+## failover/election/reseed twice, plus the checkpoint crash matrix and
+## the pool topology-discovery tests
+race-cluster:
+	$(GO) test -race -count=2 ./internal/cluster/...
+	$(GO) test -race -run 'TestCheckpointCrash' ./internal/core/...
+	$(GO) test -race -run 'TestPoolWriteSurfacesErrNoPrimary|TestPoolDiscoversPromotedPrimaryViaTopology' ./client/...
 
 ## bench: the full experiment suite (minutes)
 bench: build

@@ -545,6 +545,22 @@ func (c *Client) ReplStatus(ctx context.Context) (neograph.ReplStatus, error) {
 	return st, nil
 }
 
+// ClusterStatus returns the node's cluster self-view: role, epoch, log
+// positions, and the membership its controller announces. Servers
+// without a cluster controller fail the op — callers fall back to
+// ReplStatus.
+func (c *Client) ClusterStatus(ctx context.Context) (wire.ClusterInfo, error) {
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpClusterStatus})
+	if err != nil {
+		return wire.ClusterInfo{}, err
+	}
+	var ci wire.ClusterInfo
+	if err := json.Unmarshal(resp.Info, &ci); err != nil {
+		return wire.ClusterInfo{}, fmt.Errorf("client: cluster status: %w", err)
+	}
+	return ci, nil
+}
+
 // Promote asks a replica server to promote itself to a writable primary
 // (failover), optionally starting a WAL shipper on addr so surviving
 // replicas can re-point. Returns the post-promotion replication status.

@@ -13,7 +13,14 @@ import (
 	"neograph"
 	"neograph/internal/metrics"
 	"neograph/internal/trace"
+	"neograph/internal/wire"
 )
+
+// ErrNoPrimary reports that no reachable fleet member holds the primary
+// (or standalone) role — the cluster is mid-election or down. Write
+// surfaces it once its discovery backoff is exhausted; callers should
+// retry later rather than immediately.
+var ErrNoPrimary = errors.New("client: no reachable primary in the fleet")
 
 // Policy selects how a Pool routes read sessions over the replica fleet.
 type Policy int
@@ -365,13 +372,26 @@ func (p *Pool) probeHost(ctx context.Context, h *host) {
 	if err != nil {
 		return
 	}
-	st, err := c.ReplStatus(ctx)
-	h.release(c)
-	if err != nil {
-		return
+	// Prefer the cluster controller's view: it carries the announced
+	// membership, so the pool learns nodes that were never in its seed
+	// list (and can find a post-failover primary among them). Nodes
+	// without a controller answer repl_status instead.
+	var role string
+	var applied uint64
+	if ci, cerr := c.ClusterStatus(ctx); cerr == nil {
+		role, applied = ci.Role, ci.AppliedLSN
+		p.mergeMembers(ci.Members)
+	} else {
+		st, rerr := c.ReplStatus(ctx)
+		if rerr != nil {
+			h.release(c)
+			return
+		}
+		role, applied = st.Role, st.AppliedLSN
 	}
-	h.applied.Store(st.AppliedLSN)
-	isPrimary := st.Role == "primary" || st.Role == "standalone"
+	h.release(c)
+	h.applied.Store(applied)
+	isPrimary := role == "primary" || role == "standalone"
 	h.primary.Store(isPrimary)
 
 	p.mu.Lock()
@@ -383,12 +403,28 @@ func (p *Pool) probeHost(ctx context.Context, h *host) {
 		}
 	}
 	switch {
-	case st.Role == "replica" && idx < 0 && h != p.primary:
+	case role == "replica" && idx < 0 && h != p.primary:
 		p.replicas = append(p.replicas, h)
 	case isPrimary && idx >= 0:
 		p.replicas = append(p.replicas[:idx], p.replicas[idx+1:]...)
 	}
 	p.mu.Unlock()
+}
+
+// mergeMembers folds a cluster_status announcement's membership into the
+// host set. New hosts join the probe rotation and are classified (and
+// added to the read rotation) by their own first probe.
+func (p *Pool) mergeMembers(members []wire.ClusterMember) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	for _, m := range members {
+		if m.Addr != "" {
+			p.hostFor(m.Addr)
+		}
+	}
 }
 
 // readOrder returns replica candidates by policy, primary appended as
@@ -531,12 +567,41 @@ func (p *Pool) Write(ctx context.Context, token string, fn func(c *Client) error
 		if p.pm != nil {
 			p.pm.writeFailovers.Inc()
 		}
-		if _, derr := p.discoverPrimary(ctx); derr != nil {
-			return fmt.Errorf("client: pool write failed (%v) and no primary found: %w", err, derr)
+		// Re-discover the primary. Mid-election there is none: every node
+		// answers "replica", discoverPrimary returns ErrNoPrimary, and
+		// hammering the fleet just delays the election. Back off (jittered,
+		// doubling, context-bounded) and re-probe until a node wins.
+		dback := discoverBackoffMin
+		var derr error
+		for dattempt := 0; ; dattempt++ {
+			if _, derr = p.discoverPrimary(ctx); derr == nil {
+				break
+			}
+			if !errors.Is(derr, ErrNoPrimary) || dattempt >= discoverRetries {
+				return fmt.Errorf("client: pool write failed (%v) and no primary found: %w", err, derr)
+			}
+			select {
+			case <-time.After(jitteredDelay(dback)):
+			case <-ctx.Done():
+				return fmt.Errorf("client: pool write: %w: %w", ErrNoPrimary, ctx.Err())
+			}
+			if dback *= 2; dback > discoverBackoffMax {
+				dback = discoverBackoffMax
+			}
 		}
 		return p.writeOnce(ctx, token, fn)
 	}
 }
+
+// Discovery backoff bounds: while an election is in flight the fleet has
+// no primary, so failed discovery retries wait ~discoverBackoffMin,
+// doubling up to discoverBackoffMax, for at most discoverRetries retries
+// before ErrNoPrimary surfaces to the caller.
+const (
+	discoverBackoffMin = 25 * time.Millisecond
+	discoverBackoffMax = time.Second
+	discoverRetries    = 8
+)
 
 // Overload backoff bounds: the first retry waits ~overloadBackoffMin,
 // doubling per attempt up to overloadBackoffMax, for at most
@@ -686,5 +751,5 @@ func (p *Pool) discoverPrimary(ctx context.Context) (string, error) {
 		p.mu.Unlock()
 		return h.addr, nil
 	}
-	return "", errors.New("client: no reachable primary in the fleet")
+	return "", ErrNoPrimary
 }

@@ -2,13 +2,16 @@ package client_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"neograph"
 	. "neograph/client"
+	"neograph/internal/cluster"
 	"neograph/internal/server"
 )
 
@@ -452,6 +455,169 @@ func TestPoolAbandonedTxNotRecycled(t *testing.T) {
 	}
 	if ids, _ := cl.NodesByLabel(ctx, "Zombie"); len(ids) != 0 {
 		t.Fatalf("abandoned transaction's write leaked: %v", ids)
+	}
+}
+
+// TestPoolWriteSurfacesErrNoPrimary: with every primary gone and nobody
+// promoting, Write must back off through discovery retries and surface
+// a wrapped ErrNoPrimary — not spin forever and not return a bare
+// connection error that hides the real condition.
+func TestPoolWriteSurfacesErrNoPrimary(t *testing.T) {
+	f := startFleet(t)
+	ctx := context.Background()
+	p, err := OpenPool(ctx, f.poolConfig(LeastLag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f.psrv.Close()
+	f.pdb.Crash()
+
+	wctx, cancel := context.WithTimeout(ctx, 700*time.Millisecond)
+	defer cancel()
+	err = p.Write(wctx, "u", func(c *Client) error {
+		_, err := c.CreateNode(wctx, nil, nil)
+		return err
+	})
+	if err == nil {
+		t.Fatal("write succeeded with no primary in the fleet")
+	}
+	if !errors.Is(err, ErrNoPrimary) {
+		t.Fatalf("write error does not wrap ErrNoPrimary: %v", err)
+	}
+}
+
+// TestPoolDiscoversPromotedPrimaryViaTopology: the pool is seeded with
+// only the primary and ONE replica; the auto-promoted winner is the
+// OTHER replica, which the pool can only learn about from the cluster's
+// announced membership. Without topology merging, writes would never
+// find the new primary.
+func TestPoolDiscoversPromotedPrimaryViaTopology(t *testing.T) {
+	ctx := context.Background()
+
+	// A 3-node fleet with cluster controllers. The unseeded replica gets
+	// the LOWEST node ID so the deterministic election (ties broken by
+	// lowest ID) must pick exactly the node the pool has never heard of.
+	pdb, err := neograph.Open(neograph.Options{
+		Dir:             t.TempDir(),
+		ReplicationAddr: "127.0.0.1:0",
+		SyncReplicas:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pdb.Close() })
+	psrv, err := server.New(pdb, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { psrv.Close() })
+	replAddr := pdb.ReplicationAddress()
+
+	type cnode struct {
+		db   *neograph.DB
+		srv  *server.Server
+		repl string
+	}
+	openReplica := func() *cnode {
+		db, err := neograph.Open(neograph.Options{Dir: t.TempDir(), ReplicaOf: replAddr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		srv, err := server.New(db, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		repl := l.Addr().String()
+		l.Close()
+		return &cnode{db, srv, repl}
+	}
+	seeded, hidden := openReplica(), openReplica()
+	nodes := []struct {
+		id   uint64
+		db   *neograph.DB
+		srv  *server.Server
+		repl string
+	}{
+		{10, pdb, psrv, replAddr},
+		{3, seeded.db, seeded.srv, seeded.repl},
+		{2, hidden.db, hidden.srv, hidden.repl}, // lowest ID: wins ties
+	}
+	for i, n := range nodes {
+		var peers []string
+		for j, pn := range nodes {
+			if j != i {
+				peers = append(peers, pn.srv.Addr())
+			}
+		}
+		ctrl, err := cluster.New(n.db, cluster.Options{
+			NodeID:          n.id,
+			SelfAddr:        n.srv.Addr(),
+			SelfReplAddr:    n.repl,
+			Peers:           peers,
+			SuspectAfter:    150 * time.Millisecond,
+			ElectionTimeout: 800 * time.Millisecond,
+			ProbeEvery:      40 * time.Millisecond,
+			ProbeTimeout:    300 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.srv.SetClusterInfo(func() any { return ctrl.NodeStatus() })
+		ctrl.Start()
+		t.Cleanup(ctrl.Stop)
+	}
+
+	p, err := OpenPool(ctx, PoolConfig{
+		Primary:    psrv.Addr(),
+		Replicas:   []string{seeded.srv.Addr()}, // the winner is NOT here
+		Policy:     LeastLag,
+		ProbeEvery: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if err := p.Write(ctx, "u", func(c *Client) error {
+		_, err := c.CreateNode(ctx, []string{"T"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Equalise the race for durable-LSN tie-break: both replicas fully
+	// caught up before the kill, so the lowest node ID decides.
+	target := pdb.DurableLSN()
+	deadline := time.Now().Add(10 * time.Second)
+	for seeded.db.AppliedLSN() < target || hidden.db.AppliedLSN() < target {
+		if time.Now().After(deadline) {
+			t.Fatal("replicas never converged before the kill")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	psrv.Close()
+	pdb.Crash()
+
+	// The pool's next write rides discovery with backoff across the
+	// election, and must land on the node it learned only via topology.
+	if err := p.Write(ctx, "u", func(c *Client) error {
+		_, err := c.CreateNode(ctx, []string{"T"}, nil)
+		return err
+	}); err != nil {
+		t.Fatalf("write across auto-failover: %v", err)
+	}
+	if st := hidden.db.ReplStatus(); st.Role != "primary" {
+		t.Fatalf("expected the unseeded lowest-ID node to win; its role is %q", st.Role)
+	}
+	if got := p.PrimaryAddr(); got != hidden.srv.Addr() {
+		t.Fatalf("pool primary = %s, want the topology-discovered %s", got, hidden.srv.Addr())
 	}
 }
 

@@ -306,8 +306,27 @@ func extract(path string, handicap float64) (*trendFile, error) {
 		}
 	}
 
+	// E15: auto-failover unavailability window, tracked as its inverse so
+	// a widening window reads as a regression. The quorum-1 row is the
+	// headline: that is the no-acknowledged-loss configuration.
+	if raw, ok := report["E15"]; ok {
+		var rows []struct {
+			SyncReplicas int     `json:"sync_replicas"`
+			RecoveriesPS float64 `json:"recoveries_per_sec"`
+		}
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			return nil, fmt.Errorf("E15: %w", err)
+		}
+		for _, r := range rows {
+			if r.SyncReplicas == 1 {
+				put("e15_failover_recoveries_per_sec", r.RecoveriesPS)
+				break
+			}
+		}
+	}
+
 	if len(tf.Metrics) == 0 {
-		return nil, fmt.Errorf("no headline metrics found in %s (need E2d/E9/E11/E12/E13/E14 rows)", path)
+		return nil, fmt.Errorf("no headline metrics found in %s (need E2d/E9/E11/E12/E13/E14/E15 rows)", path)
 	}
 	return tf, nil
 }

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: E1..E14, E2d, F1 or all")
+		exp      = flag.String("exp", "all", "experiment to run: E1..E15, E2d, F1 or all")
 		quick    = flag.Bool("quick", false, "small configurations (seconds, not minutes)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonPath = flag.String("json", "", "write structured results to this file")
@@ -257,12 +257,19 @@ func main() {
 			Seed:      *seed,
 		})
 	})
+	run("E15", func() (any, error) {
+		return bench.RunE15(w, bench.E15Config{
+			PreCommits: scale(200, 40),
+			SyncLevels: []int{0, 1},
+			Seed:       *seed,
+		})
+	})
 	run("F1", func() (any, error) {
 		return nil, bench.RunF1(w, scale(5_000, 500), *seed)
 	})
 
 	if matched == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E14, E2d, F1 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E15, E2d, F1 or all)\n", *exp)
 		exit(2)
 	}
 

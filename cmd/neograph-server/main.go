@@ -30,10 +30,12 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"neograph"
+	"neograph/internal/cluster"
 	"neograph/internal/metrics"
 	"neograph/internal/server"
 	"neograph/internal/slog"
@@ -57,11 +59,17 @@ func main() {
 		maxQueued   = flag.Int64("max-queued-bytes", 0, "admission control: max admitted request-frame bytes in flight (0 = unlimited)")
 		gcEvery     = flag.Duration("gc-interval", 5*time.Second, "garbage collection interval")
 		ckpEvery    = flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint interval (persistent mode)")
-		replAddr    = flag.String("repl-addr", "", "primary: stream the WAL to replicas on this address")
+		replAddr    = flag.String("repl-addr", "", "primary: stream the WAL to replicas on this address; replica: the address to ship from if promoted (bound at promotion, not before)")
 		replicaOf   = flag.String("replica-of", "", "replica: stream the WAL from this primary replication address (read-only; promote with the 'promote' wire op)")
 		syncReps    = flag.Int("sync-replicas", 0, "primary: acknowledge a commit only after this many replicas durably acked it (0 = async)")
 		syncTmo     = flag.Duration("sync-timeout", 0, "primary: degrade a waiting commit to async after this long (0 = 1s default, negative = never)")
 		drainGrace  = flag.Duration("drain-grace", 0, "how long shutdown waits for in-flight requests to finish before hard-closing (0 = 5s default)")
+		nodeID      = flag.Uint64("node-id", 0, "cluster: this node's unique non-zero ID (election tie-break; lower wins); enables the self-driving cluster controller with -cluster-peers")
+		clusterSelf = flag.String("cluster-self", "", "cluster: this node's client address as peers dial it (announced in cluster_status; default -addr)")
+		clusterPeer = flag.String("cluster-peers", "", "cluster: comma-separated client addresses of every OTHER fleet member, including the current primary")
+		suspectTmo  = flag.Duration("suspect-after", 0, "cluster: continuous stream outage before the primary is suspected (0 = 2s default)")
+		electTmo    = flag.Duration("election-timeout", 0, "cluster: how long an election loser waits for the winner before re-electing (0 = 5s default)")
+		probeEvery  = flag.Duration("cluster-probe-every", 0, "cluster: control-loop tick interval, jittered (0 = 500ms default)")
 		logLevel    = flag.String("log-level", "info", "log floor: debug, info, warn or error")
 		traceSample = flag.Float64("trace-sample", 0, "head-sampling rate in [0,1] for traces rooted at this server; requests arriving with a client-minted trace context always record regardless")
 		traceBuf    = flag.Int("trace-buffer", 0, "finished traces retained for /debug/traces (0 = 256)")
@@ -90,6 +98,13 @@ func main() {
 		SyncReplicas:       *syncReps,
 		SyncReplicaTimeout: *syncTmo,
 		Logger:             logger,
+	}
+	if *replicaOf != "" {
+		// Cascading replication is unsupported, so a replica's -repl-addr
+		// is deferred: the address it will ship from IF promoted. It is
+		// announced to the cluster controller and bound by Promote, never
+		// at open time.
+		opts.ReplicationAddr = ""
 	}
 	if *rc {
 		opts.Isolation = neograph.ReadCommitted
@@ -170,10 +185,59 @@ func main() {
 		logger.Info("shipping WAL to replicas", "addr", db.ReplicationAddress(), "mode", repl)
 	}
 
+	var ctrl *cluster.Controller
+	if *nodeID != 0 {
+		self := *clusterSelf
+		if self == "" {
+			self = srv.Addr()
+		}
+		selfRepl := *replAddr
+		if selfRepl == "" && db.IsReplica() {
+			// A replica that wins an election needs an address to ship
+			// from; without -repl-addr it can follow and re-seed but
+			// never serve as primary.
+			logger.Warn("cluster controller without -repl-addr: this node cannot be promoted")
+		}
+		if selfRepl == "" {
+			selfRepl = db.ReplicationAddress()
+		}
+		var peers []string
+		for _, p := range strings.Split(*clusterPeer, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		ctrl, err = cluster.New(db, cluster.Options{
+			NodeID:          *nodeID,
+			SelfAddr:        self,
+			SelfReplAddr:    selfRepl,
+			Peers:           peers,
+			SuspectAfter:    *suspectTmo,
+			ElectionTimeout: *electTmo,
+			ProbeEvery:      *probeEvery,
+			Metrics:         reg,
+			Tracer:          tracer,
+			Logger:          logger,
+		})
+		if err != nil {
+			logger.Error("cluster controller", "err", err)
+			srv.Close()
+			db.Close()
+			os.Exit(1)
+		}
+		srv.SetClusterInfo(func() any { return ctrl.NodeStatus() })
+		ctrl.Start()
+		logger.Info("self-driving cluster controller up",
+			"node", *nodeID, "self", self, "repl", selfRepl, "peers", *clusterPeer)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	logger.Info("shutting down")
+	if ctrl != nil {
+		ctrl.Stop()
+	}
 	if err := srv.Close(); err != nil {
 		logger.Warn("server close", "err", err)
 	}

@@ -22,11 +22,18 @@ func (e *Engine) Checkpoint() error {
 }
 
 func (e *Engine) checkpointLocked() error {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	return e.checkpointMaintLocked()
+}
+
+// checkpointMaintLocked is the checkpoint body; the caller holds maintMu
+// (WithSnapshot keeps it held after checkpointing to freeze store files
+// and WAL truncation while a snapshot streams out).
+func (e *Engine) checkpointMaintLocked() error {
 	if e.store == nil {
 		return nil
 	}
-	e.maintMu.Lock()
-	defer e.maintMu.Unlock()
 
 	// Cut point: block commits for an instant so that every WAL record
 	// below walCut corresponds to an entity already in the dirty set.

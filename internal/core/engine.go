@@ -111,6 +111,10 @@ var (
 	// ErrDeadlock re-exports the lock manager's deadlock error for the
 	// read-committed baseline's blocking locks.
 	ErrDeadlock = lock.ErrDeadlock
+	// ErrReseedIncomplete refuses to open a data dir whose snapshot
+	// re-seed crashed mid-swap: the dir holds a mix of old and new files.
+	// The caller must wipe it and fetch the snapshot again.
+	ErrReseedIncomplete = errors.New("core: interrupted snapshot re-seed; wipe the data dir and re-seed")
 )
 
 // Options configure an Engine.
@@ -405,6 +409,13 @@ func Open(opts Options) (*Engine, error) {
 		return e, nil
 	}
 
+	// A crashed snapshot re-seed leaves a marker between its destructive
+	// swap phases; such a dir holds a mix of old and new files and must
+	// be wiped and re-fetched, never opened.
+	if _, err := e.fs.Stat(opts.Dir + "/" + ReseedMarkerName); err == nil {
+		return nil, fmt.Errorf("%w: marker %s present in %s", ErrReseedIncomplete, ReseedMarkerName, opts.Dir)
+	}
+
 	st, err := store.Open(opts.Dir, store.Options{CachePages: opts.StoreCachePages, FS: opts.FS})
 	if err != nil {
 		return nil, err
@@ -560,6 +571,14 @@ func (e *Engine) Store() *store.Store { return e.store }
 // WAL exposes the write-ahead log (nil in memory mode) for the
 // replication shipper, which reads sealed segments and the live tail.
 func (e *Engine) WAL() *wal.WAL { return e.wal }
+
+// FS exposes the engine's (possibly fault-injecting) filesystem so the
+// replication layer can stream snapshot files through the same faults
+// the engine itself sees.
+func (e *Engine) FS() faultfs.FS { return e.fs }
+
+// Dir returns the data directory ("" for a memory-only engine).
+func (e *Engine) Dir() string { return e.opts.Dir }
 
 // IsReplica reports whether the engine is currently in replica mode
 // (opened with Options.Replica and not yet promoted).

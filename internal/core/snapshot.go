@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ReseedMarkerName is the file a re-seeding joiner creates in its data
+// dir immediately before the destructive swap (removing old files,
+// renaming the downloaded snapshot into place) and removes only after
+// the new files are fsynced in. Open refuses a dir containing it.
+const ReseedMarkerName = "reseed.incomplete"
+
+// SnapshotFile describes one file of a consistent snapshot.
+type SnapshotFile struct {
+	// Rel is the file's slash-separated path relative to the data dir
+	// (e.g. "epoch", "neostore.nodes.db", "wal/wal-…log").
+	Rel string
+	// Size is the number of bytes to ship. For the active WAL segment
+	// this is capped at the durability horizon, so the shipped prefix
+	// ends on a synced frame boundary even while commits keep appending.
+	Size int64
+}
+
+// WithSnapshot captures a consistent on-disk snapshot and calls fn while
+// it is guaranteed stable. It first runs a full checkpoint (so the store
+// files carry every committed entity below the WAL cut), then keeps
+// maintMu held for the duration of fn — freezing store-file writes, GC
+// record removals, and WAL rotation/truncation. Commits are NOT blocked:
+// they only append to the active WAL segment, and the listed size for
+// that segment is capped at the post-checkpoint durability horizon.
+//
+// endLSN is the snapshot's WAL end — the position a re-seeded joiner
+// resumes streaming from. Recovery on the shipped files replays the
+// whole retained WAL idempotently, so the joiner opens exactly as if it
+// had crashed and restarted at endLSN.
+func (e *Engine) WithSnapshot(fn func(files []SnapshotFile, endLSN uint64) error) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if e.store == nil || e.wal == nil {
+		return fmt.Errorf("core: snapshot requires a persistent engine")
+	}
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	if err := e.checkpointMaintLocked(); err != nil {
+		return fmt.Errorf("core: snapshot checkpoint: %w", err)
+	}
+	// The checkpoint ended with a WAL sync, so durable covers every byte
+	// written before this point; later appends land beyond endLSN and are
+	// simply not shipped.
+	endLSN := e.wal.DurableLSN()
+
+	var files []SnapshotFile
+	entries, err := e.fs.ReadDir(e.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("core: snapshot readdir: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || (name != "epoch" && !strings.HasPrefix(name, "neostore.")) {
+			continue
+		}
+		st, err := e.fs.Stat(e.opts.Dir + "/" + name)
+		if err != nil {
+			return fmt.Errorf("core: snapshot stat: %w", err)
+		}
+		files = append(files, SnapshotFile{Rel: name, Size: st.Size()})
+	}
+	walDir := e.opts.Dir + "/wal"
+	segs, err := e.fs.ReadDir(walDir)
+	if err != nil {
+		return fmt.Errorf("core: snapshot readdir wal: %w", err)
+	}
+	for _, ent := range segs {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		base, perr := parseWALSegmentBase(name)
+		if perr != nil {
+			continue
+		}
+		st, err := e.fs.Stat(walDir + "/" + name)
+		if err != nil {
+			return fmt.Errorf("core: snapshot stat wal: %w", err)
+		}
+		size := st.Size()
+		// Cap the segment holding the durability horizon: bytes past it
+		// may be mid-append and unsynced. Segments entirely beyond the
+		// horizon (none expected — rotation is frozen) ship empty.
+		if base >= endLSN {
+			size = 0
+		} else if max := int64(endLSN - base); size > max {
+			size = max
+		}
+		files = append(files, SnapshotFile{Rel: "wal/" + name, Size: size})
+	}
+	return fn(files, endLSN)
+}
+
+// parseWALSegmentBase extracts the starting LSN from a WAL segment file
+// name ("wal-%020d.log").
+func parseWALSegmentBase(name string) (uint64, error) {
+	var base uint64
+	if _, err := fmt.Sscanf(name, "wal-%020d.log", &base); err != nil {
+		return 0, err
+	}
+	return base, nil
+}

@@ -120,9 +120,6 @@ func New(file File, capacity int, fileSize int64) (*Cache, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("pagecache: capacity %d < 1", capacity)
 	}
-	if fileSize%PageSize != 0 {
-		return nil, fmt.Errorf("pagecache: file size %d not page aligned", fileSize)
-	}
 	n := shardCount(capacity)
 	c := &Cache{
 		file:      file,
@@ -139,7 +136,10 @@ func New(file File, capacity int, fileSize int64) (*Cache, error) {
 		}
 		s.pages = make(map[uint64]*Page, s.capacity)
 	}
-	c.grown.Store(uint64(fileSize / PageSize))
+	// A partial trailing page (a write-back torn by a crash) counts as a
+	// whole page: Pin tolerates the short read at EOF and the unwritten
+	// tail reads as zeros, i.e. not-in-use records.
+	c.grown.Store(uint64((fileSize + PageSize - 1) / PageSize))
 	return c, nil
 }
 

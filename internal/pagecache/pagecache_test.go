@@ -214,8 +214,14 @@ func TestBadConstructorArgs(t *testing.T) {
 	if _, err := New(nil, 0, 0); err == nil {
 		t.Error("capacity 0 should fail")
 	}
-	if _, err := New(nil, 1, PageSize+1); err == nil {
-		t.Error("unaligned file size should fail")
+	// An unaligned size — a write-back torn by a crash — rounds up to a
+	// whole page; the unwritten tail reads as zeros.
+	c, err := New(nil, 1, PageSize+1)
+	if err != nil {
+		t.Fatalf("partial trailing page rejected: %v", err)
+	}
+	if got := c.PageCount(); got != 2 {
+		t.Errorf("PageCount = %d after partial page, want 2", got)
 	}
 }
 

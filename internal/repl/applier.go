@@ -2,6 +2,7 @@ package repl
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -52,6 +53,10 @@ type ApplierStatus struct {
 	// companion to the byte lag above, and the series operators alert on.
 	LagSeconds float64 `json:"lag_seconds"`
 	LastError  string  `json:"last_error,omitempty"`
+	// ReseedRequired is set when the last stream attempt ended with
+	// ErrReseedRequired: reconnecting can never succeed, the data dir
+	// must be replaced by a snapshot from the primary.
+	ReseedRequired bool `json:"reseed_required,omitempty"`
 }
 
 // ErrApplierClosed reports a wait cut off by Close.
@@ -62,6 +67,13 @@ var ErrApplierClosed = errors.New("repl: applier closed")
 // bounded slices (the server's drain-aware WaitLSN gate) test for it
 // with errors.Is to distinguish "not yet" from a real failure.
 var ErrWaitTimeout = errors.New("repl: apply wait timed out")
+
+// ErrReseedRequired reports that this replica's log cannot resume the
+// stream — it diverged past a fork point, fell behind the primary's
+// retained WAL, or its epoch history conflicts with the primary's. The
+// replica's data dir must be replaced by a snapshot from the primary
+// (DB.ReseedFrom / the cluster controller do this automatically).
+var ErrReseedRequired = errors.New("repl: re-seed required")
 
 // Applier maintains the replica's connection to its primary: it dials,
 // resumes the stream from the local log end, redo-applies every record
@@ -172,6 +184,7 @@ func (a *Applier) Status() ApplierStatus {
 	}
 	if a.lastErr != nil {
 		st.LastError = a.lastErr.Error()
+		st.ReseedRequired = errors.Is(a.lastErr, ErrReseedRequired)
 	}
 	return st
 }
@@ -307,7 +320,7 @@ func (a *Applier) streamOnce() error {
 	from := a.e.AppliedLSN()
 	myEpoch, _ := a.e.Epoch()
 	conn.SetWriteDeadline(time.Now().Add(a.opts.DialTimeout))
-	if err := writeHandshake(conn, from, myEpoch, a.id); err != nil {
+	if err := writeHandshake(conn, modeStream, from, myEpoch, a.id); err != nil {
 		return fmt.Errorf("repl: handshake: %w", err)
 	}
 	conn.SetWriteDeadline(time.Time{})
@@ -350,7 +363,22 @@ func (a *Applier) streamOnce() error {
 			}
 			for _, en := range hist {
 				if en.Epoch > cur && from > en.Start {
-					return fmt.Errorf("repl: local log end %d diverged past the epoch-%d fork point %d; re-seed required", from, en.Epoch, en.Start)
+					return fmt.Errorf("repl: local log end %d diverged past the epoch-%d fork point %d: %w", from, en.Epoch, en.Start, ErrReseedRequired)
+				}
+			}
+			// Epoch numbers alone cannot fence a double claim: if a winner
+			// crashed mid-promotion after persisting epoch N and a second
+			// election claimed the same N with a different fork point, the
+			// two timelines share an epoch number but not a history. Any
+			// epoch we both know must fork at the same position — otherwise
+			// our prefix is from the dead claimant's timeline.
+			local := a.e.EpochHistory()
+			for _, en := range hist {
+				for _, mine := range local {
+					if mine.Epoch == en.Epoch && mine.Start != en.Start {
+						return fmt.Errorf("repl: epoch %d forks at %d locally but at %d on the primary — conflicting histories: %w",
+							en.Epoch, mine.Start, en.Start, ErrReseedRequired)
+					}
 				}
 			}
 			if err := a.e.AdoptEpochHistory(hist); err != nil {
@@ -392,6 +420,12 @@ func (a *Applier) streamOnce() error {
 				return err
 			}
 		case frameError:
+			// The primary's refusal text is the only channel it has; map
+			// the "re-seed required" family onto the structured error so
+			// the controller can turn it into an automatic re-seed.
+			if bytes.Contains(payload, []byte("re-seed required")) {
+				return fmt.Errorf("repl: primary refused stream: %s: %w", payload, ErrReseedRequired)
+			}
 			return fmt.Errorf("repl: primary refused stream: %s", payload)
 		default:
 			return fmt.Errorf("repl: unknown frame type %q", typ)

@@ -42,6 +42,17 @@
 // past the fork is refused by the promoted node ("re-seed required"),
 // and a primary that sees a replica with a newer epoch knows it is
 // itself stale and refuses to ship.
+//
+// Re-seed phase (protocol v3): a handshake whose mode byte is modeReseed
+// asks the primary for a consistent snapshot instead of a record stream.
+// The primary checkpoints, freezes its store files and WAL truncation,
+// and replies 'S' (lsn = snapshot end LSN, payload = u32le file count),
+// then per file a 'f' header (lsn = file size, payload = slash-separated
+// relative path) followed by 'c' chunks carrying the bytes, and finally
+// 'z' (lsn = snapshot end LSN again). The joiner writes the files into a
+// staging dir and swaps them into its data dir behind a crash marker, so
+// "re-seed required" is an automatic recovery action, not an operator
+// runbook step.
 package repl
 
 import (
@@ -54,8 +65,9 @@ import (
 const (
 	magic = "NGRP"
 	// protoVersion 2 added the epoch field to the handshake, the epoch
-	// announce frame and the heartbeat flags byte.
-	protoVersion = 2
+	// announce frame and the heartbeat flags byte. Version 3 added the
+	// handshake mode byte and the snapshot re-seed frames.
+	protoVersion = 3
 
 	// maxFramePayload bounds one frame's payload. WAL records are capped
 	// by the segment size (16 MiB default); anything larger is a corrupt
@@ -68,45 +80,60 @@ const (
 	frameError     = 'e' // primary -> replica: terminal error, then close
 	frameAck       = 'a' // replica -> primary: durable applied position
 
+	frameSnapBegin = 'S' // primary -> joiner: snapshot end LSN + file count
+	frameSnapFile  = 'f' // primary -> joiner: next file's size + relative path
+	frameSnapChunk = 'c' // primary -> joiner: file bytes
+	frameSnapEnd   = 'z' // primary -> joiner: snapshot complete
+
 	// hbFlagSyncAck in a heartbeat's flags byte asks the replica to make
 	// its applied tail durable before acknowledging — set by primaries
 	// running synchronous replication so quorum acks mean replica-durable.
 	hbFlagSyncAck = 1
+
+	// Handshake modes.
+	modeStream = 0 // resume the WAL record stream from `from`
+	modeReseed = 1 // fetch a consistent snapshot (from/epoch ignored)
 )
 
-const handshakeLen = 4 + 2 + 8 + 8 + 8
+const handshakeLen = 4 + 2 + 1 + 8 + 8 + 8
 
-// writeHandshake sends the stream-resume request: the position to resume
-// from, the newest epoch this replica has seen, and the replica's
-// instance id (a random non-zero value per applier) so the primary can
-// tell a reconnect of the same replica from a second replica — quorum
-// votes are per replica, not per connection.
-func writeHandshake(w io.Writer, from, epoch, id uint64) error {
+// writeHandshake sends the stream-resume request: the requested mode
+// (record stream or snapshot re-seed), the position to resume from, the
+// newest epoch this replica has seen, and the replica's instance id (a
+// random non-zero value per applier) so the primary can tell a reconnect
+// of the same replica from a second replica — quorum votes are per
+// replica, not per connection.
+func writeHandshake(w io.Writer, mode byte, from, epoch, id uint64) error {
 	var buf [handshakeLen]byte
 	copy(buf[:4], magic)
 	binary.LittleEndian.PutUint16(buf[4:], protoVersion)
-	binary.LittleEndian.PutUint64(buf[6:], from)
-	binary.LittleEndian.PutUint64(buf[14:], epoch)
-	binary.LittleEndian.PutUint64(buf[22:], id)
+	buf[6] = mode
+	binary.LittleEndian.PutUint64(buf[7:], from)
+	binary.LittleEndian.PutUint64(buf[15:], epoch)
+	binary.LittleEndian.PutUint64(buf[23:], id)
 	_, err := w.Write(buf[:])
 	return err
 }
 
-// readHandshake validates the magic and version and returns the resume
-// position, the replica's epoch, and its instance id.
-func readHandshake(r io.Reader) (from, epoch, id uint64, err error) {
+// readHandshake validates the magic and version and returns the mode,
+// resume position, the replica's epoch, and its instance id.
+func readHandshake(r io.Reader) (mode byte, from, epoch, id uint64, err error) {
 	var buf [handshakeLen]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, 0, 0, fmt.Errorf("repl: read handshake: %w", err)
+		return 0, 0, 0, 0, fmt.Errorf("repl: read handshake: %w", err)
 	}
 	if string(buf[:4]) != magic {
-		return 0, 0, 0, fmt.Errorf("repl: bad handshake magic %q", buf[:4])
+		return 0, 0, 0, 0, fmt.Errorf("repl: bad handshake magic %q", buf[:4])
 	}
 	if v := binary.LittleEndian.Uint16(buf[4:]); v != protoVersion {
-		return 0, 0, 0, fmt.Errorf("repl: protocol version %d, want %d", v, protoVersion)
+		return 0, 0, 0, 0, fmt.Errorf("repl: protocol version %d, want %d", v, protoVersion)
 	}
-	return binary.LittleEndian.Uint64(buf[6:]), binary.LittleEndian.Uint64(buf[14:]),
-		binary.LittleEndian.Uint64(buf[22:]), nil
+	mode = buf[6]
+	if mode != modeStream && mode != modeReseed {
+		return 0, 0, 0, 0, fmt.Errorf("repl: unknown handshake mode %d", mode)
+	}
+	return mode, binary.LittleEndian.Uint64(buf[7:]), binary.LittleEndian.Uint64(buf[15:]),
+		binary.LittleEndian.Uint64(buf[23:]), nil
 }
 
 const frameHeaderLen = 1 + 8 + 4

@@ -371,15 +371,16 @@ func TestShipperRejectsGarbageHandshake(t *testing.T) {
 	waitConverged(t, applier, primary)
 }
 
-// writeRawHandshake mirrors the v2 protocol for tests that need a raw
-// conn (epoch 1: a pristine replica; fixed instance id).
+// writeRawHandshake mirrors the v3 protocol for tests that need a raw
+// conn (stream mode; epoch 1: a pristine replica; fixed instance id).
 func writeRawHandshake(w io.Writer, from uint64) error {
-	buf := make([]byte, 30)
+	buf := make([]byte, 31)
 	copy(buf, "NGRP")
-	binary.LittleEndian.PutUint16(buf[4:], 2)
-	binary.LittleEndian.PutUint64(buf[6:], from)
-	binary.LittleEndian.PutUint64(buf[14:], 1)
-	binary.LittleEndian.PutUint64(buf[22:], 0xbadcafe)
+	binary.LittleEndian.PutUint16(buf[4:], 3)
+	buf[6] = 0 // modeStream
+	binary.LittleEndian.PutUint64(buf[7:], from)
+	binary.LittleEndian.PutUint64(buf[15:], 1)
+	binary.LittleEndian.PutUint64(buf[23:], 0xbadcafe)
 	_, err := w.Write(buf)
 	return err
 }

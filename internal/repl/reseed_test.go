@@ -1,0 +1,302 @@
+package repl_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"neograph/internal/core"
+	"neograph/internal/faultfs"
+	"neograph/internal/repl"
+)
+
+// This file proves the snapshot re-seed phase end to end: a joiner whose
+// position predates the primary's retained WAL downloads a consistent
+// checkpoint plus WAL tail, swaps it in crash-safely, and resumes the
+// ordinary stream — and a crash at ANY file operation during the
+// download/swap leaves the data directory either openable or explicitly
+// refused (reseed.incomplete), never torn.
+
+// waitReseedRequired polls until the applier has classified its refusal
+// as re-seed-required.
+func waitReseedRequired(t *testing.T, a *repl.Applier) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := a.Status()
+		if st.ReseedRequired {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("applier never reported ReseedRequired; status %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// truncatedPrimary builds a primary whose early WAL segments are gone: a
+// workload followed by a checkpoint with no replica holding retention.
+func truncatedPrimary(t *testing.T, n int) (*core.Engine, *repl.Shipper) {
+	t.Helper()
+	primary := openPrimary(t, t.TempDir())
+	for i := 0; i < n; i++ {
+		commitNode(t, primary, "Pre", int64(i))
+	}
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ship, err := repl.NewShipper(primary, "127.0.0.1:0", repl.ShipperOptions{
+		HeartbeatEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return primary, ship
+}
+
+// TestReseedRoundTrip: a cold joiner is refused the stream (behind the
+// horizon), classifies the refusal as re-seed-required, fetches the
+// snapshot, reopens from it, and then follows the live stream like any
+// other replica.
+func TestReseedRoundTrip(t *testing.T) {
+	primary, ship := truncatedPrimary(t, 60)
+	defer primary.Close()
+	defer ship.Close()
+
+	// The cold joiner's position 0 predates the oldest retained segment.
+	jdir := t.TempDir()
+	joiner := openReplica(t, jdir)
+	applier := fastApplier(t, joiner, ship.Addr())
+	waitReseedRequired(t, applier)
+	if st := applier.Status(); !strings.Contains(st.LastError, "re-seed required") {
+		t.Fatalf("refusal not labelled for re-seed: %q", st.LastError)
+	}
+	if joiner.AppliedLSN() != 0 {
+		t.Fatal("refused joiner applied bytes")
+	}
+	applier.Close()
+	if err := joiner.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fetch the snapshot into the (dead) joiner's directory.
+	stats, err := repl.FetchSnapshot(jdir, faultfs.OS{}, ship.Addr(), repl.FetchOptions{})
+	if err != nil {
+		t.Fatalf("fetch snapshot: %v", err)
+	}
+	if stats.EndLSN == 0 || stats.Files < 2 || stats.Bytes == 0 {
+		t.Fatalf("implausible snapshot stats: %+v", stats)
+	}
+
+	// The directory now opens exactly like a restarted replica: the full
+	// pre-checkpoint state is there.
+	joiner2 := openReplica(t, jdir)
+	defer joiner2.Close()
+	if got := countLabel(t, joiner2, "Pre"); got != 60 {
+		t.Fatalf("snapshot delivered %d Pre nodes, want 60", got)
+	}
+	if got := joiner2.DurableLSN(); got < stats.EndLSN {
+		t.Fatalf("joiner durable %d < snapshot end %d", got, stats.EndLSN)
+	}
+
+	// And the ordinary stream resumes from the snapshot end.
+	applier2 := fastApplier(t, joiner2, ship.Addr())
+	defer applier2.Close()
+	for i := 0; i < 10; i++ {
+		commitNode(t, primary, "Post", int64(i))
+	}
+	waitConverged(t, applier2, primary)
+	if got := countLabel(t, joiner2, "Post"); got != 10 {
+		t.Fatalf("resumed stream delivered %d Post nodes, want 10", got)
+	}
+}
+
+// TestReseedRetainsWAL: serving a snapshot must hold WAL truncation at
+// the snapshot's end until the retention TTL lapses — otherwise the
+// joiner's resume position could fall behind the horizon the moment a
+// checkpoint runs between its download and its reconnect.
+func TestReseedRetainsWAL(t *testing.T) {
+	primary, ship := truncatedPrimary(t, 40)
+	defer primary.Close()
+	defer ship.Close()
+
+	jdir := t.TempDir()
+	stats, err := repl.FetchSnapshot(jdir, faultfs.OS{}, ship.Addr(), repl.FetchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit past the snapshot and checkpoint: without the retention
+	// floor this would truncate the segments the joiner resumes from.
+	for i := 0; i < 40; i++ {
+		commitNode(t, primary, "Post", int64(i))
+	}
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	joiner := openReplica(t, jdir)
+	defer joiner.Close()
+	applier := fastApplier(t, joiner, ship.Addr())
+	defer applier.Close()
+	waitConverged(t, applier, primary)
+	if st := applier.Status(); st.ReseedRequired {
+		t.Fatalf("joiner fell behind the horizon despite the retention floor: %+v", st)
+	}
+	if got := countLabel(t, joiner, "Post"); got != 40 {
+		t.Fatalf("joiner has %d Post nodes, want 40 (snapshot end %d)", got, stats.EndLSN)
+	}
+}
+
+// TestReseedCrashMatrix kills the JOINER at every file operation the
+// fetch/swap path performs — download writes and fsyncs, the marker
+// create, old-file removal, the staged renames, directory fsyncs — and
+// asserts the crash-safety contract: the directory either opens as a
+// normal (possibly empty) replica, or core.Open refuses it with
+// ErrReseedIncomplete; and a clean re-fetch always heals it.
+func TestReseedCrashMatrix(t *testing.T) {
+	primary, ship := truncatedPrimary(t, 60)
+	t.Cleanup(func() { ship.Close(); primary.Close() })
+	addr := ship.Addr()
+
+	// Recording pass: every crash point one fetch passes through.
+	rec := faultfs.NewInjector(faultfs.OS{}, nil)
+	if _, err := repl.FetchSnapshot(t.TempDir(), rec, addr, repl.FetchOptions{}); err != nil {
+		t.Fatalf("recording fetch: %v", err)
+	}
+	counts := rec.Counts()
+	if counts["store.write"] == 0 || counts["wal.rename"] == 0 || counts["fs.sync"] == 0 {
+		t.Fatalf("crash-point registry implausible: %v", counts)
+	}
+
+	for point, hits := range counts {
+		for hit := 1; hit <= hits; hit++ {
+			point, hit := point, hit
+			t.Run(fmt.Sprintf("%s-%d", point, hit), func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				inj := faultfs.NewInjector(faultfs.OS{}, nil)
+				inj.Arm(faultfs.Fault{Point: point, Hit: hit, Mode: faultfs.ModeCrash})
+				_, err := repl.FetchSnapshot(dir, inj, addr, repl.FetchOptions{})
+				if err == nil {
+					// The primary's WAL grows by a checkpoint marker per
+					// served snapshot, so late-scheduled points can drift past
+					// the ops this fetch performed. A completed fetch must
+					// simply have worked.
+					if !inj.Fired() {
+						openAndCount(t, dir, 60)
+						return
+					}
+					t.Fatal("fetch reported success after an injected crash")
+				}
+
+				// Crash-safety: the directory is openable or explicitly
+				// refused — never a torn open, never a silent partial state.
+				if e, oerr := core.Open(core.Options{Dir: dir, Replica: true, WALSegmentSize: 2048}); oerr == nil {
+					// Pre-swap crash: the old (here: empty) directory is
+					// untouched.
+					if got := countLabel(t, e, "Pre"); got != 0 && got != 60 {
+						t.Fatalf("partially swapped state visible: %d Pre nodes", got)
+					}
+					if err := e.Crash(); err != nil {
+						t.Fatal(err)
+					}
+				} else if !errors.Is(oerr, core.ErrReseedIncomplete) {
+					t.Fatalf("crashed dir refused with the wrong error: %v", oerr)
+				}
+
+				// Re-fetch heals every crash state: leftover tmp dirs,
+				// markers, and half-swapped files are all replaced.
+				if _, err := repl.FetchSnapshot(dir, faultfs.OS{}, addr, repl.FetchOptions{}); err != nil {
+					t.Fatalf("healing fetch: %v", err)
+				}
+				openAndCount(t, dir, 60)
+			})
+		}
+	}
+}
+
+func openAndCount(t *testing.T, dir string, want int) {
+	t.Helper()
+	e, err := core.Open(core.Options{Dir: dir, Replica: true, WALSegmentSize: 2048})
+	if err != nil {
+		t.Fatalf("healed dir does not open: %v", err)
+	}
+	if got := countLabel(t, e, "Pre"); got != want {
+		t.Fatalf("healed dir has %d Pre nodes, want %d", got, want)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReseedHistoryConflictClassified: two nodes that each won an
+// election for the SAME epoch number hold irreconcilable histories even
+// when every numeric epoch check passes. The applier must classify the
+// conflict as re-seed-required rather than merging the timelines.
+func TestReseedHistoryConflictClassified(t *testing.T) {
+	// Build a primary at epoch 2 via a real promotion.
+	p1 := openPrimary(t, t.TempDir())
+	ship1, err := repl.NewShipper(p1, "127.0.0.1:0", repl.ShipperOptions{HeartbeatEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner := openReplica(t, t.TempDir())
+	wApplier := fastApplier(t, winner, ship1.Addr())
+	for i := 0; i < 10; i++ {
+		commitNode(t, p1, "Shared", int64(i))
+	}
+	waitConverged(t, wApplier, p1)
+
+	// A second replica stops at a shorter prefix, then also promotes to
+	// epoch 2 — same number, different fork point.
+	rdir := t.TempDir()
+	rival := openReplica(t, rdir)
+	rApplier := fastApplier(t, rival, ship1.Addr())
+	waitConverged(t, rApplier, p1)
+	rApplier.Close()
+	for i := 0; i < 5; i++ {
+		commitNode(t, p1, "Late", int64(i))
+	}
+	waitConverged(t, wApplier, p1)
+	ship1.Close()
+	if err := p1.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	wApplier.Close()
+	if err := winner.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rival.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	we, _ := winner.Epoch()
+	re, _ := rival.Epoch()
+	if we != 2 || re != 2 {
+		t.Fatalf("epochs = %d, %d, want 2, 2 (the collision under test)", we, re)
+	}
+
+	// The rival re-points at the winner: epoch numbers agree, but the
+	// histories fork epoch 2 at different positions.
+	wShip, err := repl.NewShipper(winner, "127.0.0.1:0", repl.ShipperOptions{HeartbeatEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wShip.Close()
+	defer winner.Close()
+	if err := rival.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rival2, err := core.Open(core.Options{Dir: rdir, Replica: true, WALSegmentSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fastApplier(t, rival2, wShip.Addr())
+	defer a.Close()
+	defer rival2.Close()
+	waitReseedRequired(t, a)
+	if st := a.Status(); !strings.Contains(st.LastError, "conflicting histories") {
+		t.Fatalf("conflict not classified: %q", st.LastError)
+	}
+}

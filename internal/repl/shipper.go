@@ -34,6 +34,11 @@ type ShipperOptions struct {
 	// Degraded (availability over consistency, like a primary whose
 	// replicas all died). Zero means 1s; negative means wait forever.
 	SyncTimeout time.Duration
+	// ReseedRetainFor holds WAL truncation at a served snapshot's end
+	// position for this long, so the joiner can reconnect and resume the
+	// record stream before the segments it needs are truncated away.
+	// Zero means 60s.
+	ReseedRetainFor time.Duration
 	// Logger receives replica connect/disconnect and stream refusals;
 	// nil is silent.
 	Logger *slog.Logger
@@ -81,6 +86,10 @@ type Shipper struct {
 	mu     sync.Mutex
 	conns  map[*shipConn]struct{}
 	closed bool
+	// reseedFloors holds WAL retention at served snapshots' end positions
+	// (position -> hold expiry) until the joiners reconnect as streaming
+	// replicas or the hold times out.
+	reseedFloors map[uint64]time.Time
 	// ackC, when non-nil, is closed whenever any replica's acknowledged
 	// position advances (or a replica disconnects), waking quorum waiters.
 	ackC chan struct{}
@@ -107,17 +116,21 @@ func NewShipper(e *core.Engine, addr string, opts ShipperOptions) (*Shipper, err
 	if opts.SyncTimeout == 0 {
 		opts.SyncTimeout = DefaultSyncTimeout
 	}
+	if opts.ReseedRetainFor <= 0 {
+		opts.ReseedRetainFor = 60 * time.Second
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("repl: listen: %w", err)
 	}
 	s := &Shipper{
-		e:     e,
-		ln:    ln,
-		opts:  opts,
-		log:   opts.Logger.With("component", "repl.shipper"),
-		conns: make(map[*shipConn]struct{}),
-		stop:  make(chan struct{}),
+		e:            e,
+		ln:           ln,
+		opts:         opts,
+		log:          opts.Logger.With("component", "repl.shipper"),
+		conns:        make(map[*shipConn]struct{}),
+		reseedFloors: make(map[uint64]time.Time),
+		stop:         make(chan struct{}),
 	}
 	e.SetWALRetain(s.retainPos)
 	if opts.SyncReplicas > 0 {
@@ -159,6 +172,20 @@ func (s *Shipper) retainPos() (uint64, bool) {
 	for c := range s.conns {
 		if p := c.acked.Load(); !ok || p < min {
 			min, ok = p, true
+		}
+	}
+	// Recently served snapshots hold retention at their end position until
+	// the joiner reconnects (or the hold expires): truncating the tail a
+	// fresh joiner is about to resume from would force it straight into a
+	// second re-seed.
+	now := time.Now()
+	for pos, expiry := range s.reseedFloors {
+		if now.After(expiry) {
+			delete(s.reseedFloors, pos)
+			continue
+		}
+		if !ok || pos < min {
+			min, ok = pos, true
 		}
 	}
 	return min, ok
@@ -287,11 +314,16 @@ func (s *Shipper) handle(conn net.Conn) {
 	defer conn.Close()
 
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	from, repEpoch, repID, err := readHandshake(conn)
+	mode, from, repEpoch, repID, err := readHandshake(conn)
 	if err != nil {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
+
+	if mode == modeReseed {
+		s.handleReseed(conn)
+		return
+	}
 
 	c := &shipConn{conn: conn, id: repID}
 	c.pos.Store(from)
@@ -352,6 +384,12 @@ func (s *Shipper) handle(conn net.Conn) {
 		sendErr(fmt.Sprintf("repl: replica position %d ahead of primary durable log %d; re-seed required", from, w.DurableLSN()))
 		return
 	}
+	if start, serr := w.StartLSN(); serr == nil && from < start {
+		// Checkpoints truncated the segments this replica would resume
+		// from before it connected; only a snapshot can bring it back.
+		sendErr(fmt.Sprintf("repl: replica position %d predates the oldest retained segment %d; re-seed required", from, start))
+		return
+	}
 
 	// Announce our full epoch history before any record so the replica
 	// can adopt (or refuse) the timeline up front.
@@ -360,7 +398,15 @@ func (s *Shipper) handle(conn net.Conn) {
 		epochPayload = binary.LittleEndian.AppendUint64(epochPayload, en.Epoch)
 		epochPayload = binary.LittleEndian.AppendUint64(epochPayload, en.Start)
 	}
+	// Flushed immediately: if the catch-up read below fails (e.g. the
+	// replica's resume position is mid-record on OUR log — a diverged
+	// timeline that shares our epoch number), the replica must still
+	// receive the history so it can classify the conflict as
+	// re-seed-required instead of retrying a bare EOF forever.
 	if err := writeFrame(bw, frameEpoch, myEpoch, epochPayload); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
 		return
 	}
 

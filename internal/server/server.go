@@ -103,6 +103,13 @@ type Server struct {
 	// never contend on the server-wide mutex just to poll shutdown.
 	draining atomic.Bool
 
+	// clusterInfo, when set, supplies the node's cluster self-view for
+	// the cluster_status op. It is a plain func hook so the server does
+	// not import the cluster package (which imports client, which dials
+	// servers); cmd/neograph-server wires the two together.
+	clusterMu   sync.Mutex
+	clusterInfo func() any
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -111,6 +118,21 @@ type Server struct {
 	// reaches the client as a complete frame.
 	shedAt time.Time
 	wg     sync.WaitGroup
+}
+
+// SetClusterInfo installs (or clears, with nil) the provider behind the
+// cluster_status op — typically a cluster.Controller's NodeStatus. The
+// returned value is JSON-marshalled into Response.Info.
+func (s *Server) SetClusterInfo(fn func() any) {
+	s.clusterMu.Lock()
+	s.clusterInfo = fn
+	s.clusterMu.Unlock()
+}
+
+func (s *Server) clusterInfoFn() func() any {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	return s.clusterInfo
 }
 
 // New creates a server for db listening on addr (e.g. "127.0.0.1:7475")
@@ -949,6 +971,20 @@ func (sess *session) dispatchOp(req *wire.Request) *wire.Response {
 
 	case wire.OpReplStatus:
 		info, err := json.Marshal(sess.db.ReplStatus())
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{OK: true, Info: info}
+
+	case wire.OpClusterStatus:
+		var fn func() any
+		if sess.srv != nil {
+			fn = sess.srv.clusterInfoFn()
+		}
+		if fn == nil {
+			return fail(errors.New("server: no cluster controller on this node"))
+		}
+		info, err := json.Marshal(fn())
 		if err != nil {
 			return fail(err)
 		}

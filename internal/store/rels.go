@@ -115,6 +115,12 @@ func (s *Store) linkRelLocked(relID ids.ID, rec *record.RelRecord, node ids.ID, 
 		return fmt.Errorf("store: link rel %d to missing node %d", relID, node)
 	}
 	oldHead := nrec.FirstRel
+	if oldHead != ids.NoID && !s.relLiveAtLocked(oldHead, node) {
+		// The node page outlived a crashed checkpoint but its chain head
+		// never reached the rel file: the pointer dangles. Start a fresh
+		// chain — recovery re-puts every chained rel, relinking each.
+		oldHead = ids.NoID
+	}
 	if asStart {
 		rec.StartPrev, rec.StartNext = ids.NoID, oldHead
 	} else {
@@ -128,6 +134,25 @@ func (s *Store) linkRelLocked(relID ids.ID, rec *record.RelRecord, node ids.ID, 
 	nrec.FirstRel = relID
 	record.EncodeNode(nbuf[:], &nrec)
 	return s.nodes.write(node, nbuf[:])
+}
+
+// relLiveAtLocked reports whether rel id is a live, decodable record
+// attached to node — the guard chain surgery needs before following a
+// pointer that may dangle after a torn checkpoint (the referencing node
+// page was durable, the rel page was not).
+func (s *Store) relLiveAtLocked(id, node ids.ID) bool {
+	if id >= s.rels.alloc.HighWater() {
+		return false
+	}
+	var buf [record.RelSize]byte
+	if err := s.rels.read(id, buf[:]); err != nil {
+		return false
+	}
+	rec, err := record.DecodeRel(buf[:])
+	if err != nil || !rec.InUse {
+		return false
+	}
+	return rec.StartNode == node || rec.EndNode == node
 }
 
 // setRelPrevLocked sets the prev pointer of rel id relative to node.

@@ -227,15 +227,27 @@ func (s *Store) readDynChain(head ids.ID) ([]byte, error) {
 }
 
 // freeDynChain releases every record of a dynamic chain. Caller holds s.mu.
+//
+// The walk stops — without error — at anything that is not a live,
+// decodable record inside the allocated range. A checkpoint that crashed
+// between per-file flushes can leave a durable referencing record whose
+// chain never reached this file: the pointer dangles into unallocated or
+// stale space, there is nothing durable to free, and the rewrite that
+// triggered the free replaces the reference. Zeroing before following
+// Next also makes the walk idempotent (and cycle-proof) when two stale
+// records reference the same chain.
 func (s *Store) freeDynChain(head ids.ID) error {
 	var buf [record.DynSize]byte
 	for id := head; id != ids.NoID; {
+		if id >= s.dyn.alloc.HighWater() {
+			return nil
+		}
 		if err := s.dyn.read(id, buf[:]); err != nil {
 			return err
 		}
 		d, err := record.DecodeDyn(buf[:])
-		if err != nil {
-			return err
+		if err != nil || !d.InUse {
+			return nil
 		}
 		if err := s.dyn.zero(id); err != nil {
 			return err
@@ -332,16 +344,20 @@ func (s *Store) readPropChain(head ids.ID) (value.Map, error) {
 }
 
 // freePropChain releases a property chain and any spilled values.
-// Caller holds s.mu.
+// Caller holds s.mu. Dangling references left by a torn checkpoint end
+// the walk silently, exactly as in freeDynChain.
 func (s *Store) freePropChain(head ids.ID) error {
 	var buf [record.PropSize]byte
 	for id := head; id != ids.NoID; {
+		if id >= s.props.alloc.HighWater() {
+			return nil
+		}
 		if err := s.props.read(id, buf[:]); err != nil {
 			return err
 		}
 		p, err := record.DecodeProp(buf[:])
-		if err != nil {
-			return err
+		if err != nil || !p.InUse {
+			return nil
 		}
 		if p.Spilled {
 			if err := s.freeDynChain(p.SpillRef); err != nil {

@@ -59,13 +59,37 @@ func OpenTokens(fs faultfs.FS, path string) (*Tokens, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open tokens %s: %w", path, err)
 	}
-	if len(buf) < 8 || string(buf[:8]) != string(tokenMagic[:]) {
+	if len(buf) < 8 {
+		// A crash during the creating append can leave anything from an
+		// empty file to a prefix of the magic header. Nothing after a
+		// partial header can be valid, so repair to empty — the next
+		// append rewrites the magic. Bytes that are NOT a magic prefix
+		// mean the file was never ours: stay fatal.
+		if string(buf) != string(tokenMagic[:len(buf)]) {
+			return nil, fmt.Errorf("%w: %s", ErrBadTokenFile, path)
+		}
+		if err := t.repair(0); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	if string(buf[:8]) != string(tokenMagic[:]) {
 		return nil, fmt.Errorf("%w: %s", ErrBadTokenFile, path)
 	}
 	off := 8
 	for off < len(buf) {
+		entryStart := off
 		if off+7 > len(buf) {
-			return nil, fmt.Errorf("%w: %s: truncated entry header", ErrBadTokenFile, path)
+			// Torn tail: the process died mid-append. Appends are
+			// single-writer and O_APPEND, so a partial entry can only be
+			// the last one; drop it and physically cut the file so future
+			// appends stay aligned with the parse offset. (Mid-file
+			// corruption cannot produce this shape — it trips the kind or
+			// dense-id checks below instead, which stay fatal.)
+			if err := t.repair(int64(entryStart)); err != nil {
+				return nil, err
+			}
+			break
 		}
 		kind := TokenKind(buf[off])
 		if kind >= tokenKinds {
@@ -75,7 +99,10 @@ func OpenTokens(fs faultfs.FS, path string) (*Tokens, error) {
 		nameLen := int(binary.LittleEndian.Uint16(buf[off+5:]))
 		off += 7
 		if off+nameLen > len(buf) {
-			return nil, fmt.Errorf("%w: %s: truncated name", ErrBadTokenFile, path)
+			if err := t.repair(int64(entryStart)); err != nil {
+				return nil, err
+			}
+			break
 		}
 		name := string(buf[off : off+nameLen])
 		off += nameLen
@@ -143,6 +170,25 @@ func (t *Tokens) All(kind TokenKind) []string {
 	cp := make([]string, len(t.byID[kind]))
 	copy(cp, t.byID[kind])
 	return cp
+}
+
+// repair truncates the token file to size, dropping a torn tail left by
+// a crash mid-append. The cut must be physical: appends use O_APPEND, so
+// leaving the partial entry in place would misalign every future append
+// against the parse offset forever.
+func (t *Tokens) repair(size int64) error {
+	f, err := t.fs.OpenFile(t.path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: repair tokens %s: %w", t.path, err)
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("store: repair tokens %s: %w", t.path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: repair tokens %s: %w", t.path, err)
+	}
+	return nil
 }
 
 // appendEntry persists one new token. Caller holds t.mu. The file is

@@ -453,6 +453,26 @@ func (w *WAL) DurableLSN() uint64 {
 	return w.shippableLocked()
 }
 
+// StartLSN returns the base position of the oldest retained segment.
+// Records below it have been truncated away and can no longer be
+// shipped; a replica asking to resume from an earlier position must be
+// re-seeded from a snapshot instead.
+func (w *WAL) StartLSN() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	segs, err := listSegments(w.fs, w.dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return w.start, nil
+	}
+	return segs[0], nil
+}
+
 // WaitShippable blocks until the shippable horizon advances past `after`,
 // a timeout elapses (timeout > 0), or cancel is closed. It returns the
 // current horizon — on timeout possibly still equal to `after` (callers

@@ -66,6 +66,11 @@ const (
 	OpGC           = "gc"
 	OpCheckpoint   = "checkpoint"
 	OpReplStatus   = "repl_status"
+	// OpClusterStatus reports the node's cluster-controller view (role,
+	// epoch, log positions, known members) as a ClusterInfo in
+	// Response.Info. Servers without a controller fail the op; callers
+	// fall back to repl_status.
+	OpClusterStatus = "cluster_status"
 	// OpPromote turns a replica server into a writable primary (failover).
 	// Request.Addr optionally names the replication address the promoted
 	// node starts shipping on — typically the dead primary's.
@@ -190,6 +195,43 @@ func ValidateBatch(req *Request) error {
 		}
 	}
 	return nil
+}
+
+// ClusterMember names one node of the cluster as the controller knows
+// it: its client-facing address (what pools dial) and, when known, its
+// replication address and node ID.
+type ClusterMember struct {
+	Addr     string `json:"addr"`
+	ReplAddr string `json:"repl_addr,omitempty"`
+	NodeID   uint64 `json:"node_id,omitempty"`
+}
+
+// ClusterInfo is the cluster_status payload: one node's self-view plus
+// the membership it announces. client.Pool merges Members into its host
+// set so the fleet topology propagates without config pushes, and the
+// cluster controllers use the role/epoch/LSN fields as election votes.
+type ClusterInfo struct {
+	NodeID uint64 `json:"node_id"`
+	// Addr is this node's client-facing address; ReplAddr its WAL
+	// shipping address (primaries) or the address it would ship on if
+	// promoted (replicas).
+	Addr     string `json:"addr,omitempty"`
+	ReplAddr string `json:"repl_addr,omitempty"`
+	// Role is "primary", "replica", or "standalone".
+	Role       string `json:"role"`
+	Epoch      uint64 `json:"epoch"`
+	DurableLSN uint64 `json:"durable_lsn"`
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// Connected reports a replica's live stream to its primary;
+	// PrimaryReplAddr is the replication address it follows.
+	Connected       bool   `json:"connected,omitempty"`
+	PrimaryReplAddr string `json:"primary_repl_addr,omitempty"`
+	// Reseeding is set while the node is rebuilding itself from a
+	// snapshot (it votes in no election meanwhile).
+	Reseeding bool `json:"reseeding,omitempty"`
+	// Members is the full membership this node was configured with
+	// (itself included).
+	Members []ClusterMember `json:"members,omitempty"`
 }
 
 // NodeJSON is a node snapshot on the wire.

@@ -40,9 +40,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"neograph/internal/core"
+	"neograph/internal/faultfs"
 	"neograph/internal/repl"
 	"neograph/internal/slog"
 	"neograph/internal/trace"
@@ -165,6 +167,10 @@ type Options struct {
 	// WALSegmentSize overrides the WAL segment rotation size (testing and
 	// replication experiments; zero = 16 MiB default).
 	WALSegmentSize int64
+	// FS, when non-nil, routes every file operation (store, WAL, epoch,
+	// snapshot re-seed) through the given filesystem — the fault-injection
+	// seam used by crash tests. Nil uses the OS.
+	FS faultfs.FS
 	// Tracer, when non-nil, records commit-pipeline span trees for traced
 	// transactions (see Tx.SetTraceSpan): per-stripe validation, WAL
 	// append and group fsync, the sync-replication quorum wait, and — on
@@ -178,7 +184,15 @@ type Options struct {
 
 // DB is a neograph database handle, safe for concurrent use.
 type DB struct {
-	e *core.Engine
+	// e is swapped atomically by ReseedFrom, which closes the engine,
+	// replaces the data dir with a snapshot, and reopens. Readers racing
+	// a re-seed observe either engine; operations on the closed one fail
+	// with ErrClosed and are retried by their callers.
+	e atomic.Pointer[core.Engine]
+
+	// opts remembers the Open configuration so ReseedFrom can reopen the
+	// engine over the re-seeded dir with identical settings.
+	opts Options
 
 	// replMu guards the replication endpoints, which Promote swaps at
 	// runtime (applier down, shipper up).
@@ -203,15 +217,14 @@ func (db *DB) repl() (*repl.Applier, *repl.Shipper) {
 	return db.applier, db.shipper
 }
 
-// Open opens (creating or recovering as needed) a database.
-func Open(opts Options) (*DB, error) {
-	if opts.ReplicaOf != "" && opts.ReplicationAddr != "" {
-		return nil, errors.New("neograph: cascading replication (ReplicaOf + ReplicationAddr) is not supported")
-	}
-	if (opts.ReplicaOf != "" || opts.ReplicationAddr != "") && opts.Dir == "" {
-		return nil, errors.New("neograph: replication requires a persistent Dir")
-	}
-	e, err := core.Open(core.Options{
+// eng returns the current engine (swapped atomically by ReseedFrom).
+func (db *DB) eng() *core.Engine { return db.e.Load() }
+
+// coreOptions maps Options onto the engine's configuration. replica
+// overrides the role — ReseedFrom reopens a demoted ex-primary's engine
+// in replica mode regardless of how the process was started.
+func coreOptions(opts Options, replica bool) core.Options {
+	return core.Options{
 		Dir:              opts.Dir,
 		DefaultIsolation: opts.Isolation,
 		Conflict:         opts.Conflict,
@@ -224,18 +237,31 @@ func Open(opts Options) (*DB, error) {
 		GCEvery:          opts.GCInterval,
 		CheckpointEvery:  opts.CheckpointInterval,
 		StoreCachePages:  opts.CachePages,
-		Replica:          opts.ReplicaOf != "",
+		Replica:          replica,
 		WALSegmentSize:   opts.WALSegmentSize,
+		FS:               opts.FS,
 		Tracer:           opts.Tracer,
-	})
+	}
+}
+
+// Open opens (creating or recovering as needed) a database.
+func Open(opts Options) (*DB, error) {
+	if opts.ReplicaOf != "" && opts.ReplicationAddr != "" {
+		return nil, errors.New("neograph: cascading replication (ReplicaOf + ReplicationAddr) is not supported")
+	}
+	if (opts.ReplicaOf != "" || opts.ReplicationAddr != "") && opts.Dir == "" {
+		return nil, errors.New("neograph: replication requires a persistent Dir")
+	}
+	e, err := core.Open(coreOptions(opts, opts.ReplicaOf != ""))
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{e: e, logger: opts.Logger, shipOpts: repl.ShipperOptions{
+	db := &DB{opts: opts, logger: opts.Logger, shipOpts: repl.ShipperOptions{
 		SyncReplicas: opts.SyncReplicas,
 		SyncTimeout:  opts.SyncReplicaTimeout,
 		Logger:       opts.Logger,
 	}}
+	db.e.Store(e)
 	if opts.ReplicaOf != "" {
 		a, err := repl.NewApplier(e, opts.ReplicaOf, repl.ApplierOptions{Logger: opts.Logger})
 		if err != nil {
@@ -273,10 +299,10 @@ func (db *DB) Promote(replicationAddr string) error {
 	switch {
 	case db.applier != nil:
 		db.applier.Close()
-		if err := db.e.Promote(); err != nil {
+		if err := db.eng().Promote(); err != nil {
 			// The engine is still a replica; restart the applier rather
 			// than leave the node following nothing.
-			a, aerr := repl.NewApplier(db.e, db.applier.Status().PrimaryAddr, repl.ApplierOptions{Logger: db.logger})
+			a, aerr := repl.NewApplier(db.eng(), db.applier.Status().PrimaryAddr, repl.ApplierOptions{Logger: db.logger})
 			if aerr == nil {
 				a.Start()
 				db.applier = a
@@ -294,7 +320,7 @@ func (db *DB) Promote(replicationAddr string) error {
 		return errors.New("neograph: promote: not a replica")
 	}
 	if replicationAddr != "" && db.shipper == nil {
-		s, err := repl.NewShipper(db.e, replicationAddr, db.shipOpts)
+		s, err := repl.NewShipper(db.eng(), replicationAddr, db.shipOpts)
 		if err != nil {
 			return fmt.Errorf("neograph: promoted but cannot ship (retry Promote once the address frees): %w", err)
 		}
@@ -303,10 +329,103 @@ func (db *DB) Promote(replicationAddr string) error {
 	return nil
 }
 
+// Retarget points a replica's stream applier at a different primary —
+// the fleet-rewire step after a failover: survivors of the dead primary
+// re-target the promoted node and resume the stream from their own log
+// end. A no-op when already following primaryReplAddr.
+func (db *DB) Retarget(primaryReplAddr string) error {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	if db.replStopped {
+		return errors.New("neograph: retarget: database closed")
+	}
+	if db.applier == nil {
+		return errors.New("neograph: retarget: not a replica")
+	}
+	prev := db.applier.Status().PrimaryAddr
+	if prev == primaryReplAddr {
+		return nil
+	}
+	db.applier.Close()
+	a, err := repl.NewApplier(db.eng(), primaryReplAddr, repl.ApplierOptions{Logger: db.logger})
+	if err != nil {
+		// The engine is still a replica; re-point at the old primary
+		// rather than leave the node following nothing.
+		if a2, aerr := repl.NewApplier(db.eng(), prev, repl.ApplierOptions{Logger: db.logger}); aerr == nil {
+			a2.Start()
+			db.applier = a2
+		}
+		return fmt.Errorf("neograph: retarget: %w", err)
+	}
+	a.Start()
+	db.applier = a
+	return nil
+}
+
+// ReseedFrom rebuilds this node from a snapshot fetched off the given
+// primary's replication address, then rejoins its stream as a replica.
+// It is the automatic answer to "re-seed required": the local engine is
+// closed, the data dir is replaced by a consistent checkpoint + WAL tail
+// (crash-safe — see repl.FetchSnapshot), and a fresh replica engine
+// opens over it and starts applying. It also demotes: a stale primary
+// that lost a double-claim race re-seeds from the winner and comes back
+// as its replica.
+func (db *DB) ReseedFrom(primaryReplAddr string) error {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	if db.replStopped {
+		return errors.New("neograph: reseed: database closed")
+	}
+	if db.opts.Dir == "" {
+		return errors.New("neograph: reseed requires a persistent Dir")
+	}
+	if db.applier != nil {
+		db.applier.Close()
+		db.applier = nil
+	}
+	if db.shipper != nil {
+		db.shipper.Close()
+		db.shipper = nil
+	}
+	old := db.eng()
+	old.Crash() // no flush — the dir is about to be replaced wholesale
+
+	restart := func() (*repl.Applier, error) {
+		e, err := core.Open(coreOptions(db.opts, true))
+		if err != nil {
+			return nil, err
+		}
+		db.e.Store(e)
+		db.promoted = false
+		a, err := repl.NewApplier(e, primaryReplAddr, repl.ApplierOptions{Logger: db.logger})
+		if err != nil {
+			return nil, err
+		}
+		a.Start()
+		db.applier = a
+		return a, nil
+	}
+
+	if _, err := repl.FetchSnapshot(db.opts.Dir, db.opts.FS, primaryReplAddr, repl.FetchOptions{Logger: db.logger}); err != nil {
+		// A fetch that never reached its destructive phase left the old
+		// dir intact — reopen it so the node keeps serving and the
+		// controller can retry. A dir poisoned mid-swap (marker present)
+		// refuses to open; only another ReseedFrom can heal it.
+		if _, rerr := restart(); rerr != nil {
+			return fmt.Errorf("neograph: reseed: %w (and reopen failed: %v)", err, rerr)
+		}
+		return fmt.Errorf("neograph: reseed: %w", err)
+	}
+	if _, err := restart(); err != nil {
+		return fmt.Errorf("neograph: reseed: reopen: %w", err)
+	}
+	return nil
+}
+
 // Close stops replication, checkpoints and closes the database.
 func (db *DB) Close() error {
 	db.stopRepl()
-	return db.e.Close()
+	return db.eng().Close()
 }
 
 // Crash simulates a process crash for recovery and failover tests:
@@ -314,7 +433,7 @@ func (db *DB) Close() error {
 // flushing caches (see Engine.Crash).
 func (db *DB) Crash() error {
 	db.stopRepl()
-	return db.e.Crash()
+	return db.eng().Crash()
 }
 
 // stopRepl tears down the replication endpoints under replMu, so a
@@ -336,11 +455,11 @@ func (db *DB) stopRepl() {
 }
 
 // Begin starts a transaction at the database's default isolation level.
-func (db *DB) Begin() *Tx { return &Tx{t: db.e.Begin()} }
+func (db *DB) Begin() *Tx { return &Tx{t: db.eng().Begin()} }
 
 // BeginIsolation starts a transaction at an explicit isolation level.
 func (db *DB) BeginIsolation(level core.IsolationLevel) *Tx {
-	return &Tx{t: db.e.BeginWith(core.TxOptions{Isolation: level})}
+	return &Tx{t: db.eng().BeginWith(core.TxOptions{Isolation: level})}
 }
 
 // Update runs fn in a transaction, committing on nil and aborting on
@@ -382,26 +501,26 @@ func (db *DB) View(fn func(*Tx) error) error {
 }
 
 // RunGC performs one garbage collection cycle and returns its report.
-func (db *DB) RunGC() core.GCReport { return db.e.RunGC() }
+func (db *DB) RunGC() core.GCReport { return db.eng().RunGC() }
 
 // Checkpoint writes the newest committed versions back to the store and
 // prunes the WAL.
-func (db *DB) Checkpoint() error { return db.e.Checkpoint() }
+func (db *DB) Checkpoint() error { return db.eng().Checkpoint() }
 
 // Stats returns cumulative engine counters.
-func (db *DB) Stats() core.Stats { return db.e.Stats() }
+func (db *DB) Stats() core.Stats { return db.eng().Stats() }
 
 // VersionCount reports (versions, entities) held in the object cache.
-func (db *DB) VersionCount() (int, int) { return db.e.VersionCount() }
+func (db *DB) VersionCount() (int, int) { return db.eng().VersionCount() }
 
 // VersionBytes estimates the memory held by version payloads.
-func (db *DB) VersionBytes() int { return db.e.VersionBytes() }
+func (db *DB) VersionBytes() int { return db.eng().VersionBytes() }
 
 // GCBacklog reports versions awaiting threaded collection.
-func (db *DB) GCBacklog() int { return db.e.GCBacklog() }
+func (db *DB) GCBacklog() int { return db.eng().GCBacklog() }
 
 // Watermark returns the newest stable commit timestamp.
-func (db *DB) Watermark() uint64 { return db.e.Watermark() }
+func (db *DB) Watermark() uint64 { return db.eng().Watermark() }
 
 // ---- replication ----
 
@@ -422,6 +541,11 @@ type ReplStatus struct {
 	// the primary's durability horizon (0 when caught up).
 	LagSeconds float64 `json:"lag_seconds,omitempty"`
 	LastError  string  `json:"last_error,omitempty"`
+	// ReseedRequired reports that this replica's log can never resume
+	// the stream (diverged past a fork point, behind the primary's
+	// retained WAL, or conflicting epoch histories); ReseedFrom — or the
+	// cluster controller — must rebuild it from a snapshot.
+	ReseedRequired bool `json:"reseed_required,omitempty"`
 	// Primary-side details (Role == "primary").
 	ReplicationAddr string             `json:"replication_addr,omitempty"`
 	Replicas        []repl.ReplicaInfo `json:"replicas,omitempty"`
@@ -462,16 +586,16 @@ func (db *DB) ReplicationAddress() string {
 
 // Epoch returns the node's replication epoch — the generation counter a
 // promotion bumps — and the WAL position at which that epoch began.
-func (db *DB) Epoch() (epoch, startLSN uint64) { return db.e.Epoch() }
+func (db *DB) Epoch() (epoch, startLSN uint64) { return db.eng().Epoch() }
 
 // ReplStatus snapshots replication state for status endpoints.
 func (db *DB) ReplStatus() ReplStatus {
 	st := ReplStatus{
 		Role:       "standalone",
-		DurableLSN: db.e.DurableLSN(),
-		AppliedLSN: db.e.AppliedLSN(),
+		DurableLSN: db.eng().DurableLSN(),
+		AppliedLSN: db.eng().AppliedLSN(),
 	}
-	st.Epoch, _ = db.e.Epoch()
+	st.Epoch, _ = db.eng().Epoch()
 	db.replMu.Lock()
 	a, s, promoted := db.applier, db.shipper, db.promoted
 	db.replMu.Unlock()
@@ -484,6 +608,7 @@ func (db *DB) ReplStatus() ReplStatus {
 		st.PrimaryDurable = as.PrimaryDurable
 		st.LagSeconds = as.LagSeconds
 		st.LastError = as.LastError
+		st.ReseedRequired = as.ReseedRequired
 	case s != nil:
 		st.Role = "primary"
 		st.ReplicationAddr = s.Addr()
@@ -500,15 +625,15 @@ func (db *DB) ReplStatus() ReplStatus {
 }
 
 // DurableLSN returns the WAL durability horizon (an end position).
-func (db *DB) DurableLSN() uint64 { return db.e.DurableLSN() }
+func (db *DB) DurableLSN() uint64 { return db.eng().DurableLSN() }
 
 // AppliedLSN returns one past the last WAL record held locally.
-func (db *DB) AppliedLSN() uint64 { return db.e.AppliedLSN() }
+func (db *DB) AppliedLSN() uint64 { return db.eng().AppliedLSN() }
 
 // WaitDurable blocks until the WAL durability horizon reaches pos — the
 // opt-in read gate for callers that must not act on a commit a crash
 // could still erase. Pass a Tx.CommitLSN token; zero returns immediately.
-func (db *DB) WaitDurable(pos uint64) error { return db.e.WaitDurable(pos) }
+func (db *DB) WaitDurable(pos uint64) error { return db.eng().WaitDurable(pos) }
 
 // WaitApplied blocks until this replica has applied the primary's log up
 // to pos (a Tx.CommitLSN token from the primary) — the read-your-writes
@@ -517,11 +642,11 @@ func (db *DB) WaitDurable(pos uint64) error { return db.e.WaitDurable(pos) }
 func (db *DB) WaitApplied(pos uint64, timeout time.Duration) error {
 	a, _ := db.repl()
 	if a == nil {
-		return db.e.WaitDurable(pos)
+		return db.eng().WaitDurable(pos)
 	}
 	return a.WaitApplied(pos, timeout)
 }
 
 // Engine exposes the underlying engine for advanced uses (the bench
 // harness reads store file sizes through it).
-func (db *DB) Engine() *core.Engine { return db.e }
+func (db *DB) Engine() *core.Engine { return db.eng() }
