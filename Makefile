@@ -7,7 +7,7 @@ GO ?= go
 # toolchain install, no go.mod entry). Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race race-repl race-failover race-client race-metrics race-trace race-query race-cluster bench bench-smoke bench-trend bench-e11 bench-e12 lint staticcheck fmt clean
+.PHONY: all build test race race-repl race-failover race-client race-metrics race-trace race-query race-cluster race-partition bench bench-smoke bench-trend bench-e11 bench-e12 lint staticcheck fmt clean
 
 all: build test
 
@@ -61,6 +61,16 @@ race-cluster:
 	$(GO) test -race -count=2 ./internal/cluster/...
 	$(GO) test -race -run 'TestCheckpointCrash' ./internal/core/...
 	$(GO) test -race -run 'TestPoolWriteSurfacesErrNoPrimary|TestPoolDiscoversPromotedPrimaryViaTopology' ./client/...
+
+## race-partition: the partitioned-graph suite under race — the 2PC
+## engine (prepare/decide/recovery), the batch planner and topology, the
+## 2PC crash matrix (coordinator/participant/fleet deaths at every
+## protocol step), and the partition-routing client
+race-partition:
+	$(GO) test -race -count=2 -run 'TestPrepare|TestDecision|TestValidateGuard|TestCheckpointRetainsPrepared|TestTwoPC' ./internal/core/... ./internal/server/...
+	$(GO) test -race -count=2 ./internal/partition/...
+	$(GO) test -race -run 'TestRouter' ./client/...
+	$(GO) test -race -run 'TestStride' ./internal/ids/...
 
 ## bench: the full experiment suite (minutes)
 bench: build

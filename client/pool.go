@@ -56,6 +56,14 @@ type PoolConfig struct {
 	// re-discovery and the retry all record under ONE trace ID — and the
 	// sessions fn borrows join it automatically.
 	Tracer *trace.Tracer
+	// Partitioned marks this pool as serving one partition of a
+	// partitioned fleet (set by the Router). Cluster announcements then
+	// carry members of EVERY partition; the pool folds in only members
+	// of its own PartitionID — node IDs are unique per replication
+	// group, not fleet-wide, so membership is keyed (NodeID, PartitionID).
+	Partitioned bool
+	// PartitionID is the partition this pool serves when Partitioned.
+	PartitionID uint32
 }
 
 // poolMetrics counts routing decisions; nil when no registry is given.
@@ -184,7 +192,8 @@ type Pool struct {
 	primary  *host
 	replicas []*host
 	hosts    map[string]*host
-	tokens   map[string]uint64 // causality token -> newest commit LSN
+	members  map[memberKey]string // (NodeID, PartitionID) -> first announced addr
+	tokens   map[string]uint64    // causality token -> newest commit LSN
 	closed   bool
 
 	rr        atomic.Uint32
@@ -208,6 +217,7 @@ func OpenPool(ctx context.Context, cfg PoolConfig) (*Pool, error) {
 	p := &Pool{
 		cfg:       cfg,
 		hosts:     make(map[string]*host),
+		members:   make(map[memberKey]string),
 		tokens:    make(map[string]uint64),
 		probeStop: make(chan struct{}),
 		probeDone: make(chan struct{}),
@@ -411,9 +421,22 @@ func (p *Pool) probeHost(ctx context.Context, h *host) {
 	p.mu.Unlock()
 }
 
+// memberKey identifies one announced fleet member. Node IDs are unique
+// within a replication group but may repeat across partitions, so the
+// partition is part of the identity.
+type memberKey struct {
+	node uint64
+	part uint32
+}
+
 // mergeMembers folds a cluster_status announcement's membership into the
 // host set. New hosts join the probe rotation and are classified (and
-// added to the read rotation) by their own first probe.
+// added to the read rotation) by their own first probe. On a partitioned
+// fleet, members of other partitions are skipped (their groups have their
+// own pools), and a member re-announced under a known (NodeID,
+// PartitionID) pair at a different address is ignored until the original
+// address drops out — two partitions reusing a node ID must never
+// collapse into one host.
 func (p *Pool) mergeMembers(members []wire.ClusterMember) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -421,9 +444,20 @@ func (p *Pool) mergeMembers(members []wire.ClusterMember) {
 		return
 	}
 	for _, m := range members {
-		if m.Addr != "" {
-			p.hostFor(m.Addr)
+		if m.Addr == "" {
+			continue
 		}
+		if p.cfg.Partitioned && m.PartitionID != p.cfg.PartitionID {
+			continue
+		}
+		if m.NodeID != 0 {
+			key := memberKey{node: m.NodeID, part: m.PartitionID}
+			if prev, ok := p.members[key]; ok && prev != m.Addr {
+				continue
+			}
+			p.members[key] = m.Addr
+		}
+		p.hostFor(m.Addr)
 	}
 }
 

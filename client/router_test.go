@@ -1,0 +1,324 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"neograph"
+	"neograph/internal/partition"
+	"neograph/internal/server"
+	"neograph/internal/wire"
+
+	. "neograph/client"
+)
+
+// partFleet is an in-process partitioned fleet: one primary per
+// partition, coordinators wired, served over real TCP.
+type partFleet struct {
+	dbs    []*neograph.DB
+	srvs   []*server.Server
+	coords []*partition.Coordinator
+	pm     wire.PartitionMap
+}
+
+func startPartitions(t *testing.T, count int) *partFleet {
+	t.Helper()
+	f := &partFleet{pm: wire.PartitionMap{Version: 1, Count: count}}
+	for part := 0; part < count; part++ {
+		db, err := neograph.Open(neograph.Options{
+			Dir:            t.TempDir(),
+			PartitionID:    part,
+			PartitionCount: count,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(db, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.dbs = append(f.dbs, db)
+		f.srvs = append(f.srvs, srv)
+		f.pm.Groups = append(f.pm.Groups, wire.PartitionGroup{
+			ID: uint32(part), Addrs: []string{srv.Addr()},
+		})
+	}
+	for part := 0; part < count; part++ {
+		topo := partition.NewTopology(f.pm)
+		coord := partition.NewCoordinator(uint32(part), topo, f.srvs[part].Local(),
+			f.dbs[part].AppliedLSN(), nil)
+		f.srvs[part].SetPartition(coord, uint32(part), count)
+		coord.Start()
+		f.coords = append(f.coords, coord)
+	}
+	t.Cleanup(func() {
+		for _, c := range f.coords {
+			c.Close()
+		}
+		for _, s := range f.srvs {
+			s.Close()
+		}
+		for _, db := range f.dbs {
+			db.Close()
+		}
+	})
+	return f
+}
+
+func openRouter(t *testing.T, f *partFleet) *Router {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	r, err := OpenRouter(ctx, RouterConfig{
+		Partitions: f.pm,
+		ProbeEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestRouterStriding: each partition allocates only its own congruence
+// class, and single-entity ops route to the owner.
+func TestRouterStriding(t *testing.T) {
+	f := startPartitions(t, 2)
+	r := openRouter(t, f)
+	ctx := context.Background()
+
+	// Create a node on each partition explicitly.
+	var ids []neograph.NodeID
+	for part := uint32(0); part < 2; part++ {
+		p := part
+		err := r.Pool(p).Write(ctx, "tok", func(c *Client) error {
+			id, err := c.CreateNode(ctx, []string{"P"}, neograph.Props{"part": neograph.Int(int64(p))})
+			ids = append(ids, id)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, id := range ids {
+		if r.PartitionOf(id) != uint32(i) {
+			t.Fatalf("node %d allocated on partition %d has id %% 2 == %d", id, i, id%2)
+		}
+	}
+
+	// Routed reads land on the owner and see the node.
+	for i, id := range ids {
+		err := r.Read(ctx, "tok", id, func(c *Client) error {
+			n, err := c.GetNode(ctx, id)
+			if err != nil {
+				return err
+			}
+			if got := n.Props["part"]; !got.Equal(neograph.Int(int64(i))) {
+				t.Fatalf("node %d: part prop %v", id, got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A misrouted direct op is refused with the owner named.
+	err := r.Pool(0).Write(ctx, "tok", func(c *Client) error {
+		_, err := c.GetNode(ctx, ids[1])
+		return err
+	})
+	if err == nil {
+		t.Fatal("reading partition 1's node via partition 0 should fail")
+	}
+}
+
+// TestRouterScanFanOut: label scans merge every partition's slice.
+func TestRouterScanFanOut(t *testing.T) {
+	f := startPartitions(t, 2)
+	r := openRouter(t, f)
+	ctx := context.Background()
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := r.WriteAny(ctx, "tok", func(c *Client) error {
+			_, err := c.CreateNode(ctx, []string{"Scan"}, nil)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := r.NodesByLabel(ctx, "tok", "Scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != n {
+		t.Fatalf("scan found %d of %d nodes", len(ids), n)
+	}
+	// Round-robin creation spread the nodes over both partitions.
+	var byPart [2]int
+	for _, id := range ids {
+		byPart[id%2]++
+	}
+	if byPart[0] == 0 || byPart[1] == 0 {
+		t.Fatalf("creation not spread: %v", byPart)
+	}
+}
+
+// TestRouterCrossPartitionBatch: one batch creating nodes on both
+// partitions plus an edge between them commits atomically through 2PC,
+// and the results merge back in batch order.
+func TestRouterCrossPartitionBatch(t *testing.T) {
+	f := startPartitions(t, 2)
+	r := openRouter(t, f)
+	ctx := context.Background()
+
+	// Seed one node per partition.
+	var anchor [2]neograph.NodeID
+	for part := uint32(0); part < 2; part++ {
+		p := part
+		if err := r.Pool(p).Write(ctx, "tok", func(c *Client) error {
+			id, err := c.CreateNode(ctx, []string{"Anchor"}, nil)
+			anchor[p] = id
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Batch anchored on both partitions: set a prop on each anchor and
+	// connect them. Home partition = owner of the edge's start.
+	var b Batch
+	i0 := b.SetNodeProp(anchor[0], "touched", neograph.Bool(true))
+	i1 := b.SetNodeProp(anchor[1], "touched", neograph.Bool(true))
+	ir := b.CreateRel("LINKS", anchor[0], anchor[1], nil)
+	res, err := r.RunBatch(ctx, "tok", &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relID, err := res.ID(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PartitionOf(relID) != r.PartitionOf(anchor[0]) {
+		t.Fatalf("edge %d not on start node's partition", relID)
+	}
+	_ = i0
+	_ = i1
+
+	// Both partitions observe their half.
+	if err := r.Read(ctx, "tok", anchor[0], func(c *Client) error {
+		n, err := c.GetNode(ctx, anchor[0])
+		if err != nil {
+			return err
+		}
+		if !n.Props["touched"].Equal(neograph.Bool(true)) {
+			t.Fatal("partition 0 write lost")
+		}
+		rels, err := c.Relationships(ctx, anchor[0], "out")
+		if err != nil {
+			return err
+		}
+		if len(rels) != 1 || rels[0].End != anchor[1] {
+			t.Fatalf("edge not visible on source: %+v", rels)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Read(ctx, "tok", anchor[1], func(c *Client) error {
+		n, err := c.GetNode(ctx, anchor[1])
+		if err != nil {
+			return err
+		}
+		if !n.Props["touched"].Equal(neograph.Bool(true)) {
+			t.Fatal("partition 1 write lost")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterCrossPartitionBatchAtomicAbort: a cross-partition batch
+// whose later op fails must leave no partition changed.
+func TestRouterCrossPartitionBatchAtomicAbort(t *testing.T) {
+	f := startPartitions(t, 2)
+	r := openRouter(t, f)
+	ctx := context.Background()
+
+	var anchor [2]neograph.NodeID
+	for part := uint32(0); part < 2; part++ {
+		p := part
+		if err := r.Pool(p).Write(ctx, "tok", func(c *Client) error {
+			id, err := c.CreateNode(ctx, []string{"A"}, nil)
+			anchor[p] = id
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var b Batch
+	b.SetNodeProp(anchor[0], "x", neograph.Int(1))
+	b.SetNodeProp(anchor[1], "x", neograph.Int(1))
+	b.DeleteNode(anchor[0] + 2*1000) // nonexistent node on partition 0
+	if _, err := r.RunBatch(ctx, "tok", &b); err == nil {
+		t.Fatal("batch with a failing op should fail")
+	}
+
+	for part := uint32(0); part < 2; part++ {
+		p := part
+		if err := r.Read(ctx, "tok", anchor[p], func(c *Client) error {
+			n, err := c.GetNode(ctx, anchor[p])
+			if err != nil {
+				return err
+			}
+			if _, ok := n.Props["x"]; ok {
+				t.Fatalf("partition %d kept an aborted write", p)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRouterNoPartitionOwner: a partition with a dead primary surfaces
+// the structured error at the deadline, naming the partition.
+func TestRouterNoPartitionOwner(t *testing.T) {
+	f := startPartitions(t, 2)
+	r := openRouter(t, f)
+
+	// Kill partition 1 entirely.
+	f.coords[1].Close()
+	f.srvs[1].Close()
+	f.dbs[1].Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := r.Write(ctx, "tok", 1 /* partition 1's ID space */, func(c *Client) error {
+		_, e := c.CreateNode(ctx, nil, nil)
+		return e
+	})
+	if err == nil {
+		t.Fatal("write to a dead partition should fail")
+	}
+	if !errors.Is(err, ErrNoPartitionOwner) {
+		t.Fatalf("want ErrNoPartitionOwner, got %v", err)
+	}
+	var npo *NoPartitionOwnerError
+	if !errors.As(err, &npo) || npo.Partition != 1 {
+		t.Fatalf("structured error: %v", err)
+	}
+
+	// Partition 0 still serves.
+	if err := r.Write(context.Background(), "tok", 0, func(c *Client) error {
+		_, e := c.CreateNode(context.Background(), nil, nil)
+		return e
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

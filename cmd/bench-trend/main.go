@@ -325,8 +325,29 @@ func extract(path string, handicap float64) (*trendFile, error) {
 		}
 	}
 
+	// E16: partitioned write scale-up. The headline is aggregate commit/s
+	// at 2 partitions over 1 partition with no cross-partition traffic —
+	// the pure benefit of independent WAL/fsync streams; a drop means the
+	// partition layer started taxing the disjoint fast path.
+	if raw, ok := report["E16"]; ok {
+		var rows []struct {
+			Partitions int     `json:"partitions"`
+			CrossPct   int     `json:"cross_pct"`
+			ScaleupVs1 float64 `json:"scaleup_vs_1"`
+		}
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			return nil, fmt.Errorf("E16: %w", err)
+		}
+		for _, r := range rows {
+			if r.Partitions == 2 && r.CrossPct == 0 && r.ScaleupVs1 > 0 {
+				put("e16_partition_write_scaleup", r.ScaleupVs1)
+				break
+			}
+		}
+	}
+
 	if len(tf.Metrics) == 0 {
-		return nil, fmt.Errorf("no headline metrics found in %s (need E2d/E9/E11/E12/E13/E14/E15 rows)", path)
+		return nil, fmt.Errorf("no headline metrics found in %s (need E2d/E9/E11/E12/E13/E14/E15/E16 rows)", path)
 	}
 	return tf, nil
 }

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: E1..E15, E2d, F1 or all")
+		exp      = flag.String("exp", "all", "experiment to run: E1..E16, E2d, F1 or all")
 		quick    = flag.Bool("quick", false, "small configurations (seconds, not minutes)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonPath = flag.String("json", "", "write structured results to this file")
@@ -264,12 +264,26 @@ func main() {
 			Seed:       *seed,
 		})
 	})
+	run("E16", func() (any, error) {
+		parts := []int{1, 2, 4}
+		if *quick {
+			parts = []int{1, 2}
+		}
+		return bench.RunE16(w, bench.E16Config{
+			Partitions:          parts,
+			CrossPcts:           []int{0, 10},
+			ClientsPerPartition: scale(4, 4),
+			AnchorsPerPartition: scale(256, 128),
+			Duration:            dur(2*time.Second, 500*time.Millisecond),
+			Seed:                *seed,
+		})
+	})
 	run("F1", func() (any, error) {
 		return nil, bench.RunF1(w, scale(5_000, 500), *seed)
 	})
 
 	if matched == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E15, E2d, F1 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E16, E2d, F1 or all)\n", *exp)
 		exit(2)
 	}
 

@@ -16,6 +16,17 @@
 //	neograph-server -dir /var/lib/ng  -addr :7475 -repl-addr :7476
 //	neograph-server -dir /var/lib/ng2 -addr :7575 -replica-of primary:7476
 //
+// Partitioning: a fleet can hash-partition the ID space across several
+// replication groups. Every node gets the same -partition-peers map and
+// its own -partition-id; partition p owns all IDs with id % count == p,
+// and batches that span partitions commit atomically via two-phase
+// commit driven by the partition that receives them:
+//
+//	neograph-server -dir /d/p0 -addr :7475 -repl-addr :7476 \
+//	    -partition-id 0 -partition-peers '0=127.0.0.1:7475;1=127.0.0.1:7575'
+//	neograph-server -dir /d/p1 -addr :7575 -repl-addr :7576 \
+//	    -partition-id 1 -partition-peers '0=127.0.0.1:7475;1=127.0.0.1:7575'
+//
 // Observability: -log-level selects the structured-log floor (key=value
 // records on stderr); -trace-sample enables distributed tracing (traced
 // requests are readable as JSONL from /debug/traces on the -pprof-addr
@@ -37,6 +48,7 @@ import (
 	"neograph"
 	"neograph/internal/cluster"
 	"neograph/internal/metrics"
+	"neograph/internal/partition"
 	"neograph/internal/server"
 	"neograph/internal/slog"
 	"neograph/internal/trace"
@@ -70,6 +82,9 @@ func main() {
 		suspectTmo  = flag.Duration("suspect-after", 0, "cluster: continuous stream outage before the primary is suspected (0 = 2s default)")
 		electTmo    = flag.Duration("election-timeout", 0, "cluster: how long an election loser waits for the winner before re-electing (0 = 5s default)")
 		probeEvery  = flag.Duration("cluster-probe-every", 0, "cluster: control-loop tick interval, jittered (0 = 500ms default)")
+		partID      = flag.Uint("partition-id", 0, "partition: the hash partition this node's group owns (IDs with id % count == partition-id)")
+		partPeers   = flag.String("partition-peers", "", "partition: the full fleet map 'id=addr,addr;id=addr,...' — client addresses of every partition's group, identical on every node; enables partitioned mode")
+		partCount   = flag.Int("partition-count", 0, "partition: expected partition count; must match -partition-peers when both are given (sanity check only)")
 		logLevel    = flag.String("log-level", "info", "log floor: debug, info, warn or error")
 		traceSample = flag.Float64("trace-sample", 0, "head-sampling rate in [0,1] for traces rooted at this server; requests arriving with a client-minted trace context always record regardless")
 		traceBuf    = flag.Int("trace-buffer", 0, "finished traces retained for /debug/traces (0 = 256)")
@@ -83,6 +98,30 @@ func main() {
 		os.Exit(2)
 	}
 	logger := slog.New(os.Stderr, lvl)
+
+	// Partition topology is fixed before Open: the database's ID
+	// allocators stride by (partition-id, count) from the first
+	// allocation, so the map cannot change under a live store.
+	var topo *partition.Topology
+	if *partPeers != "" {
+		pm, err := partition.ParsePeers(*partPeers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *partCount != 0 && *partCount != pm.Count {
+			fmt.Fprintf(os.Stderr, "-partition-count %d does not match -partition-peers (%d partitions)\n", *partCount, pm.Count)
+			os.Exit(2)
+		}
+		if int(*partID) >= pm.Count {
+			fmt.Fprintf(os.Stderr, "-partition-id %d out of range: -partition-peers defines partitions 0..%d\n", *partID, pm.Count-1)
+			os.Exit(2)
+		}
+		topo = partition.NewTopology(pm)
+	} else if *partCount > 1 {
+		fmt.Fprintln(os.Stderr, "-partition-count > 1 requires -partition-peers (the coordinator must reach the other partitions)")
+		os.Exit(2)
+	}
 
 	opts := neograph.Options{
 		Dir:                *dir,
@@ -98,6 +137,10 @@ func main() {
 		SyncReplicas:       *syncReps,
 		SyncReplicaTimeout: *syncTmo,
 		Logger:             logger,
+	}
+	if topo != nil {
+		opts.PartitionID = int(*partID)
+		opts.PartitionCount = topo.Count()
 	}
 	if *replicaOf != "" {
 		// Cascading replication is unsupported, so a replica's -repl-addr
@@ -185,6 +228,19 @@ func main() {
 		logger.Info("shipping WAL to replicas", "addr", db.ReplicationAddress(), "mode", repl)
 	}
 
+	var coord *partition.Coordinator
+	if topo != nil && topo.Count() > 1 {
+		// The coordinator runs on replicas too: a promoted replica
+		// inherits the in-doubt resolver and decision repush duties
+		// without a restart. Until promotion its write paths simply
+		// reject, which is what a replica should do.
+		coord = partition.NewCoordinator(uint32(*partID), topo, srv.Local(), db.AppliedLSN(),
+			logger.With("component", "partition"))
+		srv.SetPartition(coord, uint32(*partID), topo.Count())
+		coord.Start()
+		logger.Info("partitioned deployment", "partition", *partID, "of", topo.Count())
+	}
+
 	var ctrl *cluster.Controller
 	if *nodeID != 0 {
 		self := *clusterSelf
@@ -207,7 +263,7 @@ func main() {
 				peers = append(peers, p)
 			}
 		}
-		ctrl, err = cluster.New(db, cluster.Options{
+		copts := cluster.Options{
 			NodeID:          *nodeID,
 			SelfAddr:        self,
 			SelfReplAddr:    selfRepl,
@@ -218,7 +274,13 @@ func main() {
 			Metrics:         reg,
 			Tracer:          tracer,
 			Logger:          logger,
-		})
+		}
+		if topo != nil {
+			copts.PartitionID = uint32(*partID)
+			pm := topo.Map()
+			copts.Partitions = &pm
+		}
+		ctrl, err = cluster.New(db, copts)
 		if err != nil {
 			logger.Error("cluster controller", "err", err)
 			srv.Close()
@@ -237,6 +299,9 @@ func main() {
 	logger.Info("shutting down")
 	if ctrl != nil {
 		ctrl.Stop()
+	}
+	if coord != nil {
+		coord.Close()
 	}
 	if err := srv.Close(); err != nil {
 		logger.Warn("server close", "err", err)

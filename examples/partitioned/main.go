@@ -1,0 +1,185 @@
+// Partitioned: the vertex space hash-partitioned over two primary
+// groups, each with its own replica — driven through client.Router,
+// which hashes every operation to the owning partition. Shows the
+// strided ID allocation, a cross-partition edge committed atomically
+// with two-phase commit, and an in-group failover the router and the
+// surviving coordinators follow automatically.
+//
+//	go run ./examples/partitioned
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"neograph"
+	"neograph/client"
+	"neograph/internal/partition"
+	"neograph/internal/server"
+	"neograph/internal/wire"
+)
+
+const parts = 2
+
+// group is one partition: a primary shipping its WAL to a replica, both
+// behind TCP servers, both running a partition coordinator (the replica
+// too — promotion must inherit the 2PC resolver duties).
+type group struct {
+	primary, replica           *neograph.DB
+	primarySrv, replicaSrv     *server.Server
+	primaryCoord, replicaCoord *partition.Coordinator
+}
+
+func main() {
+	ctx := context.Background()
+
+	// ---- the fleet: two partition groups, each primary + replica.
+	var groups [parts]*group
+	pm := wire.PartitionMap{Version: 1, Count: parts}
+	for p := 0; p < parts; p++ {
+		g := &group{}
+		pdir, _ := os.MkdirTemp("", "ng-part-primary-*")
+		defer os.RemoveAll(pdir)
+		var err error
+		g.primary, err = neograph.Open(neograph.Options{
+			Dir:             pdir,
+			PartitionID:     p, // strides node IDs: this node allocates id % 2 == p
+			PartitionCount:  parts,
+			ReplicationAddr: "127.0.0.1:0",
+			SyncReplicas:    1, // an acked write survives primary loss
+		})
+		check(err)
+		g.primarySrv, err = server.New(g.primary, "127.0.0.1:0")
+		check(err)
+
+		rdir, _ := os.MkdirTemp("", "ng-part-replica-*")
+		defer os.RemoveAll(rdir)
+		g.replica, err = neograph.Open(neograph.Options{
+			Dir:            rdir,
+			PartitionID:    p,
+			PartitionCount: parts,
+			ReplicaOf:      g.primary.ReplicationAddress(),
+		})
+		check(err)
+		g.replicaSrv, err = server.New(g.replica, "127.0.0.1:0")
+		check(err)
+
+		groups[p] = g
+		pm.Groups = append(pm.Groups, wire.PartitionGroup{
+			ID:    uint32(p),
+			Addrs: []string{g.primarySrv.Addr(), g.replicaSrv.Addr()},
+		})
+	}
+	// Coordinators need the complete map, so wire them after the loop.
+	for p, g := range groups {
+		g.primaryCoord = partition.NewCoordinator(uint32(p), partition.NewTopology(pm),
+			g.primarySrv.Local(), g.primary.AppliedLSN(), nil)
+		g.primarySrv.SetPartition(g.primaryCoord, uint32(p), parts)
+		g.primaryCoord.Start()
+		g.replicaCoord = partition.NewCoordinator(uint32(p), partition.NewTopology(pm),
+			g.replicaSrv.Local(), g.replica.AppliedLSN(), nil)
+		g.replicaSrv.SetPartition(g.replicaCoord, uint32(p), parts)
+		g.replicaCoord.Start()
+		defer g.replicaCoord.Close()
+		defer g.replicaSrv.Close()
+		defer g.replica.Close()
+		fmt.Printf("partition %d: primary %s, replica %s\n",
+			p, g.primarySrv.Addr(), g.replicaSrv.Addr())
+	}
+
+	// ---- a partition-aware router: one pool per group, every call
+	// hashed to the partition that owns the entity.
+	router, err := client.OpenRouter(ctx, client.RouterConfig{Partitions: pm})
+	check(err)
+	defer router.Close()
+
+	// ---- strided allocation: each partition hands out the IDs it owns
+	// (id % 2 == partition), so ownership is computable from the ID alone.
+	const user = "teller"
+	var byPart [parts]neograph.NodeID
+	for i := 0; i < 4; i++ {
+		var b client.Batch
+		ref := b.CreateNode([]string{"Account"}, neograph.Props{"n": neograph.Int(int64(i))})
+		res, err := router.RunBatch(ctx, user, &b)
+		check(err)
+		id, _ := res.ID(ref)
+		byPart[uint64(id)%parts] = id
+		fmt.Printf("account %d -> node %d, owned by partition %d\n", i, id, uint64(id)%parts)
+	}
+	a0, a1 := byPart[0], byPart[1]
+
+	// ---- single-partition writes take the ordinary fast path: the
+	// router hashes the ID and the owner commits alone, no coordination.
+	check(router.Write(ctx, user, uint64(a0), func(c *client.Client) error {
+		return c.SetNodeProp(ctx, a0, "balance", neograph.Int(100))
+	}))
+
+	// ---- a cross-partition edge: one batch touching both partitions is
+	// committed with two-phase commit — the home partition prepares both
+	// sides, hardens the decision in its WAL, and the edge plus both
+	// property writes become visible atomically (or not at all).
+	var b client.Batch
+	b.SetNodeProp(a0, "balance", neograph.Int(60))
+	b.SetNodeProp(a1, "balance", neograph.Int(40))
+	b.CreateRel("PAYS", a0, a1, neograph.Props{"amount": neograph.Int(40)})
+	_, err = router.RunBatch(ctx, user, &b)
+	check(err)
+	fmt.Printf("cross-partition transfer %d -> %d committed via 2PC\n", a0, a1)
+
+	// The edge lives on the source partition (its owner):
+	check(router.Read(ctx, user, uint64(a0), func(c *client.Client) error {
+		nbrs, err := c.Neighbors(ctx, a0, "out")
+		fmt.Printf("partition %d: node %d -> neighbors %v\n", uint64(a0)%parts, a0, nbrs)
+		return err
+	}))
+
+	// ---- in-group failover: partition 1's primary dies; its replica is
+	// promoted in place. The router re-probes the group and re-routes;
+	// the promoted node's coordinator takes over 2PC duties.
+	fmt.Println("\n-- killing partition 1's primary --")
+	g1 := groups[1]
+	shipAddr := g1.primary.ReplicationAddress()
+	g1.primaryCoord.Close()
+	g1.primarySrv.Close()
+	g1.primary.Close()
+
+	cl, err := client.Dial(ctx, g1.replicaSrv.Addr())
+	check(err)
+	st, err := cl.Promote(ctx, shipAddr)
+	cl.Close()
+	check(err)
+	fmt.Printf("promoted %s: role=%s epoch=%d\n", g1.replicaSrv.Addr(), st.Role, st.Epoch)
+	time.Sleep(200 * time.Millisecond) // let pools re-probe the group
+
+	// Writes to partition 1 resume on the promoted primary, and a fresh
+	// cross-partition 2PC commit spans the old partition-0 primary and
+	// the newly promoted partition-1 primary.
+	var b2 client.Batch
+	b2.SetNodeProp(a0, "balance", neograph.Int(50))
+	b2.SetNodeProp(a1, "balance", neograph.Int(50))
+	b2.CreateRel("PAYS", a0, a1, neograph.Props{"amount": neograph.Int(10)})
+	_, err = router.RunBatch(ctx, user, &b2)
+	check(err)
+	fmt.Println("cross-partition transfer committed across the failover")
+
+	for p := 0; p < parts; p++ {
+		check(router.Read(ctx, user, uint64(byPart[p]), func(c *client.Client) error {
+			n, err := c.GetNode(ctx, byPart[p])
+			if err != nil {
+				return err
+			}
+			bal, _ := n.Props["balance"].AsInt()
+			fmt.Printf("partition %d (%s): node %d balance=%d\n", p, c.RemoteAddr(), byPart[p], bal)
+			return nil
+		}))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -86,6 +86,15 @@ type Options struct {
 	Metrics *metrics.Registry
 	Tracer  *trace.Tracer
 	Logger  *slog.Logger
+
+	// PartitionID is the hash partition this node's replication group
+	// serves (partitioned deployments only; the controller's election
+	// and failover logic is per-group and unaffected).
+	PartitionID uint32
+	// Partitions is the partition topology announced in cluster_status
+	// so clients learn the whole fleet from any one node. Nil on
+	// unpartitioned deployments.
+	Partitions *wire.PartitionMap
 }
 
 // Controller drives one node's share of the cluster control loop.
@@ -567,14 +576,18 @@ func (c *Controller) NodeStatus() wire.ClusterInfo {
 	members := make([]wire.ClusterMember, 0, len(c.opts.Peers)+1)
 	members = append(members, wire.ClusterMember{
 		Addr: c.opts.SelfAddr, ReplAddr: c.opts.SelfReplAddr, NodeID: c.opts.NodeID,
+		PartitionID: c.opts.PartitionID,
 	})
 	for _, addr := range c.opts.Peers {
-		m := wire.ClusterMember{Addr: addr}
+		// Peers are this node's own replication group, so they serve the
+		// same partition (probes confirm).
+		m := wire.ClusterMember{Addr: addr, PartitionID: c.opts.PartitionID}
 		if ci, ok := c.peerInfo[addr]; ok {
 			if ci.ReplAddr != "" {
 				m.ReplAddr = ci.ReplAddr
 			}
 			m.NodeID = ci.NodeID
+			m.PartitionID = ci.PartitionID
 		}
 		members = append(members, m)
 	}
@@ -591,6 +604,11 @@ func (c *Controller) NodeStatus() wire.ClusterInfo {
 		Connected:  st.Connected,
 		Reseeding:  reseeding,
 		Members:    members,
+	}
+	info.PartitionID = c.opts.PartitionID
+	if c.opts.Partitions != nil {
+		pm := *c.opts.Partitions
+		info.Partitions = &pm
 	}
 	switch st.Role {
 	case "replica":

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"neograph/internal/ids"
 	"neograph/internal/lock"
 	"neograph/internal/mvcc"
 	"neograph/internal/trace"
@@ -68,6 +69,22 @@ func (e *Engine) ApplyReplicated(lsn uint64, payload []byte) error {
 	var muts []mutation
 	var stash trace.Context
 	isCommit := false
+	// Two-phase-commit records mirror the primary's prepared/decided
+	// state onto the replica, so a promoted replica inherits in-doubt
+	// transactions and coordinator repush obligations wholesale.
+	var prep *struct {
+		gtxn      uint64
+		coordPart uint32
+		validate  []ids.ID
+		muts      []mutation
+	}
+	var decision *struct {
+		gtxn   uint64
+		commit bool
+		cts    mvcc.TS
+		parts  []uint32
+	}
+	var ackEnd *uint64
 	if len(payload) == 0 {
 		return fmt.Errorf("core: empty replicated record at lsn %d", lsn)
 	}
@@ -90,6 +107,34 @@ func (e *Engine) ApplyReplicated(lsn uint64, payload []byte) error {
 			return err
 		}
 		isCommit = true
+	case recPrepare:
+		gtxn, coordPart, validate, pmuts, err := decodePrepare(payload)
+		if err != nil {
+			return err
+		}
+		prep = &struct {
+			gtxn      uint64
+			coordPart uint32
+			validate  []ids.ID
+			muts      []mutation
+		}{gtxn, coordPart, validate, pmuts}
+	case recDecision:
+		gtxn, commit, dcts, parts, err := decodeDecision(payload)
+		if err != nil {
+			return err
+		}
+		decision = &struct {
+			gtxn   uint64
+			commit bool
+			cts    mvcc.TS
+			parts  []uint32
+		}{gtxn, commit, dcts, parts}
+	case recAckEnd:
+		gtxn, err := decodeAckEnd(payload)
+		if err != nil {
+			return err
+		}
+		ackEnd = &gtxn
 	default:
 		return fmt.Errorf("core: unknown WAL record tag %q at lsn %d", payload[0], lsn)
 	}
@@ -121,9 +166,25 @@ func (e *Engine) ApplyReplicated(lsn uint64, payload []byte) error {
 		e.markDirty(keys)
 		e.raiseHighWater(muts)
 	}
+	var decidedKeys []entKey
+	if decision != nil {
+		decidedKeys = e.applyDecision(decision.gtxn, decision.commit, decision.cts, decision.parts, lsn)
+		e.markDirty(decidedKeys)
+	}
 	e.commitGate.RUnlock()
 	if isCommit {
 		e.oracle.ObserveCommit(cts)
+	}
+	if decision != nil && decision.commit && len(decidedKeys) > 0 {
+		e.oracle.ObserveCommit(decision.cts)
+	}
+	if prep != nil {
+		e.rearmPrepared(prep.gtxn, prep.coordPart, prep.validate, prep.muts, lsn)
+	}
+	if ackEnd != nil {
+		e.prepMu.Lock()
+		delete(e.decided, *ackEnd)
+		e.prepMu.Unlock()
 	}
 	asp.Finish()
 	return nil

@@ -133,6 +133,12 @@ func (e *Engine) checkpointMaintLocked() error {
 	if retain, ok := e.walRetainPos(); ok && retain < cut {
 		cut = retain
 	}
+	// Two-phase commit pins the log too: an undecided 'P' record is the
+	// only copy of an in-doubt transaction's mutations, and an unacked
+	// 'D' record is what a restarted coordinator re-pushes from.
+	if floor, ok := e.twopcFloor(); ok && floor < cut {
+		cut = floor
+	}
 	if err := e.wal.TruncateBefore(cut); err != nil {
 		return err
 	}

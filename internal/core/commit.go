@@ -104,20 +104,42 @@ func (t *Tx) Commit() error {
 				stripeSpans = append(stripeSpans, ss)
 			}
 		}
+		// FCW takes no long locks, so a prepared-but-undecided cross-
+		// partition transaction guards its keys through the per-stripe
+		// prepared tables instead — checked here under the same latches.
+		preparedConflict := func(k entKey) error {
+			s := t.e.stripeOf(k)
+			if g, ok := s.prep[k]; ok {
+				t.e.stats.conflicts.Add(1)
+				s.conflicts.Add(1)
+				t.abortStaged()
+				return fmt.Errorf("%w: %s held by prepared transaction %d", ErrWriteConflict, fmtKey(k), g)
+			}
+			return nil
+		}
 		for _, w := range t.writes {
 			if w.created {
 				// Relationship creations validate endpoint liveness.
 				if w.rel != nil && !w.deleted {
 					for _, n := range []ids.ID{w.rel.Start, w.rel.End} {
+						if !t.e.OwnsID(n) {
+							continue // a remote endpoint is guarded by its own partition
+						}
 						if err := t.validateEndpointAlive(n); err != nil {
 							t.e.stats.conflicts.Add(1)
 							t.e.stripeOf(entKey{lock.KindNode, n}).conflicts.Add(1)
 							t.abortStaged()
 							return err
 						}
+						if err := preparedConflict(entKey{lock.KindNode, n}); err != nil {
+							return err
+						}
 					}
 				}
 				continue
+			}
+			if err := preparedConflict(w.key); err != nil {
+				return err
 			}
 			o := t.e.getObject(w.key)
 			if o == nil || o.chain.Head() != w.base {
@@ -584,6 +606,12 @@ func encodeCommit(cts mvcc.TS, muts []mutation) []byte {
 func appendCommit(buf []byte, cts mvcc.TS, muts []mutation) []byte {
 	buf = append(buf, recCommit)
 	buf = binary.LittleEndian.AppendUint64(buf, cts)
+	return appendMutations(buf, muts)
+}
+
+// appendMutations renders a mutation list (the shared tail of commit and
+// prepare records): count, then each mutation's key, flags and payload.
+func appendMutations(buf []byte, muts []mutation) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(muts)))
 	for _, m := range muts {
 		var kind byte
@@ -647,20 +675,29 @@ func decodeCommit(payload []byte) (mvcc.TS, []mutation, error) {
 		return 0, nil, fmt.Errorf("core: not a commit record")
 	}
 	cts := binary.LittleEndian.Uint64(payload[1:])
-	off := 9
+	muts, _, err := decodeMutations(payload, 9)
+	if err != nil {
+		return 0, nil, err
+	}
+	return cts, muts, nil
+}
+
+// decodeMutations parses a mutation list starting at off and returns the
+// mutations plus the offset just past them.
+func decodeMutations(payload []byte, off int) ([]mutation, int, error) {
 	n, sz := binary.Uvarint(payload[off:])
 	if sz <= 0 {
-		return 0, nil, fmt.Errorf("core: corrupt commit record (count)")
+		return nil, 0, fmt.Errorf("core: corrupt commit record (count)")
 	}
 	off += sz
 	if n > uint64(len(payload)-off)/minMutationBytes {
-		return 0, nil, fmt.Errorf("core: corrupt commit record (count %d exceeds %d payload bytes)",
+		return nil, 0, fmt.Errorf("core: corrupt commit record (count %d exceeds %d payload bytes)",
 			n, len(payload)-off)
 	}
 	muts := make([]mutation, 0, n)
 	for i := uint64(0); i < n; i++ {
 		if off+10 > len(payload) {
-			return 0, nil, fmt.Errorf("core: corrupt commit record (header)")
+			return nil, 0, fmt.Errorf("core: corrupt commit record (header)")
 		}
 		var m mutation
 		if payload[off] == 1 {
@@ -679,14 +716,14 @@ func decodeCommit(payload []byte) (mvcc.TS, []mutation, error) {
 			// Each label costs at least one length byte, bounding the count
 			// by the bytes remaining.
 			if sz <= 0 || nl > uint64(len(payload)-off-sz) {
-				return 0, nil, fmt.Errorf("core: corrupt commit record (labels)")
+				return nil, 0, fmt.Errorf("core: corrupt commit record (labels)")
 			}
 			off += sz
 			st := &NodeState{}
 			for j := uint64(0); j < nl; j++ {
 				ll, sz := binary.Uvarint(payload[off:])
 				if sz <= 0 || off+sz+int(ll) > len(payload) {
-					return 0, nil, fmt.Errorf("core: corrupt commit record (label)")
+					return nil, 0, fmt.Errorf("core: corrupt commit record (label)")
 				}
 				off += sz
 				st.Labels = append(st.Labels, string(payload[off:off+int(ll)]))
@@ -694,7 +731,7 @@ func decodeCommit(payload []byte) (mvcc.TS, []mutation, error) {
 			}
 			props, consumed, err := value.DecodeMap(payload[off:])
 			if err != nil {
-				return 0, nil, fmt.Errorf("core: corrupt commit record: %w", err)
+				return nil, 0, fmt.Errorf("core: corrupt commit record: %w", err)
 			}
 			off += consumed
 			st.Props = props
@@ -702,20 +739,20 @@ func decodeCommit(payload []byte) (mvcc.TS, []mutation, error) {
 		case lock.KindRel:
 			tl, sz := binary.Uvarint(payload[off:])
 			if sz <= 0 || off+sz+int(tl) > len(payload) {
-				return 0, nil, fmt.Errorf("core: corrupt commit record (type)")
+				return nil, 0, fmt.Errorf("core: corrupt commit record (type)")
 			}
 			off += sz
 			st := &RelState{Type: string(payload[off : off+int(tl)])}
 			off += int(tl)
 			if off+16 > len(payload) {
-				return 0, nil, fmt.Errorf("core: corrupt commit record (endpoints)")
+				return nil, 0, fmt.Errorf("core: corrupt commit record (endpoints)")
 			}
 			st.Start = binary.LittleEndian.Uint64(payload[off:])
 			st.End = binary.LittleEndian.Uint64(payload[off+8:])
 			off += 16
 			props, consumed, err := value.DecodeMap(payload[off:])
 			if err != nil {
-				return 0, nil, fmt.Errorf("core: corrupt commit record: %w", err)
+				return nil, 0, fmt.Errorf("core: corrupt commit record: %w", err)
 			}
 			off += consumed
 			st.Props = props
@@ -723,5 +760,5 @@ func decodeCommit(payload []byte) (mvcc.TS, []mutation, error) {
 		}
 		muts = append(muts, m)
 	}
-	return cts, muts, nil
+	return muts, off, nil
 }

@@ -182,6 +182,13 @@ type Options struct {
 	// trace span, and replica.apply spans for trace contexts arriving
 	// through the WAL stream. Nil disables tracing entirely.
 	Tracer *trace.Tracer
+	// PartitionID / PartitionCount place this engine in a hash-partitioned
+	// deployment: entity IDs are allocated strided so that
+	// id % PartitionCount == PartitionID, making any entity's owning
+	// partition computable from its ID alone. PartitionCount <= 1 means
+	// unpartitioned (dense IDs, every ID local).
+	PartitionID    int
+	PartitionCount int
 }
 
 // Stats are cumulative engine counters.
@@ -251,6 +258,14 @@ type stripe struct {
 	// install. With CommitStripes=1 this degenerates to the old single
 	// global latch.
 	valMu sync.Mutex
+
+	// prep maps entity keys held by prepared-but-undecided cross-
+	// partition transactions to their global transaction ID. Guarded by
+	// valMu, so first-committer-wins validation — which takes no long
+	// locks — sees prepared keys under the latches it already holds.
+	// Lock-based transactions are blocked by the prepared transaction's
+	// retained long locks instead. Lazily allocated.
+	prep map[entKey]uint64
 
 	// conflicts counts FCW validation failures attributed to an entity
 	// hashed here — the per-stripe contention series on /metrics. A
@@ -336,6 +351,14 @@ type Engine struct {
 	epochMu   sync.Mutex
 	epochHist []EpochEntry
 
+	// prepMu guards the two-phase-commit tables: prepared holds
+	// in-doubt transactions awaiting a verdict, decided holds this
+	// engine's own (coordinator) committed decisions until every
+	// participant acked. Both pin the WAL against truncation.
+	prepMu   sync.Mutex
+	prepared map[uint64]*preparedTxn
+	decided  map[uint64]*decidedTxn
+
 	txnSeq  atomic.Uint64
 	stats   statsCounters
 	closed  atomic.Bool
@@ -393,6 +416,8 @@ func Open(opts Options) (*Engine, error) {
 		relPropIdx:  index.NewPropertyIndex(),
 		tok:         newTokenTable(),
 		dirty:       make(map[entKey]struct{}),
+		prepared:    make(map[uint64]*preparedTxn),
+		decided:     make(map[uint64]*decidedTxn),
 		stopBG:      make(chan struct{}),
 	}
 	for i := range e.stripes {
@@ -406,6 +431,10 @@ func Open(opts Options) (*Engine, error) {
 	if opts.Dir == "" {
 		e.memNodeAlloc = ids.NewAllocator()
 		e.memRelAlloc = ids.NewAllocator()
+		if opts.PartitionCount > 1 {
+			e.memNodeAlloc.SetStride(uint64(opts.PartitionID), uint64(opts.PartitionCount))
+			e.memRelAlloc.SetStride(uint64(opts.PartitionID), uint64(opts.PartitionCount))
+		}
 		return e, nil
 	}
 
@@ -419,6 +448,12 @@ func Open(opts Options) (*Engine, error) {
 	st, err := store.Open(opts.Dir, store.Options{CachePages: opts.StoreCachePages, FS: opts.FS})
 	if err != nil {
 		return nil, err
+	}
+	if opts.PartitionCount > 1 {
+		// Strided IDs: this partition only ever allocates its own
+		// congruence class, so ownership is computable client-side from
+		// any ID. Must precede recovery (which may extend high waters).
+		st.SetIDStride(uint64(opts.PartitionID), uint64(opts.PartitionCount))
 	}
 	w, err := wal.Open(opts.Dir+"/wal", wal.Options{
 		NoSync:      opts.NoSyncCommits,

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"neograph/internal/ids"
 	"neograph/internal/lock"
 	"neograph/internal/mvcc"
 	"neograph/internal/store"
@@ -70,7 +71,19 @@ func (e *Engine) recover() error {
 	// Replay the WAL tail through the same redo-apply path the
 	// replication applier uses. Records whose effects are already
 	// persisted (head commit TS >= record TS) are skipped per entity,
-	// making replay idempotent.
+	// making replay idempotent. Two-phase-commit records are folded as
+	// the stream dictates: a 'P' parks its mutations, the matching 'D'
+	// installs or discards them, and whatever is still parked at the end
+	// of the log is in doubt — its guards are re-armed and the resolver
+	// will ask the coordinator.
+	type pendingPrep struct {
+		coordPart uint32
+		validate  []ids.ID
+		muts      []mutation
+		lsn       uint64
+	}
+	inDoubt := make(map[uint64]*pendingPrep)
+	unacked := make(map[uint64]*decidedTxn)
 	var replayed []entKey
 	err = e.wal.ForEach(func(lsn uint64, payload []byte) error {
 		if len(payload) == 0 {
@@ -92,6 +105,44 @@ func (e *Engine) recover() error {
 				maxTS = cts
 			}
 			replayed = append(replayed, e.applyCommit(cts, muts)...)
+			return nil
+		case recPrepare:
+			gtxn, coordPart, validate, muts, err := decodePrepare(payload)
+			if err != nil {
+				return err
+			}
+			inDoubt[gtxn] = &pendingPrep{coordPart: coordPart, validate: validate, muts: muts, lsn: lsn}
+			return nil
+		case recDecision:
+			gtxn, commit, cts, parts, err := decodeDecision(payload)
+			if err != nil {
+				return err
+			}
+			if p, ok := inDoubt[gtxn]; ok {
+				delete(inDoubt, gtxn)
+				if commit {
+					if cts > maxTS {
+						maxTS = cts
+					}
+					replayed = append(replayed, e.applyCommit(cts, p.muts)...)
+				}
+			}
+			// A commit decision with participants is a coordinator's own:
+			// the repush obligation survives restart until 'E'.
+			if commit && len(parts) > 0 {
+				pm := make(map[uint32]struct{}, len(parts))
+				for _, id := range parts {
+					pm[id] = struct{}{}
+				}
+				unacked[gtxn] = &decidedTxn{gtxn: gtxn, commit: true, lsn: lsn, participants: pm}
+			}
+			return nil
+		case recAckEnd:
+			gtxn, err := decodeAckEnd(payload)
+			if err != nil {
+				return err
+			}
+			delete(unacked, gtxn)
 			return nil
 		default:
 			return fmt.Errorf("core: unknown WAL record tag %q", payload[0])
@@ -130,5 +181,18 @@ func (e *Engine) recover() error {
 	}
 
 	e.oracle = mvcc.NewOracle(maxTS)
+
+	// Re-arm the guards of every in-doubt transaction (rearmPrepared also
+	// raises the allocator high waters over their created IDs, so an
+	// undecided creation's ID can never be reallocated) and restore the
+	// coordinator's unacked-decision obligations.
+	for gtxn, p := range inDoubt {
+		e.rearmPrepared(gtxn, p.coordPart, p.validate, p.muts, p.lsn)
+	}
+	e.prepMu.Lock()
+	for gtxn, d := range unacked {
+		e.decided[gtxn] = d
+	}
+	e.prepMu.Unlock()
 	return nil
 }

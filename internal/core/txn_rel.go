@@ -98,6 +98,47 @@ func (t *Tx) CreateRel(relType string, start, end ids.ID, props value.Map) (ids.
 	return id, nil
 }
 
+// CreateRelCrossPartition creates a relationship whose endpoints may
+// live on other partitions. Locally-owned endpoints are validated and
+// locked exactly as CreateRel does; remote endpoints are skipped here —
+// the coordinator guards them through the owning partition's prepared
+// validate set, so this must only be called on the two-phase-commit
+// prepare path. The edge itself is stored on this (the source ID's
+// owning) partition.
+func (t *Tx) CreateRelCrossPartition(relType string, start, end ids.ID, props value.Map) (ids.ID, error) {
+	if err := t.check(); err != nil {
+		return 0, err
+	}
+	if relType == "" {
+		return 0, fmt.Errorf("core: relationship type must not be empty")
+	}
+	for _, n := range []ids.ID{start, end} {
+		if !t.e.OwnsID(n) {
+			continue
+		}
+		if _, ok, err := t.visibleNode(n); err != nil {
+			return 0, err
+		} else if !ok {
+			return 0, fmt.Errorf("%w: node %d", ErrNotFound, n)
+		}
+		if err := t.lockEndpoint(n); err != nil {
+			return 0, err
+		}
+		if end == start {
+			break
+		}
+	}
+	id := t.e.allocRelID()
+	k := entKey{lock.KindRel, id}
+	t.writes[k] = &writeEntry{
+		key:     k,
+		created: true,
+		rel:     &RelState{Type: relType, Start: start, End: end, Props: props.Clone()},
+	}
+	t.order = append(t.order, k)
+	return id, nil
+}
+
 // GetRel returns the relationship visible in this transaction's snapshot.
 func (t *Tx) GetRel(id ids.ID) (RelSnapshot, error) {
 	if err := t.check(); err != nil {

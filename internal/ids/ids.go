@@ -24,16 +24,20 @@ const NoID ID = ^ID(0)
 // Allocator hands out record IDs with free-list reuse. It is safe for
 // concurrent use.
 type Allocator struct {
-	mu   sync.Mutex
-	next ID
-	free []ID
+	mu     sync.Mutex
+	next   ID
+	free   []ID
+	stride ID // 0 = dense; otherwise Next yields only ids ≡ offset (mod stride)
+	offset ID
 }
 
 // NewAllocator returns an allocator whose next fresh ID is 0.
 func NewAllocator() *Allocator { return &Allocator{} }
 
 // Next returns a free ID, preferring recycled IDs over extending the
-// high-water mark (keeping store files dense, as Neo4j does).
+// high-water mark (keeping store files dense, as Neo4j does). Under a
+// stride (SetStride) only IDs of the allocator's congruence class are
+// handed out.
 func (a *Allocator) Next() ID {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -43,8 +47,52 @@ func (a *Allocator) Next() ID {
 		return id
 	}
 	id := a.next
-	a.next++
+	if a.stride > 0 {
+		id = a.alignUp(id)
+		a.next = id + a.stride
+	} else {
+		a.next++
+	}
 	return id
+}
+
+// alignUp returns the smallest id ≥ from with id % stride == offset.
+// Caller holds a.mu and has checked stride > 0.
+func (a *Allocator) alignUp(from ID) ID {
+	rem := from % a.stride
+	if rem == a.offset {
+		return from
+	}
+	if rem < a.offset {
+		return from + (a.offset - rem)
+	}
+	return from + (a.stride - rem) + a.offset
+}
+
+// SetStride restricts the allocator to the congruence class
+// id % stride == offset — the hash-partitioning contract that makes an
+// entity's owning partition computable from its ID alone. Free-list
+// entries of other classes (possible after an allocator rebuild that
+// scanned a partitioned store file) are dropped: they belong to peers
+// and must never be handed out here. stride 0 restores dense
+// allocation; offset must be < stride.
+func (a *Allocator) SetStride(offset, stride ID) {
+	if stride > 0 && offset >= stride {
+		panic(fmt.Sprintf("ids: stride offset %d >= stride %d", offset, stride))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stride, a.offset = stride, offset
+	if stride == 0 {
+		return
+	}
+	kept := a.free[:0]
+	for _, id := range a.free {
+		if id%stride == offset {
+			kept = append(kept, id)
+		}
+	}
+	a.free = kept
 }
 
 // Release returns id to the free list. Releasing an ID at or above the

@@ -1,0 +1,62 @@
+package ids
+
+import "testing"
+
+// A strided allocator must hand out only IDs of its congruence class —
+// fresh IDs and recycled IDs alike — so partition ownership stays
+// computable as id % stride.
+func TestStrideNext(t *testing.T) {
+	a := NewAllocator()
+	a.SetStride(1, 4)
+	for want := ID(1); want <= 13; want += 4 {
+		if got := a.Next(); got != want {
+			t.Fatalf("Next() = %d, want %d", got, want)
+		}
+	}
+	// Recycled IDs come back before the high water extends.
+	a.Release(5)
+	if got := a.Next(); got != 5 {
+		t.Fatalf("Next() after Release(5) = %d, want 5", got)
+	}
+	if got := a.Next(); got != 17 {
+		t.Fatalf("Next() = %d, want 17", got)
+	}
+}
+
+// SetStride on a rebuilt allocator (scan released every hole, including
+// peers' IDs) must drop foreign-class free entries.
+func TestStrideFiltersForeignFreeIDs(t *testing.T) {
+	a := NewAllocator()
+	a.SetHighWater(8)
+	for id := ID(0); id < 8; id++ {
+		a.Release(id)
+	}
+	a.SetStride(2, 4)
+	if n := a.FreeCount(); n != 2 {
+		t.Fatalf("FreeCount after SetStride = %d, want 2 (ids 2 and 6)", n)
+	}
+	seen := map[ID]bool{a.Next(): true, a.Next(): true}
+	if !seen[2] || !seen[6] {
+		t.Fatalf("recycled ids = %v, want {2, 6}", seen)
+	}
+	// Fresh path resumes past the old high water, still congruent.
+	if got := a.Next(); got != 10 {
+		t.Fatalf("fresh Next() = %d, want 10", got)
+	}
+}
+
+// Offset zero and stride zero (dense) both behave.
+func TestStrideZeroAndDense(t *testing.T) {
+	a := NewAllocator()
+	a.SetStride(0, 2)
+	if got := a.Next(); got != 0 {
+		t.Fatalf("Next() = %d, want 0", got)
+	}
+	if got := a.Next(); got != 2 {
+		t.Fatalf("Next() = %d, want 2", got)
+	}
+	a.SetStride(0, 0) // back to dense
+	if got := a.Next(); got != 4 {
+		t.Fatalf("dense Next() = %d, want 4", got)
+	}
+}

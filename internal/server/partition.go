@@ -1,0 +1,208 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"neograph"
+	"neograph/internal/partition"
+	"neograph/internal/wire"
+)
+
+// Partition integration: a partitioned server owns one hash partition
+// of the ID space and refuses (with a routing hint) operations on
+// entities it does not own; batches that span partitions are handed to
+// the coordinator, which drives two-phase commit across the involved
+// partitions' primaries.
+
+// SetPartition wires the partition coordinator into the server's
+// dispatch: cross-partition batches route through coord, misrouted
+// single-entity ops fail with the owner partition named, and the
+// prepare/decide/txn_status ops come alive. self/count mirror the
+// database's PartitionID/PartitionCount.
+func (s *Server) SetPartition(coord *partition.Coordinator, self uint32, count int) {
+	s.clusterMu.Lock()
+	s.coord = coord
+	s.partSelf = self
+	s.partCount = count
+	s.clusterMu.Unlock()
+}
+
+// partitionView snapshots the partition wiring for one request.
+func (s *Server) partitionView() (*partition.Coordinator, uint32, int) {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	return s.coord, s.partSelf, s.partCount
+}
+
+// Local returns the coordinator's handle on this server's partition —
+// pass it to partition.NewCoordinator.
+func (s *Server) Local() partition.Local { return localPartition{s} }
+
+// localPartition adapts the server (op execution) and its database
+// (two-phase-commit state) to partition.Local.
+type localPartition struct{ s *Server }
+
+func (lp localPartition) PrepareBatch(gtxn uint64, coordPart uint32, batch []wire.Request, validate []uint64) *wire.Response {
+	return lp.s.prepareBatch(gtxn, coordPart, batch, validate)
+}
+
+func (lp localPartition) DecideTxn(gtxn uint64, commit bool, participants []uint32) (uint64, error) {
+	return lp.s.db.DecideTxn(gtxn, commit, participants)
+}
+
+func (lp localPartition) TxnStatus(gtxn uint64) string {
+	return string(lp.s.db.TxnStatus(gtxn))
+}
+
+func (lp localPartition) AckDecision(gtxn uint64, participant uint32) {
+	lp.s.db.AckDecision(gtxn, participant)
+}
+
+func (lp localPartition) InDoubt() []partition.InDoubtTxn {
+	var out []partition.InDoubtTxn
+	for _, p := range lp.s.db.InDoubt() {
+		out = append(out, partition.InDoubtTxn{Gtxn: p.Gtxn, CoordPart: p.CoordPart})
+	}
+	return out
+}
+
+func (lp localPartition) UnackedDecisions() []partition.UnackedTxn {
+	var out []partition.UnackedTxn
+	for _, d := range lp.s.db.UnackedDecisions() {
+		out = append(out, partition.UnackedTxn{Gtxn: d.Gtxn, Participants: d.Participants})
+	}
+	return out
+}
+
+// prepareBatch is phase one on a participant: run the sub-ops in a
+// fresh transaction (relationship creation tolerating remote endpoints)
+// and park it prepared under gtxn. An empty batch is a valid anchor —
+// the coordinator prepares validate-only and decision-anchor entries
+// with no ops.
+func (s *Server) prepareBatch(gtxn uint64, coordPart uint32, batch []wire.Request, validate []uint64) *wire.Response {
+	if s.db.IsReplica() {
+		return fail(fmt.Errorf("%w: prepare must go to the primary", neograph.ErrReadOnlyReplica))
+	}
+	if len(batch) > wire.MaxBatchOps {
+		return fail(fmt.Errorf("server: prepare batch of %d ops exceeds limit %d", len(batch), wire.MaxBatchOps))
+	}
+	for i := range batch {
+		if !wire.Batchable(batch[i].Op) {
+			return fail(fmt.Errorf("server: op %q not allowed in a prepare (sub-op %d)", batch[i].Op, i))
+		}
+	}
+	sess := &session{db: s.db, srv: s, crossPrepare: true}
+	sess.tx = s.db.Begin()
+	results, failIdx, msg := sess.runBatchOps(batch)
+	if failIdx >= 0 {
+		if sess.tx != nil {
+			sess.tx.Abort()
+		}
+		idx := failIdx
+		return &wire.Response{
+			Error:    fmt.Sprintf("server: prepare aborted at op %d: %s", failIdx, msg),
+			FailedOp: &idx,
+		}
+	}
+	lsn, err := sess.tx.Prepare(gtxn, coordPart, validate)
+	if err != nil {
+		return fail(err) // Prepare aborts the transaction itself
+	}
+	return &wire.Response{OK: true, Results: results, LSN: lsn}
+}
+
+// misrouted builds the structured routing error for an op anchored to
+// an entity this partition does not own. Clients parse the owner out of
+// Response.Error only as a hint — the partition map is the real router.
+func misrouted(self uint32, count int, kind string, id uint64) error {
+	return fmt.Errorf("server: wrong partition: %s %d belongs to partition %d of %d (this is partition %d)",
+		kind, id, uint32(id%uint64(count)), count, self)
+}
+
+// routePartitioned enforces single-op routing on a partitioned server
+// and diverts cross-partition relationship creation through the
+// coordinator. It returns (response, true) when it fully handled the
+// request.
+func (sess *session) routePartitioned(req *wire.Request) (*wire.Response, bool) {
+	coord, self, count := sess.srv.partitionView()
+	if coord == nil || count <= 1 {
+		return nil, false
+	}
+	owns := func(id uint64) bool { return uint32(id%uint64(count)) == self }
+	switch req.Op {
+	case wire.OpCreateRel:
+		if owns(req.Start) && owns(req.End) {
+			return nil, false
+		}
+		if !owns(req.Start) {
+			// The edge lives on the start node's partition; this server
+			// cannot even allocate its ID. The client router should have
+			// sent it there.
+			return fail(misrouted(self, count, "node", req.Start)), true
+		}
+		// Local source, remote destination: a one-op cross-partition
+		// transaction (the destination partition pins the endpoint).
+		if sess.tx != nil {
+			return fail(errors.New("server: cross-partition create_rel is not allowed inside an explicit transaction")), true
+		}
+		return coord.CommitBatch([]wire.Request{*req}, sess.deadline), true
+	case wire.OpGetNode, wire.OpSetNodeProp, wire.OpAddLabel, wire.OpRemoveLabel,
+		wire.OpDeleteNode, wire.OpDetachDelete:
+		if !owns(req.ID) {
+			return fail(misrouted(self, count, "node", req.ID)), true
+		}
+	case wire.OpGetRel, wire.OpSetRelProp, wire.OpDeleteRel:
+		if !owns(req.ID) {
+			return fail(misrouted(self, count, "rel", req.ID)), true
+		}
+	case wire.OpRels, wire.OpNeighbors:
+		if !owns(req.ID) {
+			return fail(misrouted(self, count, "node", req.ID)), true
+		}
+	}
+	return nil, false
+}
+
+// dispatchPartitionOp handles the 2PC control ops (top level only).
+func (sess *session) dispatchPartitionOp(req *wire.Request) *wire.Response {
+	if sess.srv == nil {
+		return fail(errors.New("server: not a partitioned deployment"))
+	}
+	coord, _, count := sess.srv.partitionView()
+	if coord == nil || count <= 1 {
+		return fail(errors.New("server: not a partitioned deployment"))
+	}
+	switch req.Op {
+	case wire.OpPrepare:
+		return sess.srv.prepareBatch(req.TxnID, req.CoordPart, req.Batch, req.ValidateNodes)
+
+	case wire.OpDecide:
+		if req.Commit == nil {
+			return fail(errors.New("server: decide without a verdict"))
+		}
+		lsn, err := sess.db.DecideTxn(req.TxnID, *req.Commit, req.Participants)
+		if err != nil {
+			if errors.Is(err, neograph.ErrNotPrepared) {
+				// Already decided (a repush raced the first push, or a
+				// recovery already resolved it): acknowledging again is
+				// harmless and lets the coordinator retire the decision.
+				return &wire.Response{OK: true, State: string(sess.db.TxnStatus(req.TxnID))}
+			}
+			return fail(err)
+		}
+		return &wire.Response{OK: true, LSN: lsn}
+
+	case wire.OpTxnStatus:
+		// Only the primary's answer is authoritative: a lagging replica
+		// could answer "unknown" for a transaction whose decision is on
+		// the wire, and "unknown" means presumed abort to the asker.
+		if sess.db.IsReplica() {
+			return fail(fmt.Errorf("%w: txn_status must go to the primary", neograph.ErrReadOnlyReplica))
+		}
+		return &wire.Response{OK: true, State: string(sess.db.TxnStatus(req.TxnID))}
+
+	default:
+		return fail(fmt.Errorf("server: unknown partition op %q", req.Op))
+	}
+}

@@ -1,0 +1,403 @@
+// 2PC crash matrix: a cross-partition commit is interrupted by process
+// crashes at every point of the protocol — participant prepared,
+// coordinator prepared, decision logged, decision pushed, decision
+// acked — with the coordinator, the participant, or the whole fleet
+// dying. After restart the real recovery machinery (WAL replay +
+// Coordinator.ResolveInDoubt / RepushDecisions over live TCP) must
+// converge to: every acknowledged commit durable on ALL partitions,
+// every unacknowledged transaction atomically absent, and no prepared
+// transaction left orphaned.
+package server_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"neograph"
+	"neograph/internal/partition"
+	"neograph/internal/server"
+	"neograph/internal/wire"
+)
+
+// crashFleet is a 2-partition fleet whose nodes can crash (WAL kept,
+// caches dropped) and reopen on fresh ports, with the surviving
+// coordinators adopting the re-versioned topology.
+type crashFleet struct {
+	t       *testing.T
+	dirs    []string
+	dbs     []*neograph.DB
+	srvs    []*server.Server
+	coords  []*partition.Coordinator
+	topos   []*partition.Topology
+	version uint64
+}
+
+func startCrashFleet(t *testing.T) *crashFleet {
+	t.Helper()
+	f := &crashFleet{t: t, version: 1}
+	const count = 2
+	f.dirs = make([]string, count)
+	f.dbs = make([]*neograph.DB, count)
+	f.srvs = make([]*server.Server, count)
+	f.coords = make([]*partition.Coordinator, count)
+	f.topos = make([]*partition.Topology, count)
+	for part := 0; part < count; part++ {
+		f.dirs[part] = t.TempDir()
+		f.openNode(part)
+	}
+	f.rewire()
+	t.Cleanup(func() {
+		for part := range f.dbs {
+			if f.coords[part] != nil {
+				f.coords[part].Close()
+			}
+			if f.srvs[part] != nil {
+				f.srvs[part].Close()
+			}
+			if f.dbs[part] != nil {
+				f.dbs[part].Close()
+			}
+		}
+	})
+	return f
+}
+
+// openNode opens partition part's database and server (fresh port).
+func (f *crashFleet) openNode(part int) {
+	f.t.Helper()
+	db, err := neograph.Open(neograph.Options{
+		Dir:            f.dirs[part],
+		PartitionID:    part,
+		PartitionCount: len(f.dirs),
+	})
+	if err != nil {
+		f.t.Fatalf("open partition %d: %v", part, err)
+	}
+	srv, err := server.New(db, "127.0.0.1:0")
+	if err != nil {
+		f.t.Fatalf("serve partition %d: %v", part, err)
+	}
+	f.dbs[part], f.srvs[part] = db, srv
+}
+
+// rewire rebuilds the topology from the current server addresses and
+// gives every live node a coordinator on it. Surviving coordinators
+// adopt the newer map (that is how a real fleet learns a restarted
+// peer's address); reopened nodes get a fresh coordinator. The resolver
+// loops are NOT started — the matrix drives recovery passes explicitly
+// so every interleaving is deterministic.
+func (f *crashFleet) rewire() {
+	f.t.Helper()
+	f.version++
+	pm := wire.PartitionMap{Version: f.version, Count: len(f.dbs)}
+	for part, srv := range f.srvs {
+		if srv == nil {
+			continue // still down; rewire again after its reopen
+		}
+		pm.Groups = append(pm.Groups, wire.PartitionGroup{
+			ID: uint32(part), Addrs: []string{srv.Addr()},
+		})
+	}
+	for part := range f.dbs {
+		if f.srvs[part] == nil {
+			continue
+		}
+		if f.coords[part] != nil {
+			f.topos[part].Adopt(&pm)
+			continue
+		}
+		f.topos[part] = partition.NewTopology(pm)
+		f.coords[part] = partition.NewCoordinator(uint32(part), f.topos[part],
+			f.srvs[part].Local(), f.dbs[part].AppliedLSN(), nil)
+		f.srvs[part].SetPartition(f.coords[part], uint32(part), len(f.dbs))
+	}
+}
+
+// crash kills partition part the hard way: server torn down, database
+// crashed without flushing.
+func (f *crashFleet) crash(part int) {
+	f.t.Helper()
+	f.coords[part].Close()
+	f.coords[part] = nil
+	f.srvs[part].Close()
+	f.srvs[part] = nil
+	if err := f.dbs[part].Crash(); err != nil {
+		f.t.Fatalf("crash partition %d: %v", part, err)
+	}
+	f.dbs[part] = nil
+}
+
+// reopen restarts a crashed partition and rewires the fleet.
+func (f *crashFleet) reopen(part int) {
+	f.t.Helper()
+	f.openNode(part)
+	f.rewire()
+}
+
+// recoverAll drives resolver and repusher passes on every node until no
+// partition holds an in-doubt prepare or an unacknowledged decision.
+func (f *crashFleet) recoverAll() {
+	f.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, c := range f.coords {
+			c.ResolveInDoubt()
+			c.RepushDecisions()
+		}
+		clean := true
+		for _, db := range f.dbs {
+			if len(db.InDoubt()) > 0 || len(db.UnackedDecisions()) > 0 {
+				clean = false
+			}
+		}
+		if clean {
+			return
+		}
+		if time.Now().After(deadline) {
+			for part, db := range f.dbs {
+				f.t.Logf("partition %d: in-doubt %v, unacked %v", part, db.InDoubt(), db.UnackedDecisions())
+			}
+			f.t.Fatal("recovery did not converge: orphaned prepares or unacked decisions remain")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// newAnchor commits one node on partition part and returns its ID.
+func (f *crashFleet) newAnchor(part int) neograph.NodeID {
+	f.t.Helper()
+	tx := f.dbs[part].Begin()
+	id, err := tx.CreateNode([]string{"Anchor"}, nil)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		f.t.Fatal(err)
+	}
+	if id%uint64(len(f.dbs)) != uint64(part) {
+		f.t.Fatalf("anchor %d allocated off-partition (partition %d)", id, part)
+	}
+	return id
+}
+
+// hasProp reports whether the node carries the marker property.
+func (f *crashFleet) hasProp(part int, id neograph.NodeID) bool {
+	f.t.Helper()
+	tx := f.dbs[part].Begin()
+	defer tx.Abort()
+	n, err := tx.GetNode(id)
+	if err != nil {
+		f.t.Fatalf("partition %d node %d: %v", part, id, err)
+	}
+	_, ok := n.Props["x"]
+	return ok
+}
+
+func markerOp(id neograph.NodeID) wire.Request {
+	enc, _ := wire.EncodeValue(neograph.Int(1))
+	return wire.Request{Op: wire.OpSetNodeProp, ID: id, Key: "x", Value: json.RawMessage(enc)}
+}
+
+// twopcStep is one point in the cross-partition commit protocol. The
+// transaction counts as ACKNOWLEDGED to the client from stepDecided on:
+// the coordinator's durable decision record is the commit point.
+type twopcStep int
+
+const (
+	stepParticipantPrepared twopcStep = iota // participant holds 'P'
+	stepAllPrepared                          // coordinator holds 'P' too
+	stepDecided                              // coordinator logged 'D' commit — ACKED
+	stepPushed                               // participant applied the decision
+	stepAcked                                // coordinator logged 'E'
+)
+
+// runUpTo drives the scripted 2PC for marker writes on both anchors up
+// to and including step, exactly as Coordinator.CommitBatch orders it.
+func (f *crashFleet) runUpTo(step twopcStep, gtxn uint64, a0, a1 neograph.NodeID) {
+	f.t.Helper()
+	must := func(resp *wire.Response) {
+		f.t.Helper()
+		if !resp.OK {
+			f.t.Fatalf("2PC step failed: %s", resp.Error)
+		}
+	}
+	must(f.srvs[1].Local().PrepareBatch(gtxn, 0, []wire.Request{markerOp(a1)}, nil))
+	if step < stepAllPrepared {
+		return
+	}
+	must(f.srvs[0].Local().PrepareBatch(gtxn, 0, []wire.Request{markerOp(a0)}, nil))
+	if step < stepDecided {
+		return
+	}
+	if _, err := f.dbs[0].DecideTxn(gtxn, true, []uint32{0, 1}); err != nil {
+		f.t.Fatal(err)
+	}
+	if step < stepPushed {
+		return
+	}
+	if _, err := f.dbs[1].DecideTxn(gtxn, true, nil); err != nil {
+		f.t.Fatal(err)
+	}
+	if step < stepAcked {
+		return
+	}
+	f.dbs[0].AckDecision(gtxn, 0)
+	f.dbs[0].AckDecision(gtxn, 1)
+}
+
+// assertOutcome checks the matrix invariants: an acked transaction is
+// committed on every partition, an unacked one on none, and nobody
+// holds an in-doubt prepare.
+func (f *crashFleet) assertOutcome(acked bool, a0, a1 neograph.NodeID) {
+	f.t.Helper()
+	for part, id := range []neograph.NodeID{a0, a1} {
+		if got := f.hasProp(part, id); got != acked {
+			f.t.Errorf("partition %d: marker present=%v, want %v (acked=%v)", part, got, acked, acked)
+		}
+	}
+	if f.hasProp(0, a0) != f.hasProp(1, a1) {
+		f.t.Error("atomicity violated: partitions disagree on the transaction outcome")
+	}
+	for part, db := range f.dbs {
+		if d := db.InDoubt(); len(d) != 0 {
+			f.t.Errorf("partition %d: orphaned prepares %v", part, d)
+		}
+	}
+}
+
+// TestTwoPCCrashMatrix crashes the whole fleet at every protocol step.
+func TestTwoPCCrashMatrix(t *testing.T) {
+	steps := []struct {
+		name  string
+		step  twopcStep
+		acked bool
+	}{
+		{"participant-prepared", stepParticipantPrepared, false},
+		{"all-prepared", stepAllPrepared, false},
+		{"decided", stepDecided, true},
+		{"pushed", stepPushed, true},
+		{"acked", stepAcked, true},
+	}
+	for i, s := range steps {
+		s := s
+		gtxn := uint64(1000 + i)
+		t.Run(s.name, func(t *testing.T) {
+			f := startCrashFleet(t)
+			a0, a1 := f.newAnchor(0), f.newAnchor(1)
+			f.runUpTo(s.step, gtxn, a0, a1)
+			f.crash(0)
+			f.crash(1)
+			f.reopen(0)
+			f.reopen(1)
+			f.recoverAll()
+			f.assertOutcome(s.acked, a0, a1)
+		})
+	}
+}
+
+// TestTwoPCCrashMatrixCoordinatorOnly crashes only the coordinator; the
+// participant resolves through txn_status against the restarted one.
+func TestTwoPCCrashMatrixCoordinatorOnly(t *testing.T) {
+	steps := []struct {
+		name  string
+		step  twopcStep
+		acked bool
+	}{
+		{"all-prepared", stepAllPrepared, false}, // no decision → presumed abort
+		{"decided", stepDecided, true},           // durable 'D' → participant learns commit
+	}
+	for i, s := range steps {
+		s := s
+		gtxn := uint64(2000 + i)
+		t.Run(s.name, func(t *testing.T) {
+			f := startCrashFleet(t)
+			a0, a1 := f.newAnchor(0), f.newAnchor(1)
+			f.runUpTo(s.step, gtxn, a0, a1)
+			f.crash(0)
+			f.reopen(0)
+			f.recoverAll()
+			f.assertOutcome(s.acked, a0, a1)
+		})
+	}
+}
+
+// TestTwoPCCrashMatrixParticipantOnly crashes only the participant; the
+// live coordinator repushes its durable decision to the restarted one.
+func TestTwoPCCrashMatrixParticipantOnly(t *testing.T) {
+	steps := []struct {
+		name  string
+		step  twopcStep
+		acked bool
+	}{
+		{"participant-prepared", stepParticipantPrepared, false},
+		{"decided", stepDecided, true},
+		{"pushed", stepPushed, true},
+	}
+	for i, s := range steps {
+		s := s
+		gtxn := uint64(3000 + i)
+		t.Run(s.name, func(t *testing.T) {
+			f := startCrashFleet(t)
+			a0, a1 := f.newAnchor(0), f.newAnchor(1)
+			f.runUpTo(s.step, gtxn, a0, a1)
+			f.crash(1)
+			f.reopen(1)
+			f.recoverAll()
+			f.assertOutcome(s.acked, a0, a1)
+		})
+	}
+}
+
+// TestTwoPCCrashAbortDecision: an explicit abort decision also survives
+// a fleet crash — the participant must not commit a transaction the
+// coordinator durably aborted.
+func TestTwoPCCrashAbortDecision(t *testing.T) {
+	f := startCrashFleet(t)
+	a0, a1 := f.newAnchor(0), f.newAnchor(1)
+	const gtxn = 4000
+	f.runUpTo(stepAllPrepared, gtxn, a0, a1)
+	if _, err := f.dbs[0].DecideTxn(gtxn, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.crash(0)
+	f.crash(1)
+	f.reopen(0)
+	f.reopen(1)
+	f.recoverAll()
+	f.assertOutcome(false, a0, a1)
+}
+
+// TestTwoPCRecoveredPreparedBlocksWriters: an in-doubt prepare that
+// survived a crash still holds its locks until resolved — a conflicting
+// writer is refused, not silently interleaved.
+func TestTwoPCRecoveredPreparedBlocksWriters(t *testing.T) {
+	f := startCrashFleet(t)
+	a0, a1 := f.newAnchor(0), f.newAnchor(1)
+	const gtxn = 5000
+	f.runUpTo(stepAllPrepared, gtxn, a0, a1)
+	f.crash(1)
+	f.reopen(1)
+
+	tx := f.dbs[1].Begin()
+	err := tx.SetNodeProp(a1, "x", neograph.Int(9))
+	if err == nil {
+		err = tx.Commit()
+	} else {
+		tx.Abort()
+	}
+	if err == nil {
+		t.Fatal("write to a recovered in-doubt key should conflict")
+	}
+
+	f.recoverAll()
+	f.assertOutcome(false, a0, a1)
+	// The key is writable again once the prepare resolved.
+	tx = f.dbs[1].Begin()
+	if err := tx.SetNodeProp(a1, "y", neograph.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

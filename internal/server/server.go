@@ -18,6 +18,7 @@ import (
 
 	"neograph"
 	"neograph/internal/metrics"
+	"neograph/internal/partition"
 	"neograph/internal/repl"
 	"neograph/internal/slog"
 	"neograph/internal/trace"
@@ -109,6 +110,11 @@ type Server struct {
 	// servers); cmd/neograph-server wires the two together.
 	clusterMu   sync.Mutex
 	clusterInfo func() any
+	// coord / partSelf / partCount are the partition wiring (see
+	// SetPartition); nil coord means unpartitioned.
+	coord     *partition.Coordinator
+	partSelf  uint32
+	partCount int
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -338,6 +344,10 @@ type session struct {
 	// commit sites hand it to the transaction so the engine's pipeline
 	// stages appear under it.
 	span *trace.Span
+	// crossPrepare marks a two-phase-commit prepare execution:
+	// relationship creation tolerates endpoints owned by other
+	// partitions (the coordinator guards them there).
+	crossPrepare bool
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -571,6 +581,15 @@ func (sess *session) dispatch(req *wire.Request) *wire.Response {
 		return fail(fmt.Errorf("%w: writes must go to the primary at %s",
 			neograph.ErrReadOnlyReplica, sess.db.PrimaryAddr()))
 	}
+	switch req.Op {
+	case wire.OpPrepare, wire.OpDecide, wire.OpTxnStatus:
+		return sess.dispatchPartitionOp(req)
+	}
+	if sess.srv != nil {
+		if resp, handled := sess.routePartitioned(req); handled {
+			return resp
+		}
+	}
 	if req.IDRef != nil || req.StartRef != nil || req.EndRef != nil {
 		return fail(errors.New("server: id references are only valid inside a batch"))
 	}
@@ -613,42 +632,34 @@ func (sess *session) dispatchBatch(req *wire.Request) *wire.Response {
 			}
 		}
 	}
+	// A batch spanning partitions commits through the coordinator (two
+	// phases across the involved primaries) instead of a local
+	// transaction. Explicit transactions stay single-partition: their
+	// earlier staged writes cannot join a cross-partition prepare.
+	if sess.srv != nil {
+		if coord, self, count := sess.srv.partitionView(); coord != nil &&
+			partition.CrossPartition(req.Batch, self, count) {
+			if sess.tx != nil {
+				return fail(errors.New("server: cross-partition batch is not allowed inside an explicit transaction"))
+			}
+			return coord.CommitBatch(req.Batch, sess.deadline)
+		}
+	}
 	owned := sess.tx == nil
 	if owned {
 		sess.tx = sess.db.Begin()
 	}
-	abort := func(i int, msg string) *wire.Response {
+	results, failIdx, msg := sess.runBatchOps(req.Batch)
+	if failIdx >= 0 {
 		if sess.tx != nil {
 			sess.tx.Abort()
 			sess.tx = nil
 		}
-		idx := i
+		idx := failIdx
 		return &wire.Response{
-			Error:    fmt.Sprintf("server: batch aborted at op %d: %s", i, msg),
+			Error:    fmt.Sprintf("server: batch aborted at op %d: %s", failIdx, msg),
 			FailedOp: &idx,
 		}
-	}
-	results := make([]wire.Response, 0, len(req.Batch))
-	// Created-entity IDs by sub-op index, for $n back references
-	// (ValidateBatch has already bounded every index to earlier ops).
-	ids := make([]neograph.NodeID, len(req.Batch))
-	hasID := make([]bool, len(req.Batch))
-	for i := range req.Batch {
-		if err := sess.checkDeadline(); err != nil {
-			return abort(i, err.Error())
-		}
-		op, msg := resolveBatchRefs(&req.Batch[i], i, ids, hasID)
-		if op == nil {
-			return abort(i, msg)
-		}
-		sub := sess.dispatchOp(op)
-		if !sub.OK {
-			return abort(i, sub.Error)
-		}
-		if op.Op == wire.OpCreateNode || op.Op == wire.OpCreateRel {
-			ids[i], hasID[i] = sub.ID, true
-		}
-		results = append(results, *sub)
 	}
 	resp := &wire.Response{OK: true, Results: results}
 	if owned {
@@ -661,6 +672,35 @@ func (sess *session) dispatchBatch(req *wire.Request) *wire.Response {
 		resp.LSN = tx.CommitLSN()
 	}
 	return resp
+}
+
+// runBatchOps executes batch sub-ops against the session's open
+// transaction, resolving $n back references as creations land. It
+// returns the per-op results, or the index and message of the first
+// failure (failIdx -1 on success). Shared by the batch op and the
+// two-phase-commit prepare path.
+func (sess *session) runBatchOps(batch []wire.Request) (results []wire.Response, failIdx int, msg string) {
+	results = make([]wire.Response, 0, len(batch))
+	ids := make([]neograph.NodeID, len(batch))
+	hasID := make([]bool, len(batch))
+	for i := range batch {
+		if err := sess.checkDeadline(); err != nil {
+			return nil, i, err.Error()
+		}
+		op, msg := resolveBatchRefs(&batch[i], i, ids, hasID)
+		if op == nil {
+			return nil, i, msg
+		}
+		sub := sess.dispatchOp(op)
+		if !sub.OK {
+			return nil, i, sub.Error
+		}
+		if op.Op == wire.OpCreateNode || op.Op == wire.OpCreateRel {
+			ids[i], hasID[i] = sub.ID, true
+		}
+		results = append(results, *sub)
+	}
+	return results, -1, ""
 }
 
 func fail(err error) *wire.Response {
@@ -821,7 +861,11 @@ func (sess *session) dispatchOp(req *wire.Request) *wire.Response {
 		var id neograph.RelID
 		err = sess.inTx(true, func(tx *neograph.Tx) error {
 			var err error
-			id, err = tx.CreateRel(req.Type, req.Start, req.End, props)
+			if sess.crossPrepare {
+				id, err = tx.CreateRelCrossPartition(req.Type, req.Start, req.End, props)
+			} else {
+				id, err = tx.CreateRel(req.Type, req.Start, req.End, props)
+			}
 			return err
 		})
 		if err != nil {

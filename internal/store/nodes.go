@@ -35,6 +35,15 @@ func (s *Store) NodeHighWater() ids.ID { return s.nodes.alloc.HighWater() }
 // WAL that never reached the record file.
 func (s *Store) SetNodeHighWater(hw ids.ID) { s.nodes.alloc.SetHighWater(hw) }
 
+// SetIDStride restricts BOTH entity allocators (nodes and relationships)
+// to the congruence class id % stride == offset, so a partitioned
+// deployment can compute any entity's owning partition from its ID.
+// Must be called right after Open, before any allocation.
+func (s *Store) SetIDStride(offset, stride ids.ID) {
+	s.nodes.alloc.SetStride(offset, stride)
+	s.rels.alloc.SetStride(offset, stride)
+}
+
 // PutNode persists a node image, replacing any previous image at the same
 // ID. Relationship chain pointers are preserved across rewrites — chains
 // are maintained by PutRel/RemoveRel.

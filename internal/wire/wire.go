@@ -81,6 +81,27 @@ const (
 	// with one Response carrying per-op Results. Atomic: the first failed
 	// op aborts the entire batch (Response.FailedOp names it).
 	OpBatch = "batch"
+	// OpPrepare is phase one of a cross-partition commit: execute
+	// Request.Batch in a fresh transaction and park it prepared under
+	// global transaction ID Request.TxnID, holding its write guards until
+	// the decision. Request.CoordPart names the coordinating partition
+	// (where an in-doubt participant asks after a crash) and
+	// Request.ValidateNodes lists locally-owned nodes that must stay alive
+	// for the global transaction (remote edge endpoints). The response
+	// carries per-op Results (created IDs) and the prepare record's LSN.
+	OpPrepare = "prepare"
+	// OpDecide is phase two: commit or abort (Request.Commit) the prepared
+	// transaction Request.TxnID. On the coordinating partition itself,
+	// Request.Participants lists the other partitions involved — its
+	// durable decision record is the global commit point and the repush
+	// obligation survives restart until every participant acknowledges.
+	// A participant's OK response IS its acknowledgement.
+	OpDecide = "decide"
+	// OpTxnStatus asks a (coordinating) partition what became of global
+	// transaction Request.TxnID: Response.State is "committed",
+	// "aborted", "pending", or "unknown" (presumed abort). In-doubt
+	// participants use it to resolve prepares orphaned by a crash.
+	OpTxnStatus = "txn_status"
 )
 
 // Request is one client command.
@@ -135,6 +156,20 @@ type Request struct {
 	// server opens its per-op span as a child of Trace.SpanID and echoes
 	// Trace.TraceID in the response. Absent on unsampled requests.
 	Trace *TraceContext `json:"trace,omitempty"`
+	// TxnID is the global transaction ID of a prepare/decide/txn_status
+	// request (coordinator partition in the high bits, per-coordinator
+	// sequence below — unique cluster-wide without coordination).
+	TxnID uint64 `json:"txn_id,omitempty"`
+	// CoordPart names the coordinating partition of a prepare request.
+	CoordPart uint32 `json:"coord_part,omitempty"`
+	// Commit is the decide request's verdict (pointer: absent ≠ abort).
+	Commit *bool `json:"commit,omitempty"`
+	// ValidateNodes lists locally-owned node IDs a prepare must pin alive
+	// until the decision (edge endpoints referenced from other partitions).
+	ValidateNodes []uint64 `json:"validate_nodes,omitempty"`
+	// Participants lists the non-coordinating partitions of a decide
+	// request issued on the coordinating partition itself.
+	Participants []uint32 `json:"participants,omitempty"`
 }
 
 // TraceContext is a trace's wire identity: which trace this request
@@ -204,6 +239,29 @@ type ClusterMember struct {
 	Addr     string `json:"addr"`
 	ReplAddr string `json:"repl_addr,omitempty"`
 	NodeID   uint64 `json:"node_id,omitempty"`
+	// PartitionID is the hash partition this member serves. Members are
+	// identified by (NodeID, PartitionID): the same node ID never serves
+	// two partitions, but distinct partitions have overlapping node-ID
+	// spaces, so dedup must use the pair.
+	PartitionID uint32 `json:"partition_id,omitempty"`
+}
+
+// PartitionGroup is one partition's replication group in a PartitionMap:
+// the partition ID and the client-facing addresses of its members (the
+// pool probes them to find the group's current primary).
+type PartitionGroup struct {
+	ID    uint32   `json:"id"`
+	Addrs []string `json:"addrs"`
+}
+
+// PartitionMap is the versioned partition topology served inside
+// cluster_status: node IDs hash to partition id%Count, and Groups names
+// each partition's replication group. Clients adopt the map with the
+// highest Version they have seen.
+type PartitionMap struct {
+	Version uint64           `json:"version"`
+	Count   int              `json:"count"`
+	Groups  []PartitionGroup `json:"groups"`
 }
 
 // ClusterInfo is the cluster_status payload: one node's self-view plus
@@ -232,6 +290,12 @@ type ClusterInfo struct {
 	// Members is the full membership this node was configured with
 	// (itself included).
 	Members []ClusterMember `json:"members,omitempty"`
+	// PartitionID is the hash partition this node serves (0 when
+	// unpartitioned — the pair with Partitions disambiguates).
+	PartitionID uint32 `json:"partition_id,omitempty"`
+	// Partitions is the partition topology this node was configured
+	// with; absent on unpartitioned deployments.
+	Partitions *PartitionMap `json:"partitions,omitempty"`
 }
 
 // NodeJSON is a node snapshot on the wire.
@@ -305,6 +369,9 @@ type Response struct {
 	// TraceID echoes the request's trace ID so a client can tie the
 	// reply (and the server's /debug/traces entry) back to its span.
 	TraceID string `json:"trace_id,omitempty"`
+	// State answers a txn_status request: "committed", "aborted",
+	// "pending", or "unknown" (presumed abort).
+	State string `json:"state,omitempty"`
 }
 
 // EncodeValue renders a value in the tagged JSON form.

@@ -180,6 +180,12 @@ type Options struct {
 	// Logger receives the replication endpoints' structured log records
 	// (connection state changes, stream refusals). Nil is silent.
 	Logger *slog.Logger
+	// PartitionID / PartitionCount place this database in a hash-
+	// partitioned cluster: it owns node and relationship IDs where
+	// id % PartitionCount == PartitionID and allocates only those.
+	// PartitionCount <= 1 means unpartitioned (the default).
+	PartitionID    int
+	PartitionCount int
 }
 
 // DB is a neograph database handle, safe for concurrent use.
@@ -241,6 +247,8 @@ func coreOptions(opts Options, replica bool) core.Options {
 		WALSegmentSize:   opts.WALSegmentSize,
 		FS:               opts.FS,
 		Tracer:           opts.Tracer,
+		PartitionID:      opts.PartitionID,
+		PartitionCount:   opts.PartitionCount,
 	}
 }
 
